@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark reproduces one of the paper's figures.  The simulations
+are deterministic, so each bench runs exactly once (``pedantic`` with one
+round); the *measured quantity* is the experiment's virtual-time result,
+printed as a paper-style table, while pytest-benchmark records the
+harness's wall-clock cost.
+
+Set ``REPRO_BENCH_SCALE=full`` to run the paper's full parameters
+(hundreds of clients, 250K records, 10-40 GB I/O phases) instead of the
+CI-sized defaults.  Shapes — who wins, by what factor — are the same.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return "full" if FULL else "ci"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute a deterministic experiment exactly once under benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

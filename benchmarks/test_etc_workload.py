@@ -1,0 +1,83 @@
+"""ETC-style realistic cache workload (paper motivation, reference [17]).
+
+The paper motivates online erasure coding with Facebook's workload
+analysis: cached database queries span 512 B - 32 KB with a heavy tail.
+This bench runs an ETC-shaped dataset (Zipfian keys, 30:1 GET:SET,
+Pareto-tailed sizes) across the resilience schemes and evaluates the
+future-work hybrid scheme exactly where it is meant to shine: the tail
+carries the bytes, the head carries the requests.
+"""
+
+from conftest import run_once
+
+from repro.core.cluster import build_cluster
+from repro.harness.reporting import format_table
+from repro.workloads.etc import EtcSizeSampler, EtcSpec, run_etc
+
+GIB = 1024 ** 3
+MIB = 1024 * 1024
+
+SPEC = EtcSpec(record_count=4_000, ops_per_client=150)
+SCHEMES = ("no-rep", "async-rep", "era-ce-cd", "hybrid")
+
+
+def test_etc_schemes(benchmark):
+    def run():
+        rows = []
+        for scheme in SCHEMES:
+            cluster = build_cluster(
+                scheme=scheme, servers=5, memory_per_server=4 * GIB
+            )
+            result = run_etc(cluster, SPEC, num_clients=12, client_hosts=4)
+            rows.append(
+                [
+                    scheme,
+                    result.throughput,
+                    result.get_latency.mean * 1e6,
+                    result.stored_bytes / MIB,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nETC workload (Zipfian, 30:1 GET:SET, Pareto-tailed sizes)")
+    print(
+        format_table(
+            ["scheme", "tput_ops_s", "get_mean_us", "stored_MiB"], rows
+        )
+    )
+    by = {r[0]: r for r in rows}
+
+    # GET-heavy small-value traffic: hybrid's latency must track
+    # replication's (within 20%), far from pure erasure's per-chunk costs
+    assert by["hybrid"][2] < by["era-ce-cd"][2]
+    assert by["hybrid"][2] < by["async-rep"][2] * 1.25
+
+    # ... while the storage bill reflects erasure coding of the byte-heavy
+    # tail: meaningfully below replication
+    assert by["hybrid"][3] < by["async-rep"][3] * 0.90
+    assert by["no-rep"][3] < by["hybrid"][3]
+
+
+def test_etc_size_distribution_shape(benchmark):
+    """Sanity-print the distribution the bench runs on."""
+
+    def run():
+        sampler = EtcSizeSampler(seed=9)
+        return sorted(sampler.sample_sizes(20_000))
+
+    sizes = run_once(benchmark, run)
+    total = sum(sizes)
+    big = [s for s in sizes if s > 16 * 1024]
+    rows = [
+        ["median_B", sizes[len(sizes) // 2]],
+        ["p99_B", sizes[int(len(sizes) * 0.99)]],
+        ["max_B", sizes[-1]],
+        ["frac_above_16K_%", 100.0 * len(big) / len(sizes)],
+        ["bytes_share_above_16K_%", 100.0 * sum(big) / total],
+    ]
+    print("\nETC value-size distribution")
+    print(format_table(["metric", "value"], rows))
+    # the head dominates counts, the tail dominates bytes
+    assert sizes[len(sizes) // 2] < 2_000
+    assert sum(big) > 0.25 * total

@@ -1,0 +1,72 @@
+"""Figure 11: YCSB average read/write latencies (workloads A and B).
+
+Panel (a): SDSC-Comet (FDR + Haswell); panel (b): RI2-EDR (EDR +
+Broadwell).  150 clients on 10 hosts at full scale; Zipfian skew.
+"""
+
+from conftest import FULL, run_once
+
+from repro.harness import fig11_12_ycsb, format_table
+
+KIB = 1024
+
+if FULL:
+    PARAMS = dict(num_clients=150, client_hosts=10, record_count=250_000,
+                  ops_per_client=2_500)
+    SIZES = (1 * KIB, 4 * KIB, 16 * KIB, 32 * KIB)
+else:
+    PARAMS = dict(num_clients=30, client_hosts=10, record_count=8_000,
+                  ops_per_client=120)
+    SIZES = (4 * KIB, 32 * KIB)
+
+SCHEMES = ("async-rep", "era-ce-cd", "era-se-cd")
+
+
+def _print(rows, title):
+    print("\n%s" % title)
+    print(
+        format_table(
+            ["workload", "scheme", "size_B", "read_us", "write_us"],
+            [
+                [r.workload, r.scheme, r.value_size, r.read_mean_us,
+                 r.write_mean_us]
+                for r in rows
+            ],
+        )
+    )
+
+
+def _row(rows, **filters):
+    return next(
+        r
+        for r in rows
+        if all(getattr(r, k) == v for k, v in filters.items())
+    )
+
+
+def test_fig11a_latency_sdsc_comet(benchmark):
+    rows = run_once(
+        benchmark, fig11_12_ycsb, profile="sdsc-comet", value_sizes=SIZES,
+        schemes=SCHEMES, **PARAMS
+    )
+    _print(rows, "Figure 11(a): YCSB latencies on SDSC-Comet")
+
+    big = SIZES[-1]
+    for workload in ("ycsb-a", "ycsb-b"):
+        era = _row(rows, scheme="era-ce-cd", workload=workload, value_size=big)
+        rep = _row(rows, scheme="async-rep", workload=workload, value_size=big)
+        # paper: up to 2.3x lower read/write latency for >16 KB values
+        assert era.read_mean_us < rep.read_mean_us
+        assert era.write_mean_us < rep.write_mean_us
+
+
+def test_fig11b_latency_ri2_edr(benchmark):
+    rows = run_once(
+        benchmark, fig11_12_ycsb, profile="ri2-edr", value_sizes=(SIZES[-1],),
+        schemes=("async-rep", "era-ce-cd"), **PARAMS
+    )
+    _print(rows, "Figure 11(b): YCSB latencies on RI2-EDR")
+    era = _row(rows, scheme="era-ce-cd", workload="ycsb-a")
+    rep = _row(rows, scheme="async-rep", workload="ycsb-a")
+    # paper: the EDR cluster amplifies the gap (over 2.6x there)
+    assert era.write_mean_us < rep.write_mean_us

@@ -1,0 +1,58 @@
+"""Figure 13: TestDFSIO throughput with Boldio burst buffers over Lustre.
+
+Boldio: 8 DataNodes x 4 maps over 5 burst-buffer servers (24 GB each);
+Lustre-Direct: 12 DataNodes x 4 maps.  Job sizes 10-40 GB at full scale.
+"""
+
+from conftest import FULL, run_once
+
+from repro.harness import fig13_boldio, format_table
+
+if FULL:
+    SIZES_GB = (10.0, 20.0, 30.0, 40.0)
+    SCALE = 1.0
+else:
+    SIZES_GB = (10.0, 40.0)
+    SCALE = 0.05  # 0.5-2 GB actual I/O; same bottleneck structure
+
+
+def _row(rows, backend, mode, size):
+    return next(
+        r
+        for r in rows
+        if r.backend == backend and r.mode == mode and r.total_gb == size
+    )
+
+
+def test_fig13_dfsio_throughput(benchmark):
+    rows = run_once(
+        benchmark, fig13_boldio, data_sizes_gb=SIZES_GB, scale=SCALE
+    )
+
+    print("\nFigure 13: TestDFSIO throughput (MiB/s), scale=%s" % SCALE)
+    print(
+        format_table(
+            ["backend", "mode", "job_GB", "tput_MiB_s"],
+            [[r.backend, r.mode, r.total_gb, r.throughput_mib] for r in rows],
+        )
+    )
+
+    for size in SIZES_GB:
+        era_w = _row(rows, "boldio-era-ce-cd", "write", size)
+        rep_w = _row(rows, "boldio-async-rep", "write", size)
+        direct_w = _row(rows, "lustre-direct", "write", size)
+        era_r = _row(rows, "boldio-era-ce-cd", "read", size)
+        rep_r = _row(rows, "boldio-async-rep", "read", size)
+        direct_r = _row(rows, "lustre-direct", "read", size)
+        se_w = _row(rows, "boldio-era-se-cd", "write", size)
+
+        # paper: up to 2.6x over Lustre-Direct for writes ...
+        assert era_w.throughput_mib > 2.0 * direct_w.throughput_mib
+        # ... and up to 5.9x for reads
+        assert era_r.throughput_mib > 3.5 * direct_r.throughput_mib
+        # paper: Era-CE-CD matches Boldio_Async-Rep (no write overhead,
+        # <9% read overhead)
+        assert era_w.throughput_mib > 0.9 * rep_w.throughput_mib
+        assert era_r.throughput_mib > 0.85 * rep_r.throughput_mib
+        # paper: Era-SE-CD within 3-11% of Async-Rep
+        assert se_w.throughput_mib > 0.85 * rep_w.throughput_mib

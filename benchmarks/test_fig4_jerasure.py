@@ -1,0 +1,43 @@
+"""Figure 4: Jerasure coding-time study (RS_Van vs CRS vs R6-Lib).
+
+Regenerates both panels: (a) encode times, (b) decode times for one and
+two node failures, for key-value pair sizes 512 B - 1 MB with RS(3,2) on
+the RI-QDR (Westmere) CPU profile.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig4_jerasure, format_table
+
+SIZES = (512, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+def test_fig4_encode_decode_times(benchmark):
+    rows = run_once(benchmark, fig4_jerasure, sizes=SIZES)
+
+    print("\nFigure 4(a)+(b): coding time (us), RS(3,2), Westmere profile")
+    print(
+        format_table(
+            ["scheme", "size_B", "encode_us", "decode_1fail_us", "decode_2fail_us"],
+            [
+                [r.scheme, r.value_size, r.encode_us, r.decode1_us, r.decode2_us]
+                for r in rows
+            ],
+        )
+    )
+
+    # Paper's conclusion: RS_Van is best across the whole KV-pair range.
+    for size in SIZES:
+        best = min(
+            (r for r in rows if r.value_size == size),
+            key=lambda r: r.encode_us,
+        )
+        assert best.scheme == "rs_van"
+
+
+def test_fig4_crossover_at_large_objects(benchmark):
+    """Beyond the paper's range, CRS/Liberation win (their design point)."""
+    rows = run_once(benchmark, fig4_jerasure, sizes=(256 * 1024 * 1024,))
+    by_scheme = {r.scheme: r for r in rows}
+    assert by_scheme["crs"].encode_us < by_scheme["rs_van"].encode_us
+    assert by_scheme["r6_lib"].encode_us < by_scheme["rs_van"].encode_us

@@ -1,0 +1,87 @@
+"""Figure 8: OHB Set/Get latency micro-benchmarks on RI-QDR.
+
+Five-server cluster, RS(3,2) vs Rep=3, single client, value sizes
+512 B - 1 MB.  Panel (a) Set latency, (b) Get latency without failures,
+(c) Get latency under two node failures (degraded reads).
+"""
+
+from conftest import FULL, run_once
+
+from repro.harness import fig8_microbench, format_table
+from repro.harness.experiments import MICRO_SIZES
+
+NUM_OPS = 1000 if FULL else 200
+
+
+def _print(rows, title):
+    print("\n%s" % title)
+    print(
+        format_table(
+            ["scheme", "op", "size_B", "avg_us", "p99_us"],
+            [
+                [r.scheme, r.op, r.value_size, r.avg_latency_us, r.p99_latency_us]
+                for r in rows
+            ],
+        )
+    )
+
+
+def _series(rows, scheme, op):
+    return {
+        r.value_size: r.avg_latency_us
+        for r in rows
+        if r.scheme == scheme and r.op == op
+    }
+
+
+def test_fig8a_set_latency(benchmark):
+    rows = run_once(
+        benchmark, fig8_microbench, sizes=MICRO_SIZES, num_ops=NUM_OPS,
+        ops_kind="set",
+    )
+    _print(rows, "Figure 8(a): Set latency (RI-QDR, 5 servers)")
+
+    sync = _series(rows, "sync-rep", "set")
+    async_rep = _series(rows, "async-rep", "set")
+    era_ce = _series(rows, "era-ce-cd", "set")
+    era_se = _series(rows, "era-se-cd", "set")
+    for size in MICRO_SIZES:
+        # paper: Era-CE-CD 1.6x-2.8x better than Sync-Rep
+        assert era_ce[size] < sync[size] / 1.5, size
+        # paper: Async-Rep overlaps replicas, beating Sync-Rep
+        assert async_rep[size] < sync[size], size
+    # paper: server-side encode wins for large values (up to ~38%)
+    big = MICRO_SIZES[-1]
+    assert era_se[big] < era_ce[big]
+
+
+def test_fig8b_get_latency_no_failures(benchmark):
+    rows = run_once(
+        benchmark, fig8_microbench, sizes=MICRO_SIZES, num_ops=NUM_OPS,
+        ops_kind="get",
+    )
+    _print(rows, "Figure 8(b): Get latency, no failures")
+    rep = _series(rows, "async-rep", "get")
+    era = _series(rows, "era-ce-cd", "get")
+    for size in MICRO_SIZES[2:]:
+        # paper: erasure get tracks Async-Rep when nothing has failed
+        assert abs(era[size] - rep[size]) / rep[size] < 0.25, size
+
+
+def test_fig8c_get_latency_two_failures(benchmark):
+    rows = run_once(
+        benchmark, fig8_microbench, sizes=MICRO_SIZES[3:], num_ops=NUM_OPS // 2,
+        ops_kind="get", failed_servers=2,
+        schemes=("sync-rep", "async-rep", "era-ce-cd", "era-se-cd", "era-se-sd"),
+    )
+    _print(rows, "Figure 8(c): Get latency, two node failures")
+    rep = _series(rows, "async-rep", "get")
+    era_cd = _series(rows, "era-ce-cd", "get")
+    era_sd = _series(rows, "era-se-sd", "get")
+    big = MICRO_SIZES[-1]
+    # paper: degraded erasure reads cost more than replication failover
+    # (~27% there; decode dominates here), and Era-SE-SD degrades worst
+    # (~2.2x) because gather + decode both sit on the server path.
+    assert era_cd[big] > rep[big]
+    assert era_sd[big] > era_cd[big]
+    assert era_sd[big] > 1.5 * rep[big]

@@ -1,0 +1,53 @@
+"""Figure 9: client-side time-wise breakdown (Request / Wait / Encode /
+Decode) for Set (healthy) and Get (two failures), 64 KB - 1 MB."""
+
+from conftest import FULL, run_once
+
+from repro.harness import fig9_breakdown, format_table
+
+KIB = 1024
+MIB = 1024 * 1024
+SIZES = (64 * KIB, 256 * KIB, MIB)
+NUM_OPS = 500 if FULL else 150
+
+
+def test_fig9_phase_breakdown(benchmark):
+    rows = run_once(benchmark, fig9_breakdown, sizes=SIZES, num_ops=NUM_OPS)
+
+    print("\nFigure 9: per-op phase times (us), RI-QDR")
+    print(
+        format_table(
+            ["scheme", "op", "size_B", "request_us", "wait_us", "encode_us",
+             "decode_us"],
+            [
+                [r.scheme, r.op, r.value_size, r.request_us, r.wait_us,
+                 r.encode_us, r.decode_us]
+                for r in rows
+            ],
+        )
+    )
+
+    def row(scheme, op, size):
+        return next(
+            r for r in rows
+            if r.scheme == scheme and r.op == op and r.value_size == size
+        )
+
+    for size in SIZES:
+        ce_set = row("era-ce-cd", "set", size)
+        se_set = row("era-se-cd", "set", size)
+        # encode shows at the client only for CE; SE offloads it entirely
+        assert ce_set.encode_us > 0
+        assert se_set.encode_us == 0
+        # paper: for Get under failures the wait phase dominates
+        ce_get = row("era-ce-cd", "get", size)
+        assert ce_get.wait_us > ce_get.request_us
+        assert ce_get.decode_us > 0  # degraded reads decode at the client
+        # replication never pays coding time
+        rep_set = row("async-rep", "set", size)
+        assert rep_set.encode_us == 0 and rep_set.decode_us == 0
+
+    # paper: T_encode grows much more significant at larger value sizes
+    assert row("era-ce-cd", "set", MIB).encode_us > row(
+        "era-ce-cd", "set", 64 * KIB
+    ).encode_us * 5

@@ -1,0 +1,118 @@
+"""Future-work codecs head-to-head (Section VIII).
+
+The paper closes by naming the codes it wants next: "optimized erasure
+codes such as locally repairable codes, linear time fountain codes".
+Both are implemented here; this bench puts them beside the paper's chosen
+RS-Vandermonde on the axes that matter — storage, guaranteed tolerance,
+coding cost, and repair traffic — so the trade-offs the paper anticipates
+are visible as numbers.
+"""
+
+from conftest import run_once
+
+from repro.core.cluster import build_cluster
+from repro.ec import make_codec
+from repro.ec.cost_model import CodingCostModel
+from repro.harness.reporting import format_table
+from repro.resilience.recovery import RepairManager
+from repro.workloads.keys import KeyValueSource
+from repro.workloads.microbench import load_keys
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+#: (codec, k, m, servers) — geometries with comparable roles
+CONFIGS = (
+    ("rs_van", 6, 4, 11),   # MDS baseline
+    ("lrc", 6, 4, 11),      # 2 local + 2 global parities
+    ("lt", 6, 4, 11),       # XOR-only fountain
+)
+
+
+def test_codec_tradeoff_table(benchmark):
+    def run():
+        model = CodingCostModel()
+        rows = []
+        for name, k, m, _servers in CONFIGS:
+            codec = make_codec(name, k, m)
+            rows.append(
+                [
+                    name,
+                    codec.storage_overhead,
+                    codec.tolerated_failures,
+                    model.encode_time(name, MIB, k, m) * 1e6,
+                    model.decode_time(name, MIB, k, m, 1) * 1e6,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nFuture-work codecs at (k=6, m=4): the paper's Section VIII menu")
+    print(
+        format_table(
+            ["codec", "storage_x", "guaranteed", "encode_us_1MB",
+             "decode1_us_1MB"],
+            rows,
+        )
+    )
+    by = {r[0]: r for r in rows}
+    # MDS RS: the only one turning all m parities into guaranteed failures
+    assert by["rs_van"][2] == 4
+    # LRC trades one guarantee for cheap local repair (maximally
+    # recoverable: r + 1 = 3)
+    assert by["lrc"][2] == 3
+    # LT trades guarantees for the cheapest coding kernel
+    assert by["lt"][2] >= 1
+    assert by["lt"][3] < by["rs_van"][3]
+    # all three store the same bytes at this geometry
+    assert by["rs_van"][1] == by["lrc"][1] == by["lt"][1]
+
+
+def test_repair_traffic_across_codecs(benchmark):
+    """Repair one failed node's chunks under each codec."""
+
+    def run():
+        rows = []
+        for name, k, m, servers in CONFIGS:
+            cluster = build_cluster(
+                scheme="era-ce-cd", servers=servers, codec=name, k=k, m=m,
+                memory_per_server=4 * GIB,
+            )
+            client = cluster.add_client()
+            source = KeyValueSource()
+            load_keys(cluster, client, 40, 256 * KIB, source)
+            victim = "server-2"
+            cluster.servers[victim].fail()
+            repair = RepairManager(cluster, cluster.scheme)
+            start = cluster.sim.now
+
+            def do_repair():
+                yield from repair.repair_server(
+                    victim, [source.key(i) for i in range(40)]
+                )
+
+            cluster.sim.run(cluster.sim.process(do_repair()))
+            rows.append(
+                [
+                    name,
+                    repair.repaired_keys,
+                    repair.local_repairs,
+                    repair.bytes_read_for_repair / MIB,
+                    (cluster.sim.now - start) * 1e3,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nRepairing one failed node (40 keys x 256 KB):")
+    print(
+        format_table(
+            ["codec", "repaired", "local", "read_MiB", "time_ms"], rows
+        )
+    )
+    by = {r[0]: r for r in rows}
+    # only LRC has a local-repair path; it must cut the bytes read
+    assert by["lrc"][2] > 0
+    assert by["rs_van"][2] == 0 and by["lt"][2] == 0
+    assert by["lrc"][3] < by["rs_van"][3]

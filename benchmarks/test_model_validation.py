@@ -1,0 +1,125 @@
+"""Section III model validation: Equations 1-8 vs the simulator.
+
+The paper derives its design from closed-form latency models.  This bench
+runs single blocking operations in the simulator and checks that each
+lands between the model's overlapped ideal (Eqs. 6-8) and a generous
+multiple of its sequential bound (Eqs. 2-5) — i.e. the simulator is
+faithful to the math the paper reasons with.
+"""
+
+from conftest import run_once
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.harness.reporting import format_table
+from repro.model import LatencyModel
+from repro.network.profiles import RI_QDR
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+SIZES = (4 * KIB, 64 * KIB, MIB)
+
+
+def _single_op_time(scheme, op, size):
+    cluster = build_cluster(
+        scheme=scheme, servers=5, memory_per_server=4 * GIB
+    )
+    client = cluster.add_client(window=1)
+
+    def body():
+        yield from client.set("key", Payload.sized(size))
+
+    cluster.sim.run(cluster.sim.process(body()))
+    set_time = cluster.sim.now
+    if op == "set":
+        return set_time
+    start = cluster.sim.now
+
+    def read():
+        yield from client.get("key")
+
+    cluster.sim.run(cluster.sim.process(read()))
+    return cluster.sim.now - start
+
+
+def test_model_vs_simulation(benchmark):
+    model = LatencyModel(RI_QDR)
+
+    def run():
+        rows = []
+        for size in SIZES:
+            sync_set = _single_op_time("sync-rep", "set", size)
+            async_set = _single_op_time("async-rep", "set", size)
+            era_set = _single_op_time("era-ce-cd", "set", size)
+            rep_get = _single_op_time("async-rep", "get", size)
+            era_get = _single_op_time("era-ce-cd", "get", size)
+            rows.append(
+                [
+                    size,
+                    model.sync_rep_set(size, 3) * 1e6, sync_set * 1e6,
+                    model.era_set_overlapped(size, 3, 2) * 1e6, era_set * 1e6,
+                    model.rep_get(size) * 1e6, rep_get * 1e6,
+                ]
+            )
+            # Eq 2 bound: the simulator adds response trips/software, so
+            # sync-rep sits above the pure one-way model but within 3x
+            assert model.sync_rep_set(size, 3) < sync_set
+            assert sync_set < 3 * model.sync_rep_set(size, 3) + 60e-6
+            # Eq 6: the overlapped replication set must land between the
+            # single-NIC ideal (L + F*D/B) and that ideal plus bounded
+            # software/response costs; and it always beats blocking mode
+            ideal = model.async_rep_set(size, 3)
+            assert ideal < async_set < ideal * 1.25 + 25e-6
+            assert async_set < sync_set
+            assert era_set < model.era_set(size, 3, 2) + 30e-6
+            # Eq 7 ideal is a floor for the erasure set
+            assert era_set > model.era_set_overlapped(size, 3, 2)
+            # Eq 4/8: gets bounded below by one Response-Wait
+            assert rep_get > model.rep_get(size)
+            assert era_get > model.era_get_overlapped(size, 3, 2, erased=0)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nModel (Eq. 1-8) vs simulation, single blocking ops (us)")
+    print(
+        format_table(
+            ["size", "eq2_sync_set", "sim_sync_set", "eq7_era_ideal",
+             "sim_era_set", "eq4_rep_get", "sim_rep_get"],
+            rows,
+        )
+    )
+
+
+def test_storage_efficiency_model(benchmark):
+    """Section I-A: N/K vs F storage overhead, validated against actual
+    cluster accounting."""
+
+    def run():
+        model = LatencyModel(RI_QDR)
+        cluster_rep = build_cluster(
+            scheme="async-rep", servers=5, memory_per_server=4 * GIB
+        )
+        cluster_era = build_cluster(
+            scheme="era-ce-cd", servers=5, memory_per_server=4 * GIB
+        )
+        for cluster in (cluster_rep, cluster_era):
+            client = cluster.add_client()
+
+            def body(client=client):
+                for i in range(20):
+                    yield from client.set("k%d" % i, Payload.sized(MIB))
+
+            cluster.sim.run(cluster.sim.process(body()))
+        return model, cluster_rep, cluster_era
+
+    model, cluster_rep, cluster_era = run_once(benchmark, run)
+    measured_gain = (
+        cluster_rep.total_stored_bytes / cluster_era.total_stored_bytes
+    )
+    predicted_gain = model.storage_efficiency_gain(3, 3, 2)
+    print(
+        "\nStorage efficiency: predicted %.2fx, measured %.2fx"
+        % (predicted_gain, measured_gain)
+    )
+    assert abs(measured_gain - predicted_gain) / predicted_gain < 0.05

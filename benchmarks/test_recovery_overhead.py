@@ -1,0 +1,250 @@
+"""Recovery-overhead analysis — the paper's declared future work.
+
+Section VI-D: "recovery overhead is of importance. Hence, we plan to
+undertake detailed recovery overhead analysis" — this bench performs it:
+
+1. degraded-read overhead while a failure is outstanding (online view);
+2. the cost of background repair (bytes moved, decode work, wall time);
+3. service latency during repair vs after it (repair gives the latency
+   back because reads return to the systematic fast path).
+"""
+
+from conftest import run_once
+
+from repro.core.cluster import build_cluster
+from repro.harness.reporting import format_table
+from repro.resilience.recovery import RepairManager
+from repro.workloads.keys import KeyValueSource
+from repro.workloads.microbench import load_keys, run_get_benchmark
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+NUM_KEYS = 150
+VALUE_SIZE = 256 * KIB
+
+
+def test_recovery_overhead(benchmark):
+    def run():
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=6, memory_per_server=4 * GIB
+        )
+        client = cluster.add_client(window=1)
+        source = KeyValueSource()
+        load_keys(cluster, client, NUM_KEYS, VALUE_SIZE, source)
+
+        healthy = run_get_benchmark(
+            cluster, client, num_ops=NUM_KEYS, value_size=VALUE_SIZE,
+            preload=False, source=source,
+        )
+
+        victim = "server-2"
+        cluster.servers[victim].fail()
+        degraded = run_get_benchmark(
+            cluster, client, num_ops=NUM_KEYS, value_size=VALUE_SIZE,
+            preload=False, source=source,
+        )
+
+        repair = RepairManager(cluster, cluster.scheme)
+        keys = [source.key(i) for i in range(NUM_KEYS)]
+        start = cluster.sim.now
+
+        def do_repair():
+            yield from repair.repair_server(victim, keys)
+
+        cluster.sim.run(cluster.sim.process(do_repair()))
+        repair_time = cluster.sim.now - start
+
+        repaired = run_get_benchmark(
+            cluster, client, num_ops=NUM_KEYS, value_size=VALUE_SIZE,
+            preload=False, source=source,
+        )
+        return cluster, healthy, degraded, repaired, repair, repair_time
+
+    cluster, healthy, degraded, repaired, repair, repair_time = run_once(
+        benchmark, run
+    )
+
+    print("\nRecovery overhead (Era-CE-CD, 256 KB values, 1 of 6 nodes down)")
+    print(
+        format_table(
+            ["phase", "get_avg_us"],
+            [
+                ["healthy", healthy.avg_latency * 1e6],
+                ["degraded (node down)", degraded.avg_latency * 1e6],
+                ["after repair", repaired.avg_latency * 1e6],
+            ],
+        )
+    )
+    print(
+        format_table(
+            ["repaired_keys", "repaired_MiB", "repair_seconds",
+             "MiB_per_sec"],
+            [[
+                repair.repaired_keys,
+                repair.repaired_bytes / MIB,
+                repair_time,
+                repair.repaired_bytes / MIB / repair_time,
+            ]],
+        )
+    )
+
+    # degraded reads cost more than healthy ones ...
+    assert degraded.avg_latency > healthy.avg_latency
+    # ... and repair restores most of the lost latency
+    assert repaired.avg_latency < degraded.avg_latency
+    assert repaired.avg_latency < healthy.avg_latency * 1.2
+    # every affected key was rebuilt
+    source = KeyValueSource()
+    affected = sum(
+        1
+        for i in range(NUM_KEYS)
+        if "server-2"
+        in cluster.scheme.placement(cluster.ring, source.key(i))
+    )
+    assert repair.repaired_keys == affected
+
+
+def test_repair_cost_scales_with_value_size(benchmark):
+    """Repair moves K reads + 1 write per lost chunk: cost tracks D."""
+
+    def run():
+        rows = []
+        for size in (64 * KIB, 256 * KIB, MIB):
+            cluster = build_cluster(
+                scheme="era-ce-cd", servers=6, memory_per_server=4 * GIB
+            )
+            client = cluster.add_client()
+            source = KeyValueSource()
+            load_keys(cluster, client, 40, size, source)
+            victim = "server-1"
+            cluster.servers[victim].fail()
+            repair = RepairManager(cluster, cluster.scheme)
+            keys = [source.key(i) for i in range(40)]
+            start = cluster.sim.now
+
+            def do_repair():
+                yield from repair.repair_server(victim, keys)
+
+            cluster.sim.run(cluster.sim.process(do_repair()))
+            rows.append(
+                [size, repair.repaired_keys, cluster.sim.now - start]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nRepair cost vs value size (40 keys, 1 of 6 nodes down)")
+    print(format_table(["value_size", "repaired", "seconds"], rows))
+    times = [r[2] for r in rows]
+    assert times[0] < times[1] < times[2]
+
+
+def test_online_workload_under_failure(benchmark):
+    """Online-workload recovery view (paper future work: 'for both offline
+    and online workloads'): YCSB-B throughput healthy vs with one node
+    down, Era-CE-CD vs Async-Rep."""
+    from repro.workloads.ycsb import YCSBSpec, run_ycsb
+
+    spec = YCSBSpec(
+        "ycsb-b", 0.95, 0.05, record_count=4_000, ops_per_client=100,
+        value_size=32 * KIB,
+    )
+
+    def run():
+        rows = []
+        for scheme in ("async-rep", "era-ce-cd"):
+            for failed in (0, 1):
+                cluster = build_cluster(
+                    scheme=scheme, servers=5, memory_per_server=8 * GIB
+                )
+                if failed:
+                    # load first so the failure hits real data
+                    from repro.workloads.ycsb import load_phase
+
+                    load_phase(cluster, spec, loader_count=4)
+                    cluster.fail_servers(["server-4"])
+                    result = run_ycsb(
+                        cluster, spec, num_clients=16, client_hosts=4,
+                        load=False,
+                    )
+                else:
+                    result = run_ycsb(
+                        cluster, spec, num_clients=16, client_hosts=4,
+                        loader_count=4,
+                    )
+                rows.append(
+                    [scheme, failed, result.throughput,
+                     result.read_latency.mean * 1e6]
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nYCSB-B (95:5, 32 KB) with and without one failed server")
+    print(
+        format_table(
+            ["scheme", "failed_nodes", "tput_ops_s", "read_us"], rows
+        )
+    )
+    by = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    # both schemes keep serving through the failure ...
+    assert by[("era-ce-cd", 1)][0] > 0.5 * by[("era-ce-cd", 0)][0]
+    assert by[("async-rep", 1)][0] > 0.5 * by[("async-rep", 0)][0]
+    # ... and a failure costs throughput for both
+    assert by[("era-ce-cd", 1)][0] < by[("era-ce-cd", 0)][0]
+
+
+def test_lrc_repair_vs_rs_repair(benchmark):
+    """Paper future work realized: LRC cuts repair traffic.
+
+    RS(6, 4) and LRC(6, 2, 2) have identical storage overhead (10/6 x);
+    repairing one lost chunk under RS reads the whole value (K chunks),
+    under LRC only the local group (K/L chunks + parity).
+    """
+
+    def run():
+        rows = []
+        for codec, label in (("rs_van", "RS(6,4)"), ("lrc", "LRC(6,2,2)")):
+            cluster = build_cluster(
+                scheme="era-ce-cd", servers=11, codec=codec, k=6, m=4,
+                memory_per_server=4 * GIB,
+            )
+            client = cluster.add_client()
+            source = KeyValueSource()
+            load_keys(cluster, client, 60, 256 * KIB, source)
+            victim = "server-1"
+            cluster.servers[victim].fail()
+            repair = RepairManager(cluster, cluster.scheme)
+            keys = [source.key(i) for i in range(60)]
+            start = cluster.sim.now
+
+            def do_repair():
+                yield from repair.repair_server(victim, keys)
+
+            cluster.sim.run(cluster.sim.process(do_repair()))
+            rows.append(
+                [
+                    label,
+                    repair.repaired_keys,
+                    repair.local_repairs,
+                    repair.bytes_read_for_repair / MIB,
+                    (cluster.sim.now - start) * 1e3,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nRepair traffic: RS vs LRC at equal storage overhead")
+    print(
+        format_table(
+            ["code", "repaired", "local_repairs", "read_MiB", "time_ms"],
+            rows,
+        )
+    )
+    rs, lrc = rows
+    assert rs[2] == 0  # RS has no local repairs
+    # data and local-parity chunks (8 of 10 indices) repair locally; lost
+    # *global* parities still need the full decode path
+    assert lrc[2] > 0.7 * lrc[1]
+    # the headline: LRC reads roughly (group+1)/K of the bytes RS reads
+    assert lrc[3] < rs[3] * 0.75
+    assert lrc[4] < rs[4]

@@ -1,0 +1,65 @@
+"""Scale-out study — paper future work: "larger-scale Memcached workloads".
+
+Section VIII plans evaluation at larger scale.  This bench grows the
+server cluster (5 -> 10 -> 15 nodes, widening RS(K, M) proportionally so
+the storage overhead stays ~5/3x) with a proportional client population
+and checks that the erasure-coded store actually scales: aggregate YCSB
+throughput must grow close to linearly with the cluster, and the
+advantage over replication must persist at every size.
+"""
+
+from conftest import run_once
+
+from repro.core.cluster import build_cluster
+from repro.harness.reporting import format_table
+from repro.workloads.ycsb import YCSBSpec, run_ycsb
+
+KIB = 1024
+GIB = 1024 ** 3
+
+#: (servers, k, m, clients) — storage overhead stays within [1.5x, 1.67x]
+SCALES = ((5, 3, 2, 15), (10, 6, 4, 30), (15, 9, 6, 45))
+
+
+def test_scaleout_throughput(benchmark):
+    spec = YCSBSpec(
+        "ycsb-a", 0.5, 0.5, record_count=6_000, ops_per_client=120,
+        value_size=32 * KIB,
+    )
+
+    def run():
+        rows = []
+        for servers, k, m, clients in SCALES:
+            for scheme in ("async-rep", "era-ce-cd"):
+                cluster = build_cluster(
+                    scheme=scheme, servers=servers, k=k, m=m,
+                    memory_per_server=8 * GIB,
+                )
+                result = run_ycsb(
+                    cluster, spec, num_clients=clients,
+                    client_hosts=max(5, clients // 3),
+                )
+                rows.append(
+                    [servers, scheme, clients, result.throughput,
+                     cluster.stats()["load_imbalance"]]
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nScale-out: YCSB-A (32 KB) as the cluster grows")
+    print(
+        format_table(
+            ["servers", "scheme", "clients", "tput_ops_s", "imbalance"],
+            rows,
+        )
+    )
+    era = {r[0]: r[3] for r in rows if r[1] == "era-ce-cd"}
+    rep = {r[0]: r[3] for r in rows if r[1] == "async-rep"}
+    # throughput grows with the cluster ...
+    assert era[5] < era[10] < era[15]
+    assert rep[5] < rep[10] < rep[15]
+    # ... near-linearly for the erasure store (>= 70% scaling efficiency)
+    assert era[15] > 2.1 * era[5]
+    # ... and the erasure advantage holds at every scale
+    for servers in (5, 10, 15):
+        assert era[servers] > rep[servers]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Online data-processing scenario: a YCSB-style multi-client cache tier.
+
+Models the paper's Section VI-C use case — an application tier of many
+concurrent clients hammering a 5-server Memcached cluster with a
+Zipfian-skewed, update-heavy workload (YCSB-A) — and shows why online
+erasure coding beats asynchronous replication once values exceed the
+16 KB eager/rendezvous threshold: chunking drops each fragment back under
+the threshold AND spreads the skewed load over all five servers.
+
+Run:  python examples/ycsb_cloud_workload.py
+"""
+
+from repro import build_cluster
+from repro.harness.reporting import format_table
+from repro.workloads.ycsb import YCSBSpec, run_ycsb
+
+KIB = 1024
+GIB = 1024 ** 3
+
+
+def run(scheme, profile, value_size):
+    cluster = build_cluster(
+        profile=profile, scheme=scheme, servers=5,
+        memory_per_server=8 * GIB,
+    )
+    spec = YCSBSpec(
+        "ycsb-a", read_proportion=0.5, update_proportion=0.5,
+        record_count=10_000, ops_per_client=150, value_size=value_size,
+    )
+    result = run_ycsb(
+        cluster, spec, num_clients=30, client_hosts=10, window=4
+    )
+    return result
+
+
+def main():
+    profile = "sdsc-comet"
+    print("YCSB-A (50:50, Zipfian), 30 clients on 10 hosts, %s\n" % profile)
+
+    rows = []
+    for value_size in (4 * KIB, 32 * KIB):
+        for scheme in ("no-rep", "async-rep", "era-ce-cd", "era-se-cd"):
+            result = run(scheme, profile, value_size)
+            rows.append(
+                [
+                    value_size // KIB,
+                    scheme,
+                    result.throughput,
+                    result.read_latency.mean * 1e6,
+                    result.write_latency.mean * 1e6,
+                ]
+            )
+    print(
+        format_table(
+            ["size_KiB", "scheme", "tput_ops_s", "read_us", "write_us"],
+            rows,
+        )
+    )
+    print(
+        "\nAt 32 KiB, era-ce-cd's 10.9 KiB chunks ride the low-latency"
+        "\neager protocol while async-rep's 32 KiB replicas need the"
+        "\nrendezvous handshake — the crossover the paper highlights."
+    )
+
+
+if __name__ == "__main__":
+    main()

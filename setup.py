@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable-install path (which builds a wheel) fails.  This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` route
+(see pip.conf: no-build-isolation + no-use-pep517).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

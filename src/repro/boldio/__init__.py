@@ -1,0 +1,26 @@
+"""Boldio: the burst-buffer-over-Lustre case study (Sections V and VI-D).
+
+Boldio maps Hadoop I/O streams onto key-value pairs cached in the
+RDMA-Memcached cluster (with client-initiated replication or, in this
+paper, online erasure coding) and asynchronously persists them to Lustre.
+
+- :mod:`repro.boldio.lustre` — the parallel filesystem substrate: MDS,
+  striped OSTs with disk-bandwidth modelling, and client-side file I/O.
+- :mod:`repro.boldio.burstbuffer` — the Boldio deployment: a KV cluster
+  whose servers flush stored chunks to Lustre in the background, plus the
+  read-miss fallback path.
+- :mod:`repro.boldio.dfsio` — the TestDFSIO workload (Figure 13): map
+  tasks streaming files through either Boldio or Lustre directly.
+"""
+
+from repro.boldio.burstbuffer import BoldioSystem
+from repro.boldio.dfsio import DFSIOResult, run_dfsio_boldio, run_dfsio_lustre
+from repro.boldio.lustre import LustreFS
+
+__all__ = [
+    "BoldioSystem",
+    "DFSIOResult",
+    "LustreFS",
+    "run_dfsio_boldio",
+    "run_dfsio_lustre",
+]

@@ -1,0 +1,6 @@
+"""Shared utilities: payload abstraction, statistics, deterministic RNG."""
+
+from repro.common.payload import Payload
+from repro.common.stats import LatencyRecorder, Summary, percentile
+
+__all__ = ["LatencyRecorder", "Payload", "Summary", "percentile"]

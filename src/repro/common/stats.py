@@ -1,0 +1,111 @@
+"""Latency/throughput statistics helpers used by every experiment."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    value = ordered[low] * (1 - frac) + ordered[high] * frac
+    # interpolation can exceed the endpoints by an ulp; clamp it
+    return min(max(value, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    total: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Summary":
+        """Summarize a non-empty sample list."""
+        if not samples:
+            raise ValueError("cannot summarize zero samples")
+        total = sum(samples)
+        return cls(
+            count=len(samples),
+            mean=total / len(samples),
+            minimum=min(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            maximum=max(samples),
+            total=total,
+        )
+
+    def scaled(self, factor: float) -> "Summary":
+        """Unit conversion helper (e.g. seconds -> microseconds)."""
+        return Summary(
+            count=self.count,
+            mean=self.mean * factor,
+            minimum=self.minimum * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            maximum=self.maximum * factor,
+            total=self.total * factor,
+        )
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies, grouped by operation kind."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, kind: str, latency: float) -> None:
+        """Append one latency sample under ``kind``."""
+        if latency < 0:
+            raise ValueError("negative latency %r" % latency)
+        self._samples.setdefault(kind, []).append(latency)
+
+    def extend(self, kind: str, latencies: Iterable[float]) -> None:
+        for value in latencies:
+            self.record(kind, value)
+
+    def kinds(self) -> List[str]:
+        """Operation kinds seen so far."""
+        return sorted(self._samples)
+
+    def samples(self, kind: str) -> List[float]:
+        """Copy of the samples recorded under ``kind``."""
+        return list(self._samples.get(kind, []))
+
+    def count(self, kind: str) -> int:
+        """Number of samples recorded under ``kind``."""
+        return len(self._samples.get(kind, []))
+
+    def summary(self, kind: str) -> Summary:
+        """Summary of one kind's samples."""
+        return Summary.of(self._samples.get(kind, []))
+
+    def merged_summary(self) -> Summary:
+        """Summary across every kind."""
+        merged: List[float] = []
+        for samples in self._samples.values():
+            merged.extend(samples)
+        return Summary.of(merged)

@@ -1,0 +1,5 @@
+"""Public facade: assemble and drive a resilient key-value store cluster."""
+
+from repro.core.cluster import KVCluster, build_cluster
+
+__all__ = ["KVCluster", "build_cluster"]

@@ -1,0 +1,254 @@
+"""Cluster assembly: simulator + fabric + servers + scheme + clients.
+
+This is the top of the public API.  A typical session::
+
+    from repro.core import build_cluster
+    from repro.common import Payload
+
+    cluster = build_cluster(profile="ri-qdr", scheme="era-ce-cd",
+                            servers=5, k=3, m=2)
+    client = cluster.add_client()
+
+    def workload():
+        ok = yield from client.set("user:42", Payload.from_bytes(b"hello"))
+        value = yield from client.get("user:42")
+
+    cluster.sim.process(workload())
+    cluster.run()
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Union
+
+from repro.ec.cost_model import CodingCostModel
+from repro.network.fabric import Fabric
+from repro.network.profiles import ClusterProfile, profile_by_name
+from repro.resilience.base import ResilienceScheme
+from repro.resilience.registry import make_scheme
+from repro.simulation import Simulator
+from repro.store.client import KVClient
+from repro.store.hashring import HashRing
+from repro.store.server import MemcachedServer
+
+GIB = 1024 ** 3
+
+
+class KVCluster:
+    """A resilient key-value store deployment on one simulated cluster."""
+
+    def __init__(
+        self,
+        profile: ClusterProfile,
+        scheme: ResilienceScheme,
+        num_servers: int = 5,
+        memory_per_server: int = 20 * GIB,
+        worker_threads: int = 8,
+        sim: Optional[Simulator] = None,
+    ):
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self.sim = sim or Simulator()
+        self.profile = profile
+        self.fabric = Fabric(self.sim, profile)
+        self.cost_model = CodingCostModel(
+            cpu_speed_factor=profile.cpu_speed_factor
+        )
+        self.servers: Dict[str, MemcachedServer] = {}
+        for index in range(num_servers):
+            name = "server-%d" % index
+            self.servers[name] = MemcachedServer(
+                self.sim,
+                self.fabric,
+                name,
+                memory_limit=memory_per_server,
+                worker_threads=worker_threads,
+                cost_model=self.cost_model,
+            )
+        self.ring = HashRing(list(self.servers))
+        self.scheme = scheme
+        scheme.install(self)
+        self.clients: List[KVClient] = []
+        self._client_seq = itertools.count()
+
+    # -- clients ------------------------------------------------------------
+    def add_client(
+        self,
+        name_hint: str = "client",
+        window: int = 32,
+        buffer_pool: int = 64,
+        host: Optional[str] = None,
+    ) -> KVClient:
+        """Attach a client; ``host`` makes several clients share one NIC."""
+        name = "%s-%d" % (name_hint, next(self._client_seq))
+        client = KVClient(
+            self.sim,
+            self.fabric,
+            name,
+            ring=self.ring,
+            scheme=self.scheme,
+            cost_model=self.cost_model,
+            window=window,
+            buffer_pool=buffer_pool,
+            host=host,
+        )
+        self.clients.append(client)
+        return client
+
+    # -- failures ------------------------------------------------------------
+    def fail_servers(self, names) -> None:
+        """Crash the named servers (endpoints down, memory wiped)."""
+        for name in names:
+            self.servers[name].fail()
+
+    def recover_servers(self, names) -> None:
+        """Restart the named servers with empty memory."""
+        for name in names:
+            self.servers[name].recover()
+
+    def alive_servers(self) -> List[str]:
+        """Names of servers currently up."""
+        return [name for name, server in self.servers.items() if server.alive]
+
+    # -- accounting ------------------------------------------------------------
+    @property
+    def total_memory_limit(self) -> int:
+        """Aggregate memory capacity across all servers."""
+        return sum(s.cache.memory_limit for s in self.servers.values())
+
+    @property
+    def total_memory_used(self) -> int:
+        """Aggregate slab pages committed across all servers."""
+        return sum(s.cache.used_memory for s in self.servers.values())
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Aggregate live item footprints across all servers."""
+        return sum(s.cache.stored_bytes for s in self.servers.values())
+
+    @property
+    def total_evictions(self) -> int:
+        """Items LRU-evicted cluster-wide."""
+        return sum(s.cache.evictions for s in self.servers.values())
+
+    @property
+    def total_failed_stores(self) -> int:
+        """Writes dropped cluster-wide (out of memory)."""
+        return sum(s.cache.failed_stores for s in self.servers.values())
+
+    @property
+    def total_lost_bytes(self) -> int:
+        """Bytes of stored payload lost to eviction or dropped writes."""
+        return sum(
+            s.cache.evicted_bytes + s.cache.failed_bytes
+            for s in self.servers.values()
+        )
+
+    def memory_utilization(self) -> float:
+        """Fraction of aggregated cluster memory committed (Figure 10)."""
+        return self.total_memory_used / self.total_memory_limit
+
+    # -- telemetry ------------------------------------------------------------
+    def server_stats(self) -> List[dict]:
+        """Per-server operational counters (one dict per server)."""
+        rows = []
+        for name, server in sorted(self.servers.items()):
+            cache = server.cache
+            rows.append(
+                {
+                    "server": name,
+                    "alive": server.alive,
+                    "requests": server.requests_handled,
+                    "items": cache.item_count,
+                    "stored_bytes": cache.stored_bytes,
+                    "memory_used": cache.used_memory,
+                    "hit_rate": (
+                        cache.hits / cache.total_gets
+                        if cache.total_gets
+                        else 0.0
+                    ),
+                    "evictions": cache.evictions,
+                    "failed_stores": cache.failed_stores,
+                    "corruption_detected": server.corruption_detected,
+                    "bytes_in": server.endpoint.bytes_received,
+                    "bytes_out": server.endpoint.bytes_sent,
+                }
+            )
+        return rows
+
+    def stats(self) -> dict:
+        """Cluster-wide summary: scheme, capacity, load, and health."""
+        per_server = self.server_stats()
+        return {
+            "scheme": self.scheme.name,
+            "profile": self.profile.name,
+            "servers": len(self.servers),
+            "alive": len(self.alive_servers()),
+            "tolerates": self.scheme.tolerated_failures,
+            "storage_overhead": self.scheme.storage_overhead,
+            "virtual_time": self.sim.now,
+            "total_requests": sum(r["requests"] for r in per_server),
+            "total_items": sum(r["items"] for r in per_server),
+            "stored_bytes": self.total_stored_bytes,
+            "memory_limit": self.total_memory_limit,
+            "memory_used": self.total_memory_used,
+            "evictions": self.total_evictions,
+            "failed_stores": self.total_failed_stores,
+            "lost_bytes": self.total_lost_bytes,
+            "load_imbalance": self._load_imbalance(per_server),
+        }
+
+    def _load_imbalance(self, per_server) -> float:
+        """max/mean request ratio — 1.0 is perfectly balanced.
+
+        Erasure chunking spreads skewed (Zipfian) load evenly, which is
+        one of the paper's explanations for its YCSB throughput win.
+        """
+        counts = [r["requests"] for r in per_server]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+    # -- execution ------------------------------------------------------------
+    def run(self, until=None):
+        """Advance the simulation (to quiescence, a time, or an event)."""
+        return self.sim.run(until)
+
+
+def build_cluster(
+    profile: Union[str, ClusterProfile] = "ri-qdr",
+    scheme: Union[str, ResilienceScheme] = "era-ce-cd",
+    servers: int = 5,
+    memory_per_server: int = 20 * GIB,
+    worker_threads: int = 8,
+    replication_factor: int = 3,
+    codec: str = "rs_van",
+    k: int = 3,
+    m: int = 2,
+    sim: Optional[Simulator] = None,
+) -> KVCluster:
+    """One-call constructor matching the paper's experiment setups.
+
+    ``profile`` is a cluster name (``ri-qdr``, ``sdsc-comet``, ``ri2-edr``,
+    or any of those with ``-ipoib`` appended) or a
+    :class:`ClusterProfile`.  ``scheme`` is a scheme name (see
+    :func:`repro.resilience.available_schemes`) or a prebuilt scheme.
+    """
+    if isinstance(profile, str):
+        profile = profile_by_name(profile)
+    if isinstance(scheme, str):
+        scheme = make_scheme(
+            scheme,
+            replication_factor=replication_factor,
+            codec_name=codec,
+            k=k,
+            m=m,
+        )
+    return KVCluster(
+        profile=profile,
+        scheme=scheme,
+        num_servers=servers,
+        memory_per_server=memory_per_server,
+        worker_threads=worker_threads,
+        sim=sim,
+    )

@@ -1,0 +1,186 @@
+"""Codec interface shared by all erasure codes in this package."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.ec import gf256
+
+
+class ErasureCodingError(Exception):
+    """Raised on unrecoverable coding situations (e.g. fewer than K chunks)."""
+
+
+@dataclass
+class ChunkSet:
+    """The output of an encode: K data + M parity chunks plus metadata.
+
+    ``chunks[i]`` for ``i < k`` are the data chunks (systematic codes pass
+    data through unchanged); ``chunks[i]`` for ``i >= k`` are parity.
+    ``data_len`` records the unpadded original length so decode can strip
+    the zero padding of the last data chunk.
+    """
+
+    k: int
+    m: int
+    data_len: int
+    chunks: List[bytes] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Total chunks (data + parity)."""
+        return self.k + self.m
+
+    @property
+    def chunk_size(self) -> int:
+        """Bytes per chunk."""
+        return len(self.chunks[0]) if self.chunks else 0
+
+    def subset(self, indices) -> Dict[int, bytes]:
+        """Pick the chunks at ``indices`` — models surviving fragments."""
+        return {i: self.chunks[i] for i in indices}
+
+
+def split_data(data: bytes, k: int, alignment: int = 1) -> List[np.ndarray]:
+    """Split ``data`` into K equal uint8 chunks, zero-padding the tail.
+
+    ``alignment`` rounds the chunk size up to a multiple (bit-matrix codecs
+    need chunks divisible into ``w`` packets).  An empty value still
+    produces K minimal chunks so that the chunk bookkeeping (one fragment
+    per server) stays uniform.
+    """
+    chunk_size = max(1, -(-len(data) // k))  # ceil division, min 1 byte
+    if chunk_size % alignment:
+        chunk_size += alignment - (chunk_size % alignment)
+    padded = np.zeros(chunk_size * k, dtype=np.uint8)
+    if data:
+        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+    return [padded[i * chunk_size : (i + 1) * chunk_size] for i in range(k)]
+
+
+class ErasureCodec(ABC):
+    """Systematic (K, M) erasure codec over bytes.
+
+    ``encode`` produces ``k + m`` equal-sized chunks; ``decode``
+    reconstructs the original value from *any* ``k`` of them.  Subclasses
+    implement the parity generation and the reconstruction math; padding
+    and chunk bookkeeping live here.
+    """
+
+    #: registry name, e.g. ``"rs_van"``; set by subclasses.
+    name: str = ""
+
+    #: chunk sizes are rounded up to a multiple of this (bit-matrix codecs
+    #: set it to their word size ``w`` so chunks divide into packets).
+    chunk_alignment: int = 1
+
+    def __init__(self, k: int, m: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if m < 0:
+            raise ValueError("m must be >= 0")
+        if k + m > gf256.FIELD_SIZE:
+            raise ValueError("k + m must be <= 256 for GF(2^8) codes")
+        self.k = k
+        self.m = m
+
+    @property
+    def n(self) -> int:
+        """Total chunks (data + parity)."""
+        return self.k + self.m
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored bytes per data byte: N/K (paper Section I-A)."""
+        return self.n / self.k
+
+    @property
+    def tolerated_failures(self) -> int:
+        """Simultaneous chunk losses survived (M for MDS codes)."""
+        return self.m
+
+    def can_decode(self, indices) -> bool:
+        """Whether the given chunk indices suffice to reconstruct the data.
+
+        MDS codes need any K; non-MDS codes (LRC) override this with a
+        rank check.
+        """
+        return len(set(indices)) >= self.k
+
+    def decode_indices(self, available) -> Optional[List[int]]:
+        """A decodable subset of ``available`` indices (fetch plan).
+
+        Returns ``None`` when the survivors cannot reconstruct the data.
+        MDS codes take the K lowest indices; non-MDS codes override.
+        """
+        indices = sorted(set(available))
+        if len(indices) < self.k:
+            return None
+        return indices[: self.k]
+
+    def chunk_length(self, data_len: int) -> int:
+        """Size of each of the K+M chunks for a ``data_len``-byte value.
+
+        Matches :func:`split_data`'s padding, so size-only payloads get
+        byte-identical accounting to real encodes.
+        """
+        size = max(1, -(-data_len // self.k))
+        if size % self.chunk_alignment:
+            size += self.chunk_alignment - (size % self.chunk_alignment)
+        return size
+
+    def encode(self, data: bytes) -> ChunkSet:
+        """Encode ``data`` into a :class:`ChunkSet` of K+M chunks."""
+        data_chunks = split_data(data, self.k, self.chunk_alignment)
+        parity_chunks = self._encode_parity(data_chunks)
+        if len(parity_chunks) != self.m:
+            raise ErasureCodingError(
+                "%s produced %d parity chunks, expected %d"
+                % (type(self).__name__, len(parity_chunks), self.m)
+            )
+        chunks = [c.tobytes() for c in data_chunks] + [
+            p.tobytes() for p in parity_chunks
+        ]
+        return ChunkSet(k=self.k, m=self.m, data_len=len(data), chunks=chunks)
+
+    def decode(self, available: Mapping[int, bytes], data_len: int) -> bytes:
+        """Rebuild the original value from surviving chunks.
+
+        ``available`` maps chunk index (0..n-1) to chunk bytes.  MDS codes
+        use the first K entries in index order; non-MDS codes (LRC) pick a
+        linearly independent subset.  Raises :class:`ErasureCodingError`
+        when the survivors cannot reconstruct the data.
+        """
+        if len(available) < self.k:
+            raise ErasureCodingError(
+                "need %d chunks to decode, got %d" % (self.k, len(available))
+            )
+        indices = sorted(available)
+        sizes = {len(available[i]) for i in indices}
+        if len(sizes) != 1:
+            raise ErasureCodingError("chunk sizes differ: %s" % sorted(sizes))
+        if any(i < 0 or i >= self.n for i in indices):
+            raise ErasureCodingError("chunk index out of range 0..%d" % (self.n - 1))
+        arrays = {
+            i: np.frombuffer(available[i], dtype=np.uint8) for i in indices
+        }
+        data_chunks = self._decode_data(arrays)
+        flat = np.concatenate(data_chunks)
+        if data_len > flat.size:
+            raise ErasureCodingError(
+                "data_len %d exceeds decoded payload %d" % (data_len, flat.size)
+            )
+        return flat.tobytes()[:data_len]
+
+    # -- subclass hooks ----------------------------------------------------
+    @abstractmethod
+    def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
+        """Produce the M parity chunks for the given K data chunks."""
+
+    @abstractmethod
+    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
+        """Rebuild the K data chunks from the surviving chunks (>= K)."""

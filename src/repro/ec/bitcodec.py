@@ -1,0 +1,82 @@
+"""Shared machinery for bit-matrix (XOR-only) codecs.
+
+Both Cauchy-RS and the Liberation RAID-6 code encode by XOR-combining
+*packets* according to a binary generator matrix; they differ only in how
+that matrix is constructed.  This base class owns the packetization,
+encode/decode loops, and per-erasure-pattern decode-matrix caching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ec import bitmatrix
+from repro.ec.base import ErasureCodec
+
+
+class BitMatrixCodec(ErasureCodec):
+    """Erasure codec driven by a binary generator matrix.
+
+    Subclasses must set ``word_size`` (packets per chunk) and build
+    ``bit_generator``: an ``(n * w) x (k * w)`` binary matrix whose top
+    ``k * w`` rows are the identity (systematic form).
+    """
+
+    word_size: int = 8
+
+    def __init__(self, k: int, m: int):
+        super().__init__(k, m)
+        self.chunk_alignment = self.word_size
+        self.bit_generator = self._build_bit_generator()
+        expected = ((self.n * self.word_size), (k * self.word_size))
+        if self.bit_generator.shape != expected:
+            raise ValueError(
+                "bit generator shape %s, expected %s"
+                % (self.bit_generator.shape, expected)
+            )
+        self._decode_cache: Dict[tuple, np.ndarray] = {}
+
+    def _build_bit_generator(self) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- coding ------------------------------------------------------------
+    def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
+        w = self.word_size
+        packets: List[np.ndarray] = []
+        for chunk in data_chunks:
+            packets.extend(bitmatrix.chunk_to_packets(chunk, w))
+        parity_rows = self.bit_generator[self.k * w :]
+        parity_packets = bitmatrix.encode_packets(parity_rows, packets)
+        return [
+            bitmatrix.packets_to_chunk(parity_packets[i * w : (i + 1) * w])
+            for i in range(self.m)
+        ]
+
+    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
+        # MDS: any K chunks work, so take the K lowest indices.
+        indices = tuple(sorted(available)[: self.k])
+        w = self.word_size
+        if indices == tuple(range(self.k)):
+            return [available[i] for i in range(self.k)]
+        inverse = self._decode_matrix(indices)
+        packets: List[np.ndarray] = []
+        for idx in indices:
+            packets.extend(bitmatrix.chunk_to_packets(available[idx], w))
+        data_packets = bitmatrix.encode_packets(inverse, packets)
+        return [
+            bitmatrix.packets_to_chunk(data_packets[i * w : (i + 1) * w])
+            for i in range(self.k)
+        ]
+
+    def _decode_matrix(self, indices: tuple) -> np.ndarray:
+        """Inverse of the surviving block-rows, cached per erasure pattern."""
+        cached = self._decode_cache.get(indices)
+        if cached is None:
+            w = self.word_size
+            row_ids = [i * w + b for i in indices for b in range(w)]
+            survivor_rows = self.bit_generator[row_ids]
+            cached = bitmatrix.bitmatrix_invert(survivor_rows)
+            self._decode_cache[indices] = cached
+        return cached

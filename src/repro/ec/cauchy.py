@@ -1,0 +1,33 @@
+"""Cauchy Reed-Solomon (CRS) coding with bit-matrix XOR encoding.
+
+Jerasure's CRS converts a Cauchy generator matrix over GF(2^w) into a
+binary bit matrix and encodes with XORs of packets instead of field
+multiplications.  That trade — more, cheaper operations — is why the
+paper's Figure 4 shows CRS losing to plain RS-Vandermonde at key-value
+sizes (1 KB - 1 MB) but winning at very large objects (~256 MB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec import bitmatrix, matrix
+from repro.ec.bitcodec import BitMatrixCodec
+
+
+class CauchyReedSolomon(BitMatrixCodec):
+    """Systematic CRS(K, M) with ``w = 8`` bit-matrix encoding."""
+
+    name = "crs"
+    word_size = 8
+
+    def _build_bit_generator(self) -> np.ndarray:
+        w = self.word_size
+        eye = np.eye(self.k * w, dtype=np.uint8)
+        if not self.m:
+            return eye
+        # An m x k Cauchy matrix has every square submatrix invertible,
+        # which gives the MDS property after binary expansion.
+        cauchy_rows = matrix.cauchy(self.m, self.k)
+        parity_bits = bitmatrix.matrix_to_bitmatrix(cauchy_rows, w)
+        return np.concatenate([eye, parity_bits], axis=0)

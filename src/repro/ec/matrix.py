@@ -1,0 +1,136 @@
+"""Dense matrix algebra over GF(2^8).
+
+Matrices are small (at most ``(K+M) x K`` with K+M <= 32 in practice), so
+these routines favour clarity over vectorization; the *data* path (chunk
+encode/decode) is vectorized separately in the codecs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ec import gf256
+
+Matrix = List[List[int]]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is singular."""
+
+
+def zeros(rows: int, cols: int) -> Matrix:
+    """An all-zero rows x cols matrix."""
+    return [[0] * cols for _ in range(rows)]
+
+
+def identity(n: int) -> Matrix:
+    """The n x n identity matrix."""
+    eye = zeros(n, n)
+    for i in range(n):
+        eye[i][i] = 1
+    return eye
+
+
+def vandermonde(rows: int, cols: int) -> Matrix:
+    """Classic Vandermonde matrix ``V[i][j] = i ** j`` over GF(2^8).
+
+    Row i is the evaluation point ``i``; with distinct points every
+    ``cols x cols`` submatrix is invertible, which is the MDS property
+    Reed-Solomon relies on.
+    """
+    if rows > gf256.FIELD_SIZE:
+        raise ValueError("at most 256 distinct evaluation points in GF(2^8)")
+    return [[gf256.gf_pow(i, j) for j in range(cols)] for i in range(rows)]
+
+
+def cauchy(rows: int, cols: int) -> Matrix:
+    """Cauchy matrix ``C[i][j] = 1 / (x_i + y_j)`` over GF(2^8).
+
+    Uses ``x_i = i`` and ``y_j = rows + j``; all entries are defined as
+    long as ``rows + cols <= 256``, and every square submatrix of a Cauchy
+    matrix is invertible.
+    """
+    if rows + cols > gf256.FIELD_SIZE:
+        raise ValueError("need rows + cols <= 256 for distinct Cauchy points")
+    out = zeros(rows, cols)
+    for i in range(rows):
+        for j in range(cols):
+            out[i][j] = gf256.gf_inv(i ^ (rows + j))
+    return out
+
+
+def matmul(a: Matrix, b: Matrix) -> Matrix:
+    """Matrix product over GF(2^8)."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if len(a[0]) != inner:
+        raise ValueError("matmul shape mismatch")
+    out = zeros(rows, cols)
+    for i in range(rows):
+        arow = a[i]
+        orow = out[i]
+        for t in range(inner):
+            coef = arow[t]
+            if coef == 0:
+                continue
+            brow = b[t]
+            for j in range(cols):
+                orow[j] ^= gf256.gf_mul(coef, brow[j])
+    return out
+
+
+def submatrix(a: Matrix, row_indices: Sequence[int]) -> Matrix:
+    """Pick the given rows (used to build decode matrices)."""
+    return [list(a[i]) for i in row_indices]
+
+
+def invert(a: Matrix) -> Matrix:
+    """Gauss-Jordan inversion over GF(2^8).
+
+    Raises :class:`SingularMatrixError` when no inverse exists; the codecs
+    rely on this to detect non-MDS constructions early.
+    """
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("invert() requires a square matrix")
+    work = [list(row) for row in a]
+    inv = identity(n)
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise SingularMatrixError("matrix is singular at column %d" % col)
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            inv[col], inv[pivot_row] = inv[pivot_row], inv[col]
+        pivot_inv = gf256.gf_inv(work[col][col])
+        if pivot_inv != 1:
+            work[col] = [gf256.gf_mul(pivot_inv, v) for v in work[col]]
+            inv[col] = [gf256.gf_mul(pivot_inv, v) for v in inv[col]]
+        for r in range(n):
+            if r == col:
+                continue
+            factor = work[r][col]
+            if factor == 0:
+                continue
+            work[r] = [
+                wv ^ gf256.gf_mul(factor, cv) for wv, cv in zip(work[r], work[col])
+            ]
+            inv[r] = [
+                iv ^ gf256.gf_mul(factor, cv) for iv, cv in zip(inv[r], inv[col])
+            ]
+    return inv
+
+
+def systematic_rs_matrix(n: int, k: int) -> Matrix:
+    """Systematic MDS generator matrix from a Vandermonde seed.
+
+    Build the ``n x k`` Vandermonde matrix, then right-multiply by the
+    inverse of its top ``k x k`` block so the top becomes the identity.
+    Row-space transformations preserve the any-k-rows-invertible (MDS)
+    property, and the identity top means data chunks pass through
+    unmodified — exactly how Jerasure's ``RS_Van`` behaves.
+    """
+    if k < 1 or n < k:
+        raise ValueError("need 1 <= k <= n")
+    vand = vandermonde(n, k)
+    top_inv = invert([row[:] for row in vand[:k]])
+    return matmul(vand, top_inv)

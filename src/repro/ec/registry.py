@@ -1,0 +1,67 @@
+"""Name-based codec construction (mirrors picking a code in Jerasure)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.ec.base import ErasureCodec
+from repro.ec.cauchy import CauchyReedSolomon
+from repro.ec.fountain import FountainLT
+from repro.ec.liberation import LiberationRaid6
+from repro.ec.lrc import LocalReconstructionCode
+from repro.ec.reed_solomon import ReedSolomonVandermonde
+
+_CODECS: Dict[str, Type[ErasureCodec]] = {
+    ReedSolomonVandermonde.name: ReedSolomonVandermonde,
+    CauchyReedSolomon.name: CauchyReedSolomon,
+    LiberationRaid6.name: LiberationRaid6,
+    FountainLT.name: FountainLT,
+}
+
+_ALIASES = {
+    "rs": "rs_van",
+    "reed_solomon": "rs_van",
+    "cauchy": "crs",
+    "liberation": "r6_lib",
+    "fountain": "lt",
+}
+
+# Codec instances are stateless after construction, and Liberation runs a
+# backtracking search at build time — cache by (name, k, m).
+_INSTANCE_CACHE: Dict[Tuple[str, int, int], ErasureCodec] = {}
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Canonical names of every registered codec."""
+    return tuple(sorted(_CODECS)) + ("lrc",)
+
+
+def make_codec(name: str, k: int, m: int) -> ErasureCodec:
+    """Build (or fetch a cached) codec by registry name.
+
+    Accepts the canonical names (``rs_van``, ``crs``, ``r6_lib``) plus a
+    few human-friendly aliases.
+    """
+    canonical = _ALIASES.get(name.lower(), name.lower())
+    key = (canonical, k, m)
+    cached = _INSTANCE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if canonical == "lrc":
+        # m is total parities: 2 local groups + (m - 2) global parities.
+        if m < 3:
+            raise ValueError("lrc needs m >= 3 (2 local + >=1 global)")
+        codec = LocalReconstructionCode(
+            k, local_groups=2, global_parities=m - 2
+        )
+        _INSTANCE_CACHE[key] = codec
+        return codec
+    try:
+        cls = _CODECS[canonical]
+    except KeyError:
+        raise KeyError(
+            "unknown codec %r (available: %s)" % (name, ", ".join(available_codecs()))
+        )
+    codec = cls(k, m)
+    _INSTANCE_CACHE[key] = codec
+    return codec

@@ -1,0 +1,108 @@
+"""Command-line experiment runner.
+
+Run any of the paper's experiments by figure id and print its table::
+
+    python -m repro.harness fig8              # Set/Get micro-benchmarks
+    python -m repro.harness fig13 --full      # paper-scale TestDFSIO
+    python -m repro.harness --list
+
+CI-scale parameters are the default (same shapes, minutes not hours);
+``--full`` switches each experiment to the paper's published setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+KIB = 1024
+
+#: per-figure (ci_kwargs, full_kwargs) overrides for the runners.
+_SCALES = {
+    "fig4": ({}, {}),
+    "fig8": ({"num_ops": 200}, {"num_ops": 1000}),
+    "fig9": ({"num_ops": 150}, {"num_ops": 500}),
+    "fig10": ({"scale": 0.04}, {"scale": 1.0}),
+    "fig11": (
+        {
+            "num_clients": 30,
+            "record_count": 8_000,
+            "ops_per_client": 120,
+            "value_sizes": (4 * KIB, 32 * KIB),
+        },
+        {},
+    ),
+    "fig12": (
+        {
+            "num_clients": 30,
+            "record_count": 8_000,
+            "ops_per_client": 120,
+            "value_sizes": (4 * KIB, 32 * KIB),
+        },
+        {},
+    ),
+    "fig13": (
+        {"scale": 0.05, "data_sizes_gb": (10.0, 40.0)},
+        {"scale": 1.0},
+    ),
+}
+
+
+def _rows_to_table(rows) -> str:
+    fields = [f.name for f in dataclasses.fields(rows[0])]
+    return format_table(
+        fields,
+        [[getattr(row, name) for name in fields] for row in rows],
+    )
+
+
+def main(argv=None) -> int:
+    """Entry point: parse arguments, run the experiment, print its table."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate a figure from the ICDCS'17 paper.",
+    )
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        help="experiment id (one of: %s)" % ", ".join(sorted(_SCALES)),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full-scale parameters (slow)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        for name, runner in sorted(experiments.EXPERIMENTS.items()):
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print("%-7s %s" % (name, doc))
+        return 0
+
+    figure = args.figure.lower()
+    if figure not in experiments.EXPERIMENTS:
+        parser.error(
+            "unknown experiment %r (use --list to see choices)" % args.figure
+        )
+    runner = experiments.EXPERIMENTS[figure]
+    ci_kwargs, full_kwargs = _SCALES[figure]
+    kwargs = full_kwargs if args.full else ci_kwargs
+    print(
+        "Running %s (%s scale) ..." % (figure, "full" if args.full else "CI"),
+        file=sys.stderr,
+    )
+    rows = runner(**kwargs)
+    print(_rows_to_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,456 @@
+"""Per-figure experiment runners (see DESIGN.md's experiment index).
+
+Every runner is deterministic and returns plain result rows; the benchmark
+suite under ``benchmarks/`` executes them and prints paper-style tables.
+``scale=1.0`` reproduces the paper's full parameters; the default bench
+scale shrinks counts (not sizes) to keep wall-clock reasonable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.boldio.burstbuffer import BoldioSystem
+from repro.boldio.dfsio import run_dfsio_boldio, run_dfsio_lustre
+from repro.boldio.lustre import LustreFS
+from repro.core.cluster import build_cluster
+from repro.ec.cost_model import CodingCostModel
+from repro.network.fabric import Fabric
+from repro.network.profiles import profile_by_name
+from repro.simulation import Simulator
+from repro.workloads.keys import KeyValueSource
+from repro.workloads.microbench import (
+    load_keys,
+    run_get_benchmark,
+    run_memory_pressure,
+    run_set_benchmark,
+)
+from repro.workloads.ycsb import WORKLOAD_A, WORKLOAD_B, YCSBSpec, run_ycsb
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+#: Figure 8 value-size sweep (512 B - 1 MB, Section VI-B).
+MICRO_SIZES = (512, 4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, MIB)
+
+#: The resilient configurations of Figure 8 (all tolerate 2 failures).
+MICRO_SCHEMES = ("sync-rep", "async-rep", "era-ce-cd", "era-se-cd", "era-se-sd")
+
+#: ARPE send window used by the OHB-style benches (double-buffered x2).
+MICRO_WINDOW = 4
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: Jerasure encode/decode study
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CodingTimeRow:
+    scheme: str
+    value_size: int
+    encode_us: float
+    decode1_us: float  # one node failure
+    decode2_us: float  # two node failures
+
+
+def fig4_jerasure(
+    sizes: Sequence[int] = MICRO_SIZES,
+    k: int = 3,
+    m: int = 2,
+    cpu_speed_factor: float = 1.0,
+) -> List[CodingTimeRow]:
+    """Figure 4: stand-alone coding times for RS_Van, CRS, R6-Lib."""
+    model = CodingCostModel(cpu_speed_factor=cpu_speed_factor)
+    rows = []
+    for scheme in ("rs_van", "crs", "r6_lib"):
+        for size in sizes:
+            rows.append(
+                CodingTimeRow(
+                    scheme=scheme,
+                    value_size=size,
+                    encode_us=model.encode_time(scheme, size, k, m) * 1e6,
+                    decode1_us=model.decode_time(scheme, size, k, m, 1) * 1e6,
+                    decode2_us=model.decode_time(scheme, size, k, m, 2) * 1e6,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: Set/Get latency micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MicroLatencyRow:
+    scheme: str
+    op: str
+    value_size: int
+    failures: int
+    avg_latency_us: float
+    p99_latency_us: float
+
+
+def _fresh_cluster(scheme: str, profile: str = "ri-qdr"):
+    return build_cluster(
+        profile=profile, scheme=scheme, servers=5, memory_per_server=20 * GIB
+    )
+
+
+def fig8_microbench(
+    sizes: Sequence[int] = MICRO_SIZES,
+    schemes: Sequence[str] = MICRO_SCHEMES,
+    num_ops: int = 1000,
+    failed_servers: int = 0,
+    ops_kind: str = "both",
+) -> List[MicroLatencyRow]:
+    """Figures 8(a)-(c): OHB latency on RI-QDR, 5 servers, RS(3,2)/Rep=3.
+
+    ``failed_servers=2`` reproduces Figure 8(c): the last two placement
+    servers crash after the load phase, forcing degraded reads.  Degraded
+    runs use window=1 (per-op recovery latency); others use the default
+    ARPE window.
+    """
+    rows: List[MicroLatencyRow] = []
+    window = 1 if failed_servers else MICRO_WINDOW
+    for scheme in schemes:
+        blocking = scheme == "sync-rep"
+        for size in sizes:
+            if ops_kind in ("both", "set") and not failed_servers:
+                cluster = _fresh_cluster(scheme)
+                client = cluster.add_client(window=window)
+                result = run_set_benchmark(
+                    cluster, client, num_ops=num_ops, value_size=size,
+                    blocking=blocking,
+                )
+                rows.append(
+                    MicroLatencyRow(
+                        scheme=scheme,
+                        op="set",
+                        value_size=size,
+                        failures=0,
+                        avg_latency_us=result.avg_latency * 1e6,
+                        p99_latency_us=result.service.p99 * 1e6,
+                    )
+                )
+            if ops_kind in ("both", "get"):
+                cluster = _fresh_cluster(scheme)
+                client = cluster.add_client(window=window)
+                source = KeyValueSource()
+                load_keys(cluster, client, num_ops, size, source)
+                if failed_servers:
+                    victims = ["server-%d" % (4 - i) for i in range(failed_servers)]
+                    cluster.fail_servers(victims)
+                result = run_get_benchmark(
+                    cluster, client, num_ops=num_ops, value_size=size,
+                    blocking=blocking, preload=False, source=source,
+                )
+                rows.append(
+                    MicroLatencyRow(
+                        scheme=scheme,
+                        op="get",
+                        value_size=size,
+                        failures=failed_servers,
+                        avg_latency_us=result.avg_latency * 1e6,
+                        p99_latency_us=result.service.p99 * 1e6,
+                    )
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: time-wise breakdown
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BreakdownRow:
+    scheme: str
+    op: str
+    value_size: int
+    request_us: float
+    wait_us: float
+    encode_us: float
+    decode_us: float
+
+
+def fig9_breakdown(
+    sizes: Sequence[int] = (64 * KIB, 256 * KIB, MIB),
+    schemes: Sequence[str] = ("async-rep", "era-ce-cd", "era-se-cd", "era-se-sd"),
+    num_ops: int = 500,
+) -> List[BreakdownRow]:
+    """Figure 9: client-side phase breakdown for Set (no failures) and Get
+    (two node failures), value sizes 64 KB - 1 MB."""
+    rows: List[BreakdownRow] = []
+    for scheme in schemes:
+        for size in sizes:
+            cluster = _fresh_cluster(scheme)
+            client = cluster.add_client(window=MICRO_WINDOW)
+            result = run_set_benchmark(
+                cluster, client, num_ops=num_ops, value_size=size
+            )
+            rows.append(
+                BreakdownRow(
+                    scheme=scheme,
+                    op="set",
+                    value_size=size,
+                    request_us=result.breakdown.request * 1e6,
+                    wait_us=result.breakdown.wait * 1e6,
+                    encode_us=result.breakdown.encode * 1e6,
+                    decode_us=result.breakdown.decode * 1e6,
+                )
+            )
+
+            cluster = _fresh_cluster(scheme)
+            client = cluster.add_client(window=1)
+            source = KeyValueSource()
+            load_keys(cluster, client, num_ops, size, source)
+            cluster.fail_servers(["server-4", "server-3"])
+            result = run_get_benchmark(
+                cluster, client, num_ops=num_ops, value_size=size,
+                preload=False, source=source,
+            )
+            rows.append(
+                BreakdownRow(
+                    scheme=scheme,
+                    op="get",
+                    value_size=size,
+                    request_us=result.breakdown.request * 1e6,
+                    wait_us=result.breakdown.wait * 1e6,
+                    encode_us=result.breakdown.encode * 1e6,
+                    decode_us=result.breakdown.decode * 1e6,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: memory efficiency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemoryRow:
+    scheme: str
+    num_clients: int
+    memory_utilization: float
+    lost_bytes: int
+
+
+def fig10_memory(
+    client_counts: Sequence[int] = (1, 8, 16, 24, 32, 40),
+    scale: float = 0.05,
+    schemes: Sequence[str] = ("async-rep", "era-ce-cd"),
+) -> List[MemoryRow]:
+    """Figure 10: % of aggregated memory used as writers scale to 40.
+
+    Each client writes 1K x 1 MB values into 5 x 20 GB servers.  ``scale``
+    shrinks both the per-client op count and the server memory by the same
+    factor, preserving exactly where replication saturates (>33 clients)
+    while erasure coding stays at ~56%.
+    """
+    ops = max(1, int(1000 * scale))
+    memory = max(64 * MIB, int(20 * GIB * scale))
+    rows: List[MemoryRow] = []
+    for scheme in schemes:
+        for count in client_counts:
+            cluster = build_cluster(
+                profile="ri-qdr", scheme=scheme, servers=5,
+                memory_per_server=memory,
+            )
+            result = run_memory_pressure(
+                cluster, num_clients=count, ops_per_client=ops,
+                value_size=MIB,
+            )
+            rows.append(
+                MemoryRow(
+                    scheme=scheme,
+                    num_clients=count,
+                    memory_utilization=result.memory_utilization,
+                    lost_bytes=result.lost_bytes,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 11 & 12: YCSB latency and throughput
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class YCSBRow:
+    profile: str
+    workload: str
+    scheme: str
+    value_size: int
+    throughput_ops: float
+    read_mean_us: float
+    write_mean_us: float
+
+
+YCSB_SCHEMES = ("no-rep-ipoib", "no-rep", "async-rep", "era-ce-cd", "era-se-cd")
+
+
+def _ycsb_cluster(scheme: str, profile: str):
+    if scheme == "no-rep-ipoib":
+        return build_cluster(
+            profile=profile + "-ipoib", scheme="no-rep", servers=5,
+            memory_per_server=64 * GIB,
+        )
+    return build_cluster(
+        profile=profile, scheme=scheme, servers=5, memory_per_server=64 * GIB
+    )
+
+
+def fig11_12_ycsb(
+    profile: str = "sdsc-comet",
+    workloads: Sequence[YCSBSpec] = (WORKLOAD_A, WORKLOAD_B),
+    value_sizes: Sequence[int] = (1 * KIB, 4 * KIB, 16 * KIB, 32 * KIB),
+    schemes: Sequence[str] = YCSB_SCHEMES,
+    num_clients: int = 150,
+    client_hosts: int = 10,
+    record_count: int = 250_000,
+    ops_per_client: int = 2_500,
+) -> List[YCSBRow]:
+    """Figures 11 and 12: YCSB A/B latency and throughput sweeps.
+
+    One run yields both the latency series (Fig. 11) and the throughput
+    series (Fig. 12) for its configuration.
+    """
+    rows: List[YCSBRow] = []
+    for spec_base in workloads:
+        for size in value_sizes:
+            spec = YCSBSpec(
+                spec_base.name,
+                spec_base.read_proportion,
+                spec_base.update_proportion,
+                record_count=record_count,
+                ops_per_client=ops_per_client,
+                value_size=size,
+            )
+            for scheme in schemes:
+                cluster = _ycsb_cluster(scheme, profile)
+                result = run_ycsb(
+                    cluster, spec, num_clients=num_clients,
+                    client_hosts=client_hosts,
+                )
+                rows.append(
+                    YCSBRow(
+                        profile=profile,
+                        workload=spec.name,
+                        scheme=scheme,
+                        value_size=size,
+                        throughput_ops=result.throughput,
+                        read_mean_us=(
+                            result.read_latency.mean * 1e6
+                            if result.read_latency
+                            else 0.0
+                        ),
+                        write_mean_us=(
+                            result.write_latency.mean * 1e6
+                            if result.write_latency
+                            else 0.0
+                        ),
+                    )
+                )
+    return rows
+
+
+def fig11_ycsb_latency(**kwargs) -> List[YCSBRow]:
+    """Figure 11 alias (latency columns of the combined YCSB run)."""
+    return fig11_12_ycsb(**kwargs)
+
+
+def fig12_ycsb_throughput(**kwargs) -> List[YCSBRow]:
+    """Figure 12 alias (throughput column of the combined YCSB run)."""
+    return fig11_12_ycsb(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: TestDFSIO over Boldio and Lustre
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DFSIORow:
+    backend: str
+    mode: str
+    total_gb: float
+    throughput_mib: float
+
+
+def fig13_boldio(
+    data_sizes_gb: Sequence[float] = (10.0, 20.0, 30.0, 40.0),
+    scale: float = 1.0,
+    schemes: Sequence[str] = ("async-rep", "era-ce-cd", "era-se-cd"),
+    include_lustre_direct: bool = True,
+) -> List[DFSIORow]:
+    """Figure 13: TestDFSIO write/read throughput, 10-40 GB jobs.
+
+    Boldio: 8 DataNodes x 4 maps over a 5-server burst buffer (24 GB
+    each); Lustre-Direct: 12 DataNodes x 4 maps straight to the OSTs.
+    ``scale`` multiplies the job bytes (and buffer memory) to trade
+    fidelity for wall-clock.
+    """
+    rows: List[DFSIORow] = []
+    for total_gb in data_sizes_gb:
+        total_bytes = int(total_gb * scale * GIB)
+        boldio_maps = 8 * 4
+        file_size = max(MIB, total_bytes // boldio_maps)
+        memory = max(64 * MIB, int(24 * GIB * scale))
+        for scheme in schemes:
+            cluster = build_cluster(
+                profile="ri-qdr", scheme=scheme, servers=5,
+                memory_per_server=memory,
+            )
+            lustre = LustreFS(cluster.sim, cluster.fabric)
+            system = BoldioSystem(cluster, lustre)
+            write = run_dfsio_boldio(system, mode="write", file_size=file_size)
+            read = run_dfsio_boldio(system, mode="read", file_size=file_size)
+            for result in (write, read):
+                rows.append(
+                    DFSIORow(
+                        backend=result.backend,
+                        mode=result.mode,
+                        total_gb=total_gb,
+                        throughput_mib=result.throughput_mib,
+                    )
+                )
+        if include_lustre_direct:
+            sim = Simulator()
+            fabric = Fabric(sim, profile_by_name("ri-qdr"))
+            lustre = LustreFS(sim, fabric)
+            direct_maps = 12 * 4
+            direct_file = max(MIB, total_bytes // direct_maps)
+            write = run_dfsio_lustre(
+                sim, fabric, lustre, mode="write", file_size=direct_file
+            )
+            read = run_dfsio_lustre(
+                sim, fabric, lustre, mode="read", file_size=direct_file
+            )
+            for result in (write, read):
+                rows.append(
+                    DFSIORow(
+                        backend=result.backend,
+                        mode=result.mode,
+                        total_gb=total_gb,
+                        throughput_mib=result.throughput_mib,
+                    )
+                )
+    return rows
+
+
+#: experiment id -> runner, for discovery by tools and docs.
+EXPERIMENTS: Dict[str, object] = {
+    "fig4": fig4_jerasure,
+    "fig8": fig8_microbench,
+    "fig9": fig9_breakdown,
+    "fig10": fig10_memory,
+    "fig11": fig11_ycsb_latency,
+    "fig12": fig12_ycsb_throughput,
+    "fig13": fig13_boldio,
+}

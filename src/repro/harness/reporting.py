@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4g" % value
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table (paper-style results listing)."""
+    cells: List[List[str]] = [[_fmt(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    out_lines = []
+    for line_index, line in enumerate(cells):
+        out_lines.append(
+            "  ".join(text.rjust(width) for text, width in zip(line, widths))
+        )
+        if line_index == 0:
+            out_lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(out_lines)
+
+
+def microseconds(seconds: float) -> float:
+    """Seconds -> microseconds."""
+    return seconds * 1e6
+
+
+def mib_per_second(bytes_per_second: float) -> float:
+    """Bytes/s -> MiB/s."""
+    return bytes_per_second / (1024 * 1024)

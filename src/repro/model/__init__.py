@@ -1,0 +1,25 @@
+"""Analytical latency models from Section III of the paper."""
+
+from repro.model.latency import (
+    LatencyModel,
+    era_get_ideal,
+    era_get_latency,
+    era_set_ideal,
+    era_set_latency,
+    rep_get_latency,
+    rep_set_ideal,
+    rep_set_latency,
+    t_comm,
+)
+
+__all__ = [
+    "LatencyModel",
+    "era_get_ideal",
+    "era_get_latency",
+    "era_set_ideal",
+    "era_set_latency",
+    "rep_get_latency",
+    "rep_set_ideal",
+    "rep_set_latency",
+    "t_comm",
+]

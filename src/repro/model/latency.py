@@ -1,0 +1,198 @@
+"""The paper's analytical latency models (Section III, Equations 1-8).
+
+These closed-form expressions are what motivated the design: they identify
+the *Response-Wait* term ``L + D/B`` as the dominant cost, show where
+replication multiplies it (Eq. 2) and erasure coding shrinks it (Eq. 3),
+and define the ideal overlapped targets (Eqs. 6-8) the RDMA/ARPE designs
+aim for.  The test suite and the model-validation bench compare these
+predictions against the simulator's measured latencies.
+
+Conventions: ``D`` bytes, ``L`` seconds one-way latency, ``B`` bytes/sec,
+``F`` replication factor, RS(K, M) with ``N = K + M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ec.cost_model import CodingCostModel
+from repro.network.profiles import ClusterProfile
+
+
+def t_comm(d: int, latency: float, bandwidth: float) -> float:
+    """Equation 1: ``T_comm(D) = L + D/B``."""
+    return latency + d / bandwidth
+
+
+def rep_set_latency(d: int, latency: float, bandwidth: float, f: int) -> float:
+    """Equation 2: synchronous replication Set, ``F * (L + D/B)``."""
+    return f * t_comm(d, latency, bandwidth)
+
+
+def rep_set_ideal(d: int, latency: float, bandwidth: float, f: int) -> float:
+    """Equation 6: ideal overlapped replication Set.
+
+    The paper writes ``max_{i=1..F}(L + D/B)``; with one client NIC the
+    bandwidth term still serializes, so the physically achievable ideal is
+    one latency plus F transfers' worth of bytes.
+    """
+    return latency + f * d / bandwidth
+
+
+def rep_get_latency(
+    d: int, latency: float, bandwidth: float, t_check: float = 0.0
+) -> float:
+    """Equation 4: replication Get, ``T_check + L + D/B``."""
+    return t_check + t_comm(d, latency, bandwidth)
+
+
+def era_set_latency(
+    d: int,
+    latency: float,
+    bandwidth: float,
+    k: int,
+    m: int,
+    t_encode: float,
+) -> float:
+    """Equation 3: sequential erasure-coded Set.
+
+    ``T_encode(D) + N * (L + D/(B*K))`` — every one of the N chunk writes
+    pays its own Response-Wait.
+    """
+    n = k + m
+    return t_encode + n * t_comm(d // k, latency, bandwidth)
+
+
+def era_set_ideal(
+    d: int,
+    latency: float,
+    bandwidth: float,
+    k: int,
+    m: int,
+    t_encode: float,
+) -> float:
+    """Equation 7: overlapped erasure-coded Set.
+
+    ``T_encode + max_i(L + D/(B*K))`` per the paper; with a single client
+    NIC the N chunks still share egress bandwidth, so the achievable ideal
+    carries ``N/K * D`` bytes after one latency.
+    """
+    n = k + m
+    return t_encode + latency + (n * d) / (k * bandwidth)
+
+
+def era_get_latency(
+    d: int,
+    latency: float,
+    bandwidth: float,
+    k: int,
+    t_decode: float,
+) -> float:
+    """Equation 5: sequential erasure-coded Get.
+
+    ``T_decode(D) + K * (L + D/(B*K))``.
+    """
+    return t_decode + k * t_comm(d // k, latency, bandwidth)
+
+
+def era_get_ideal(
+    d: int,
+    latency: float,
+    bandwidth: float,
+    k: int,
+    t_decode: float,
+) -> float:
+    """Equation 8: overlapped erasure-coded Get.
+
+    ``T_decode + max_i(L + D/(B*K))``; the K chunk reads converge on one
+    client NIC, so the data term is ``D/B`` total with a single latency.
+    """
+    return t_decode + latency + d / bandwidth
+
+
+@dataclass
+class LatencyModel:
+    """Profile-bound convenience wrapper over the closed-form equations."""
+
+    profile: ClusterProfile
+    cost_model: Optional[CodingCostModel] = None
+    codec_name: str = "rs_van"
+
+    def __post_init__(self):
+        if self.cost_model is None:
+            self.cost_model = CodingCostModel(
+                cpu_speed_factor=self.profile.cpu_speed_factor
+            )
+
+    # -- replication ---------------------------------------------------------
+    def sync_rep_set(self, d: int, f: int) -> float:
+        return rep_set_latency(d, self.profile.link_latency, self.profile.bandwidth, f)
+
+    def async_rep_set(self, d: int, f: int) -> float:
+        return rep_set_ideal(d, self.profile.link_latency, self.profile.bandwidth, f)
+
+    def rep_get(self, d: int, t_check: float = 0.0) -> float:
+        return rep_get_latency(
+            d, self.profile.link_latency, self.profile.bandwidth, t_check
+        )
+
+    # -- erasure coding --------------------------------------------------------
+    def _t_encode(self, d: int, k: int, m: int) -> float:
+        return self.cost_model.encode_time(self.codec_name, d, k, m)
+
+    def _t_decode(self, d: int, k: int, m: int, erased: int) -> float:
+        return self.cost_model.decode_time(self.codec_name, d, k, m, erased)
+
+    def era_set(self, d: int, k: int, m: int) -> float:
+        return era_set_latency(
+            d,
+            self.profile.link_latency,
+            self.profile.bandwidth,
+            k,
+            m,
+            self._t_encode(d, k, m),
+        )
+
+    def era_set_overlapped(self, d: int, k: int, m: int) -> float:
+        return era_set_ideal(
+            d,
+            self.profile.link_latency,
+            self.profile.bandwidth,
+            k,
+            m,
+            self._t_encode(d, k, m),
+        )
+
+    def era_get(self, d: int, k: int, m: int, erased: int = 0) -> float:
+        return era_get_latency(
+            d,
+            self.profile.link_latency,
+            self.profile.bandwidth,
+            k,
+            self._t_decode(d, k, m, erased),
+        )
+
+    def era_get_overlapped(self, d: int, k: int, m: int, erased: int = 0) -> float:
+        return era_get_ideal(
+            d,
+            self.profile.link_latency,
+            self.profile.bandwidth,
+            k,
+            self._t_decode(d, k, m, erased),
+        )
+
+    # -- derived quantities ---------------------------------------------------
+    def replication_storage_overhead(self, f: int) -> float:
+        """Bytes stored per byte of data: ``F`` (Section II-A)."""
+        return float(f)
+
+    def erasure_storage_overhead(self, k: int, m: int) -> float:
+        """Bytes stored per byte of data: ``N/K`` (Section I-A)."""
+        return (k + m) / k
+
+    def storage_efficiency_gain(self, f: int, k: int, m: int) -> float:
+        """How much more data fits with RS(K, M) than F-way replication."""
+        return self.replication_storage_overhead(f) / self.erasure_storage_overhead(
+            k, m
+        )

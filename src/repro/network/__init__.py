@@ -1,0 +1,30 @@
+"""RDMA interconnect model.
+
+Simulates the communication substrate the paper runs on: InfiniBand
+QDR/FDR/EDR fabrics with eager/rendezvous messaging protocols (16 KB
+switchover, matching RDMA-Memcached), one-sided RDMA reads/writes that
+bypass the remote CPU, and an IPoIB (TCP over IB) profile for the
+``Memc-IPoIB`` baselines.  Per-NIC egress/ingress serialization means
+bandwidth contention and overlap *emerge* from the simulation rather than
+being assumed.
+"""
+
+from repro.network.fabric import Endpoint, Fabric, Message
+from repro.network.profiles import (
+    ClusterProfile,
+    RI2_EDR,
+    RI_QDR,
+    SDSC_COMET,
+    profile_by_name,
+)
+
+__all__ = [
+    "ClusterProfile",
+    "Endpoint",
+    "Fabric",
+    "Message",
+    "RI2_EDR",
+    "RI_QDR",
+    "SDSC_COMET",
+    "profile_by_name",
+]

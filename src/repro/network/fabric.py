@@ -1,0 +1,315 @@
+"""The interconnect fabric: endpoints, links, and messaging protocols.
+
+Timing model
+------------
+
+Every NIC has an egress and an ingress link with finite bandwidth.  A
+transfer reserves both for ``size / bandwidth`` (reservations are made in
+call order on a deterministic timeline, so concurrent transfers serialize
+FIFO on whichever side is the bottleneck) and then takes one
+``link_latency`` of propagation.  On top of the wire time, the messaging
+protocol adds software costs:
+
+- **eager** (size <= profile.eager_threshold): one software overhead, one
+  wire transfer — small messages go out immediately with the data inline.
+- **rendezvous** (larger): RTS and CTS control messages (a full round
+  trip) before the payload moves via RDMA — matching the RDMA-Memcached
+  behaviour the paper analyses (16 KB switchover, Section VI-C).
+- **one-sided RDMA read/write**: posting overhead plus wire time; the
+  remote CPU is never involved, which the server model exploits for
+  RDMA-based Gets.
+
+Functional model
+----------------
+
+Payloads are real Python objects (the KV layers ship actual bytes), so
+data integrity is end-to-end testable.  Failed endpoints refuse traffic:
+sends to a dead node fail after a detection delay, mirroring a reliable
+connection (RC) queue pair transitioning to the error state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.network.profiles import ClusterProfile
+from repro.simulation import Event, Simulator, Store
+
+
+class NetworkError(Exception):
+    """Base class for fabric-level failures."""
+
+
+class NodeUnreachableError(NetworkError):
+    """The destination endpoint is marked failed (QP went to error state)."""
+
+    def __init__(self, node: str):
+        super().__init__("node %s is unreachable" % node)
+        self.node = node
+
+
+#: Delay before a sender learns its peer is dead (RC transport error).
+FAILURE_DETECT_DELAY = 20e-6
+
+
+@dataclass
+class Message:
+    """A delivered unit of communication."""
+
+    src: str
+    dst: str
+    size: int
+    payload: Any = None
+    tag: str = ""
+    one_sided: bool = False
+    seq: int = 0
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class Link:
+    """A half-duplex bandwidth pipe with FIFO timeline reservation."""
+
+    def __init__(self, sim: Simulator, bandwidth: float):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+
+    def earliest_start(self) -> float:
+        """When the next transfer could begin on this link."""
+        return max(self.sim.now, self.busy_until)
+
+
+def _reserve_pair(egress: Link, ingress: Link, nbytes: int) -> float:
+    """Reserve both sides of a transfer; returns the completion *delay*.
+
+    Each link serializes its own transfers independently (a NIC pipelines
+    sends back-to-back; switch buffering decouples the two ends), and the
+    transfer completes when the *later* side finishes its window.  This
+    makes incast (many clients hitting one server) and fan-out (one client
+    writing N chunks) contention emerge naturally without head-of-line
+    coupling between unrelated flows.
+    """
+    sim = egress.sim
+    e_end = egress.earliest_start() + nbytes / egress.bandwidth
+    i_end = ingress.earliest_start() + nbytes / ingress.bandwidth
+    egress.busy_until = e_end
+    ingress.busy_until = i_end
+    egress.bytes_carried += nbytes
+    ingress.bytes_carried += nbytes
+    return max(e_end, i_end) - sim.now
+
+
+class Endpoint:
+    """One node's attachment to the fabric: links, inbox, liveness.
+
+    Several endpoints may share one physical NIC (``shared_links``) — the
+    paper deploys 15 YCSB clients per compute node, all contending for
+    that node's HCA.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: ClusterProfile,
+        shared_links: Optional[tuple] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        if shared_links is not None:
+            self.egress, self.ingress = shared_links
+        else:
+            self.egress = Link(sim, profile.bandwidth)
+            self.ingress = Link(sim, profile.bandwidth)
+        self.inbox: Store = Store(sim)
+        self.alive = True
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def fail(self) -> None:
+        """Mark the node dead: no traffic in or out from this instant."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the node back online."""
+        self.alive = True
+
+
+class Fabric:
+    """A full-bisection fabric connecting all endpoints of a cluster."""
+
+    def __init__(self, sim: Simulator, profile: ClusterProfile):
+        self.sim = sim
+        self.profile = profile
+        self.endpoints: Dict[str, Endpoint] = {}
+        self._hosts: Dict[str, tuple] = {}
+        self._seq = itertools.count(1)
+
+    def add_node(self, name: str, host: Optional[str] = None) -> Endpoint:
+        """Attach an endpoint.
+
+        ``host`` names a physical machine: all endpoints with the same
+        host share one NIC (egress/ingress link pair), modelling several
+        client processes on one compute node.
+        """
+        if name in self.endpoints:
+            raise ValueError("duplicate node name %r" % name)
+        shared = None
+        if host is not None:
+            if host not in self._hosts:
+                self._hosts[host] = (
+                    Link(self.sim, self.profile.bandwidth),
+                    Link(self.sim, self.profile.bandwidth),
+                )
+            shared = self._hosts[host]
+        endpoint = Endpoint(self.sim, name, self.profile, shared_links=shared)
+        self.endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up an endpoint by node name."""
+        return self.endpoints[name]
+
+    # -- protocol timing ---------------------------------------------------
+    def _control_trip(self) -> float:
+        """One control message (RTS/CTS/ACK): latency + negligible wire."""
+        p = self.profile
+        return p.link_latency + p.control_message_size / p.bandwidth
+
+    def _software_overhead(self, size: int) -> float:
+        p = self.profile
+        if p.is_rdma and size > p.eager_threshold:
+            # Rendezvous: RTS/CTS round trip before the payload moves.
+            return p.rendezvous_overhead + 2 * self._control_trip()
+        return p.eager_overhead
+
+    # -- operations ----------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        payload: Any = None,
+        tag: str = "",
+        one_sided: bool = False,
+    ) -> Event:
+        """Two-sided message: delivered into ``dst``'s inbox.
+
+        Returns an event that fires (with the :class:`Message`) at delivery
+        time, or fails with :class:`NodeUnreachableError` after the
+        detection delay when either end is dead.
+        """
+        sender = self.endpoints[src]
+        receiver = self.endpoints[dst]
+        done = self.sim.event()
+
+        if not sender.alive or not receiver.alive:
+            dead = dst if not receiver.alive else src
+            done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
+            return done
+
+        message = Message(
+            src=src,
+            dst=dst,
+            size=size,
+            payload=payload,
+            tag=tag,
+            one_sided=one_sided,
+            seq=next(self._seq),
+            sent_at=self.sim.now,
+        )
+        overhead = self._software_overhead(size)
+        wire_delay = _reserve_pair(sender.egress, receiver.ingress, size)
+        total = overhead + wire_delay + self.profile.link_latency
+        sender.messages_sent += 1
+        sender.bytes_sent += size
+
+        def _deliver(_event: Event) -> None:
+            # A node that died in flight never sees the message land.
+            if not receiver.alive:
+                done.fail(NodeUnreachableError(dst))
+                done.defuse()
+                return
+            message.delivered_at = self.sim.now
+            receiver.messages_received += 1
+            receiver.bytes_received += size
+            receiver.inbox.put(message)
+            done.succeed(message)
+
+        self.sim.timeout(total).callbacks.append(_deliver)
+        return done
+
+    def rdma_write(self, src: str, dst: str, size: int) -> Event:
+        """One-sided RDMA write: remote CPU uninvolved; pure timing.
+
+        Completes at the *sender* when the data is placed in remote
+        memory: post overhead + wire + one latency.
+        """
+        return self._one_sided(src, dst, size, round_trips=0)
+
+    def rdma_read(self, src: str, dst: str, size: int) -> Event:
+        """One-sided RDMA read: request goes out, data comes back.
+
+        Completes after a request latency plus the data transfer on the
+        *return* path (dst egress -> src ingress).
+        """
+        reader = self.endpoints[src]
+        target = self.endpoints[dst]
+        done = self.sim.event()
+        if not reader.alive or not target.alive:
+            dead = dst if not target.alive else src
+            done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
+            return done
+        p = self.profile
+        wire_delay = _reserve_pair(target.egress, reader.ingress, size)
+        total = p.rdma_post_overhead + p.link_latency + wire_delay + p.link_latency
+        target.bytes_sent += size
+        reader.bytes_received += size
+
+        def _complete(_event: Event) -> None:
+            if not target.alive:
+                done.fail(NodeUnreachableError(dst))
+                done.defuse()
+                return
+            done.succeed(size)
+
+        self.sim.timeout(total).callbacks.append(_complete)
+        return done
+
+    def _one_sided(self, src: str, dst: str, size: int, round_trips: int) -> Event:
+        sender = self.endpoints[src]
+        receiver = self.endpoints[dst]
+        done = self.sim.event()
+        if not sender.alive or not receiver.alive:
+            dead = dst if not receiver.alive else src
+            done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
+            return done
+        p = self.profile
+        wire_delay = _reserve_pair(sender.egress, receiver.ingress, size)
+        total = (
+            p.rdma_post_overhead
+            + wire_delay
+            + p.link_latency
+            + round_trips * 2 * p.link_latency
+        )
+        sender.bytes_sent += size
+        receiver.bytes_received += size
+
+        def _complete(_event: Event) -> None:
+            if not receiver.alive:
+                done.fail(NodeUnreachableError(dst))
+                done.defuse()
+                return
+            done.succeed(size)
+
+        self.sim.timeout(total).callbacks.append(_complete)
+        return done

@@ -1,0 +1,104 @@
+"""Cluster hardware profiles for the paper's three testbeds.
+
+Numbers are derived from the hardware named in Section VI-A and typical
+published MPI-level measurements for those interconnect generations:
+
+- **RI-QDR**: Mellanox QDR (32 Gb/s signalling, ~3.4 GB/s effective),
+  2.53 GHz Westmere (8 cores/node) — the micro-benchmark and Boldio
+  cluster; CPU factor 1.0 is the Jerasure calibration point (Figure 4).
+- **SDSC-Comet**: FDR (56 Gb/s, ~6.0 GB/s), dual 12-core Haswell.
+- **RI2-EDR**: EDR (100 Gb/s, ~11.0 GB/s), dual 14-core Broadwell —
+  the paper attributes the larger YCSB gains on this cluster to the
+  faster CPUs and EDR bandwidth.
+
+Every profile also derives an IPoIB variant (TCP over IB) used by the
+``Memc-IPoIB-NoRep`` baseline: an order of magnitude higher latency, a
+fraction of the raw bandwidth, and per-message receive CPU work because
+the kernel network stack is back in the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Hardware/timing parameters consumed by the fabric and server models."""
+
+    name: str
+    link_latency: float  # one-way wire+switch propagation, seconds
+    bandwidth: float  # effective per-NIC bandwidth, bytes/second
+    cpu_speed_factor: float  # coding speed relative to RI-QDR Westmere
+    cores_per_node: int
+    eager_threshold: int = 16 * KIB  # RDMA-Memcached eager/rendezvous switch
+    eager_overhead: float = 0.6e-6  # software send/recv path, eager protocol
+    rendezvous_overhead: float = 1.5e-6  # RTS/CTS software processing
+    control_message_size: int = 64  # RTS/CTS/ACK wire size, bytes
+    rdma_post_overhead: float = 0.3e-6  # posting a verb to the NIC
+    is_rdma: bool = True
+    recv_cpu_per_message: float = 0.0  # host CPU time per received message
+    recv_cpu_per_byte: float = 0.0  # host CPU time per received byte
+
+    def to_ipoib(self) -> "ClusterProfile":
+        """The same cluster accessed through TCP/IP over InfiniBand.
+
+        IPoIB forfeits kernel bypass: latency jumps to tens of
+        microseconds, effective bandwidth drops well below line rate, and
+        every message consumes receiver CPU (socket + interrupt path).
+        """
+        return replace(
+            self,
+            name=self.name + "-ipoib",
+            link_latency=max(25e-6, self.link_latency * 18),
+            bandwidth=self.bandwidth * 0.35,
+            is_rdma=False,
+            eager_threshold=0,  # no eager/rendezvous distinction over TCP
+            eager_overhead=4.0e-6,
+            rendezvous_overhead=4.0e-6,
+            recv_cpu_per_message=6.0e-6,
+            recv_cpu_per_byte=2.0e-11,
+        )
+
+
+RI_QDR = ClusterProfile(
+    name="ri-qdr",
+    link_latency=1.6e-6,
+    bandwidth=3.4 * GIB,
+    cpu_speed_factor=1.0,
+    cores_per_node=8,
+)
+
+SDSC_COMET = ClusterProfile(
+    name="sdsc-comet",
+    link_latency=1.1e-6,
+    bandwidth=6.0 * GIB,
+    cpu_speed_factor=1.6,
+    cores_per_node=24,
+)
+
+RI2_EDR = ClusterProfile(
+    name="ri2-edr",
+    link_latency=0.9e-6,
+    bandwidth=11.0 * GIB,
+    cpu_speed_factor=1.9,
+    cores_per_node=28,
+)
+
+_PROFILES = {p.name: p for p in (RI_QDR, SDSC_COMET, RI2_EDR)}
+
+
+def profile_by_name(name: str) -> ClusterProfile:
+    """Look up a profile; accepts ``<name>-ipoib`` for the TCP variants."""
+    key = name.lower()
+    if key in _PROFILES:
+        return _PROFILES[key]
+    if key.endswith("-ipoib") and key[: -len("-ipoib")] in _PROFILES:
+        return _PROFILES[key[: -len("-ipoib")]].to_ipoib()
+    raise KeyError(
+        "unknown cluster profile %r (known: %s)" % (name, sorted(_PROFILES))
+    )

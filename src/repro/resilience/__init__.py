@@ -1,0 +1,50 @@
+"""Resilience engine: the paper's primary contribution.
+
+Implements every Set/Get resilience strategy evaluated in the paper:
+
+- :class:`NoReplication` — the volatile baselines (``Memc-RDMA-NoRep``,
+  ``Memc-IPoIB-NoRep``).
+- :class:`SyncReplication` — blocking F-way replication (``Sync-Rep``).
+- :class:`AsyncReplication` — non-blocking, overlapped F-way replication
+  (``Async-Rep``).
+- The four online-erasure-coding placements of Section IV-B:
+  :class:`EraCECD`, :class:`EraSESD`, :class:`EraSECD`, :class:`EraCESD`.
+
+All schemes share one interface (:class:`ResilienceScheme`), so the client
+and every workload are scheme-agnostic.
+"""
+
+from repro.resilience.base import ResilienceScheme, SchemeError
+from repro.resilience.erasure import (
+    EraCECD,
+    EraCESD,
+    EraSECD,
+    EraSESD,
+    ErasureScheme,
+)
+from repro.resilience.hybrid import HybridScheme
+from repro.resilience.recovery import FailureInjector, RepairManager
+from repro.resilience.registry import available_schemes, make_scheme
+from repro.resilience.replication import (
+    AsyncReplication,
+    NoReplication,
+    SyncReplication,
+)
+
+__all__ = [
+    "AsyncReplication",
+    "EraCECD",
+    "EraCESD",
+    "EraSECD",
+    "EraSESD",
+    "ErasureScheme",
+    "FailureInjector",
+    "HybridScheme",
+    "NoReplication",
+    "RepairManager",
+    "ResilienceScheme",
+    "SchemeError",
+    "SyncReplication",
+    "available_schemes",
+    "make_scheme",
+]

@@ -1,0 +1,85 @@
+"""Scheme interface and shared request/wait helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator, List, Optional, Tuple
+
+from repro.common.payload import Payload
+from repro.simulation import Event
+from repro.store.arpe import OpMetrics
+from repro.store.protocol import Response
+
+#: Fixed cost of selecting/validating an alternate live server after a
+#: failure is observed — the paper's ``T_check`` (Equation 4).
+T_CHECK = 5.0e-6
+
+#: Client-side cost of staging a request payload into a registered buffer
+#: and posting the verb, per byte and per post.
+POST_OVERHEAD = 0.3e-6
+COPY_PER_BYTE = 2.0e-11
+
+
+class SchemeError(Exception):
+    """A resilience scheme could not complete an operation."""
+
+
+SchemeResult = Tuple[bool, Optional[Payload], str]
+
+
+class ResilienceScheme(ABC):
+    """Strategy object deciding how Set/Get touch the server cluster.
+
+    ``set``/``get`` are generator methods driven inside a client process
+    (blocking API) or an ARPE runner (non-blocking API).  They return an
+    ``(ok, payload, error)`` triple and record phase times into the given
+    :class:`OpMetrics`.
+    """
+
+    name: str = ""
+
+    #: how many simultaneous server failures the scheme survives
+    tolerated_failures: int = 0
+
+    #: bytes stored cluster-wide per byte of user data
+    storage_overhead: float = 1.0
+
+    def install(self, cluster) -> None:
+        """Bind to a cluster (register server-side handlers if needed)."""
+        self.cluster = cluster
+
+    @abstractmethod
+    def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
+        """Store ``value`` resiliently; yields sim events, returns a result."""
+
+    @abstractmethod
+    def get(self, client, key: str, metrics: OpMetrics) -> Generator:
+        """Fetch the value for ``key``; yields sim events, returns a result."""
+
+    # -- shared helpers ------------------------------------------------------
+    @staticmethod
+    def post_cost(size: int) -> float:
+        """Client CPU time to stage + post one request of ``size`` bytes."""
+        return POST_OVERHEAD + size * COPY_PER_BYTE
+
+    @staticmethod
+    def charge_post(client, metrics: OpMetrics, size: int) -> Event:
+        """Charge the issue cost for one post, attributing it to Request."""
+        cost = ResilienceScheme.post_cost(size)
+        metrics.request_time += cost
+        return client.compute(cost)
+
+    @staticmethod
+    def wait_each(client, metrics: OpMetrics, events: List[Event]) -> Generator:
+        """Wait for all request events, attributing elapsed time to Wait.
+
+        Unreachable destinations arrive as ``ok=False`` responses (see
+        :func:`repro.store.protocol.issue_request`), so this never raises.
+        """
+        start = client.sim.now
+        results: List[Response] = []
+        for event in events:
+            response = yield event
+            results.append(response)
+        metrics.wait_time += client.sim.now - start
+        return results

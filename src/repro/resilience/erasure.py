@@ -1,0 +1,447 @@
+"""Online erasure-coding resilience: the four placements of Section IV-B.
+
+All four schemes store a value as ``N = K + M`` chunks — chunk ``i`` on
+the ``i``-th server of the placement (primary plus N-1 followers).  They
+differ in *where* the Reed-Solomon compute happens:
+
+============  =================  =================
+scheme        encode (Set)       decode (Get)
+============  =================  =================
+Era-CE-CD     client             client
+Era-SE-SD     server             server
+Era-SE-CD     server             client
+Era-CE-SD     client             server
+============  =================  =================
+
+Client-side coding overlaps with communication through the ARPE (the next
+operation encodes while this one is on the wire); server-side coding rides
+the server's worker-thread parallelism but adds server-to-server hops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.common.payload import Payload
+from repro.ec.base import ErasureCodec
+from repro.ec.registry import make_codec
+from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.store import protocol
+from repro.store.arpe import OpMetrics
+from repro.store.protocol import Response
+
+#: separator for per-chunk keys — NUL cannot appear in user keys.
+_CHUNK_SEP = "\x00c"
+
+
+def chunk_key(key: str, index: int) -> str:
+    """The storage key under which chunk ``index`` of ``key`` lives."""
+    return "%s%s%d" % (key, _CHUNK_SEP, index)
+
+
+class ErasureScheme(ResilienceScheme):
+    """Shared chunk placement, materialization, and gather logic."""
+
+    def __init__(
+        self,
+        codec: Optional[ErasureCodec] = None,
+        codec_name: str = "rs_van",
+        k: int = 3,
+        m: int = 2,
+    ):
+        self.codec = codec or make_codec(codec_name, k, m)
+        self.k = self.codec.k
+        self.m = self.codec.m
+        self.n = self.codec.n
+        # non-MDS codecs (LRC, LT) guarantee fewer than M failures
+        self.tolerated_failures = self.codec.tolerated_failures
+        self.storage_overhead = self.codec.storage_overhead
+        #: chunk relocation metadata: (key, chunk_index) -> server name.
+        #: Populated by background repair when a chunk is rebuilt onto a
+        #: substitute node (a real deployment keeps this in the cluster
+        #: metadata the clients already consult for placement).
+        self.relocations = {}
+
+    # -- chunk materialization ------------------------------------------------
+    def materialize_chunks(self, value: Payload) -> List[Payload]:
+        """Real encode when bytes are present; size-only chunks otherwise."""
+        if value.has_data:
+            chunk_set = self.codec.encode(value.data)
+            return [Payload.from_bytes(c) for c in chunk_set.chunks]
+        length = self.codec.chunk_length(value.size)
+        return [Payload.sized(length) for _ in range(self.n)]
+
+    def reconstruct(
+        self, retrieved: Dict[int, Payload], data_len: int
+    ) -> Payload:
+        """Decode real bytes when every chunk has them; else sized result."""
+        if all(p.has_data for p in retrieved.values()):
+            data = self.codec.decode(
+                {i: p.data for i, p in retrieved.items()}, data_len
+            )
+            return Payload.from_bytes(data)
+        return Payload.sized(data_len)
+
+    def erased_data_count(self, retrieved_indices) -> int:
+        """How many *data* chunks are absent (drives decode cost)."""
+        return sum(1 for i in range(self.k) if i not in retrieved_indices)
+
+    # -- placement ---------------------------------------------------------
+    def placement(self, ring, key: str) -> List[str]:
+        """Default chunk placement: primary + N-1 following servers."""
+        return ring.placement(key, self.n)
+
+    def chunk_servers(self, ring, key: str) -> List[str]:
+        """Where each chunk lives now: default placement + relocations."""
+        servers = self.placement(ring, key)
+        for index in range(self.n):
+            moved = self.relocations.get((key, index))
+            if moved is not None:
+                servers[index] = moved
+        return servers
+
+    def record_relocation(self, key: str, index: int, server: str) -> None:
+        """Note that a repaired chunk now lives on ``server``."""
+        self.relocations[(key, index)] = server
+
+    def clear_relocations(self, key: str) -> None:
+        """A fresh Set re-encodes onto the default placement."""
+        for index in range(self.n):
+            self.relocations.pop((key, index), None)
+
+    def _alive(self, fabric, server: str) -> bool:
+        return fabric.endpoints[server].alive
+
+    # -- client-side set path (CE) ------------------------------------------
+    def _client_encode_set(
+        self, client, key: str, value: Payload, metrics: OpMetrics
+    ) -> Generator:
+        encode_time = client.cost_model.encode_time(
+            self.codec.name, value.size, self.k, self.m
+        )
+        metrics.encode_time += encode_time
+        yield client.compute(encode_time)
+
+        self.clear_relocations(key)
+        chunks = self.materialize_chunks(value)
+        servers = self.placement(client.ring, key)
+        meta = {"data_len": value.size}
+        events = []
+        for index, chunk in enumerate(chunks):
+            yield self.charge_post(client, metrics, chunk.size)
+            events.append(
+                client.request(
+                    servers[index],
+                    "set",
+                    chunk_key(key, index),
+                    value=chunk,
+                    meta=dict(meta, chunk=index),
+                )
+            )
+        responses = yield from self.wait_each(client, metrics, events)
+        stored = sum(1 for r in responses if r.ok)
+        if stored < self.k:
+            errors = {r.error for r in responses if not r.ok}
+            return False, None, ", ".join(sorted(errors)) or protocol.ERR_SERVER
+        return True, None, ""
+
+    # -- client-side get path (CD) -------------------------------------------
+    def _client_decode_get(
+        self, client, key: str, metrics: OpMetrics
+    ) -> Generator:
+        servers = self.chunk_servers(client.ring, key)
+        plan = self._gather_plan(client.fabric, servers)
+        if plan is None:
+            return False, None, protocol.ERR_UNREACHABLE
+        candidates, dead_data = plan
+        if dead_data:
+            # Re-routing reads around dead chunk holders costs a server
+            # selection check, like replication failover (T_check).
+            cost = T_CHECK * dead_data
+            metrics.wait_time += cost
+            yield client.compute(cost)
+
+        retrieved: Dict[int, Payload] = {}
+        data_len: Optional[int] = None
+        cursor = 0
+        while not self.codec.can_decode(retrieved):
+            need = max(1, self.k - len(retrieved))
+            batch = candidates[cursor : cursor + need]
+            cursor += len(batch)
+            if not batch:
+                return False, None, protocol.ERR_NOT_FOUND
+            events = []
+            for index in batch:
+                yield self.charge_post(client, metrics, 0)
+                events.append(
+                    client.request(servers[index], "get", chunk_key(key, index))
+                )
+            responses = yield from self.wait_each(client, metrics, events)
+            for index, response in zip(batch, responses):
+                if response.ok:
+                    retrieved[index] = response.value
+                    data_len = response.meta.get("data_len", data_len)
+
+        erased = self.erased_data_count(retrieved)
+        if data_len is None:
+            return False, None, protocol.ERR_NOT_FOUND
+        decode_time = client.cost_model.decode_time(
+            self.codec.name, data_len, self.k, self.m, erased
+        )
+        metrics.decode_time += decode_time
+        yield client.compute(decode_time)
+        value = self.reconstruct(dict(retrieved), data_len)
+        return True, value, ""
+
+    def _gather_plan(
+        self, fabric, servers: List[str]
+    ) -> Optional[Tuple[List[int], int]]:
+        """Chunk indices to try, in fetch order; None if undecodable.
+
+        The codec picks the primary fetch set (MDS codes: the K lowest
+        survivor indices; LRC: a linearly independent set); remaining
+        survivors follow as retry backups for cache misses.
+        """
+        alive = [i for i in range(self.n) if self._alive(fabric, servers[i])]
+        plan = self.codec.decode_indices(alive)
+        if plan is None:
+            return None
+        # data-first within the plan keeps the systematic fast path hot
+        ordered = sorted(plan, key=lambda i: (i >= self.k, i))
+        backups = [i for i in alive if i not in set(plan)]
+        dead_data = sum(
+            1 for i in range(self.k) if not self._alive(fabric, servers[i])
+        )
+        return ordered + backups, dead_data
+
+    # -- server-offloaded paths (SE / SD) --------------------------------------
+    def _server_offload(
+        self,
+        client,
+        key: str,
+        op: str,
+        value: Optional[Payload],
+        metrics: OpMetrics,
+    ) -> Generator:
+        """Send one request to the first live placement server, failing over."""
+        servers = self.placement(client.ring, key)
+        last_error = protocol.ERR_UNREACHABLE
+        for attempt, server in enumerate(servers):
+            if not self._alive(client.fabric, server):
+                metrics.wait_time += T_CHECK
+                yield client.compute(T_CHECK)
+                continue
+            size = value.size if value is not None else 0
+            yield self.charge_post(client, metrics, size)
+            event = client.request(
+                server, op, key, value=value, meta={"data_len": size}
+            )
+            (response,) = yield from self.wait_each(client, metrics, [event])
+            if response.ok:
+                return True, response.value, ""
+            last_error = response.error
+            if response.error != protocol.ERR_UNREACHABLE:
+                return False, None, response.error
+        return False, None, last_error
+
+    # -- server-side handlers ---------------------------------------------------
+    def install_server_handlers(self, cluster, ops: Tuple[str, ...]) -> None:
+        """Register the scheme's server-side ops on every server."""
+        handlers = {"se_set": self._handle_se_set, "sd_get": self._handle_sd_get}
+        for server in cluster.servers.values():
+            for op in ops:
+                server.register_handler(op, handlers[op])
+
+    def _handle_se_set(self, server, request) -> Generator:
+        """Server-side encode: code locally, fan chunks out to peers."""
+        value = request.value or Payload.sized(0)
+        encode_time = server.cost_model.encode_time(
+            self.codec.name, value.size, self.k, self.m
+        )
+        yield from server.cpu(encode_time)
+
+        self.clear_relocations(request.key)
+        chunks = self.materialize_chunks(value)
+        servers = self.placement(self.cluster.ring, request.key)
+        meta = {"data_len": value.size}
+        local_stored = 0
+        events = []
+        fanned_out: List[int] = []
+        for index, chunk in enumerate(chunks):
+            target = servers[index]
+            if target == server.name:
+                # The coordinating server keeps its own chunk locally.
+                yield from server.cpu(chunk.size * 2.0e-11 / server.cpu_speed)
+                if server.store_item(
+                    chunk_key(request.key, index),
+                    chunk.size,
+                    data=chunk.data,
+                    meta=dict(meta, chunk=index),
+                ):
+                    local_stored += 1
+            else:
+                events.append(
+                    server.send_request(
+                        target,
+                        "set",
+                        chunk_key(request.key, index),
+                        value=chunk,
+                        meta=dict(meta, chunk=index),
+                    )
+                )
+                fanned_out.append(index)
+        stored = local_stored
+        for event in events:
+            response = yield event
+            if response.ok:
+                stored += 1
+        ok = stored >= self.k
+        return Response(
+            req_id=request.req_id,
+            ok=ok,
+            server=server.name,
+            error="" if ok else protocol.ERR_SERVER,
+        )
+
+    def _handle_sd_get(self, server, request) -> Generator:
+        """Server-side decode: gather K chunks from peers, decode, reply."""
+        servers = self.chunk_servers(self.cluster.ring, request.key)
+        plan = self._gather_plan(server.fabric, servers)
+        if plan is None:
+            return Response(
+                req_id=request.req_id,
+                ok=False,
+                server=server.name,
+                error=protocol.ERR_UNREACHABLE,
+            )
+        candidates, _dead_data = plan
+
+        retrieved: Dict[int, Payload] = {}
+        data_len: Optional[int] = None
+        cursor = 0
+        while not self.codec.can_decode(retrieved):
+            need = max(1, self.k - len(retrieved))
+            batch = candidates[cursor : cursor + need]
+            cursor += len(batch)
+            if not batch:
+                return Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=server.name,
+                    error=protocol.ERR_NOT_FOUND,
+                )
+            events = []
+            local: List[Tuple[int, Payload, int]] = []
+            for index in batch:
+                target = servers[index]
+                ckey = chunk_key(request.key, index)
+                if target == server.name:
+                    item = server.cache.get(ckey)
+                    if item is not None:
+                        local.append(
+                            (
+                                index,
+                                Payload(item.value_len, item.data),
+                                item.meta.get("data_len", 0),
+                            )
+                        )
+                else:
+                    events.append(
+                        (index, server.send_request(target, "get", ckey))
+                    )
+            for index, payload, dlen in local:
+                retrieved[index] = payload
+                data_len = dlen or data_len
+            for index, event in events:
+                response = yield event
+                if response.ok:
+                    retrieved[index] = response.value
+                    data_len = response.meta.get("data_len", data_len)
+
+        if data_len is None:
+            return Response(
+                req_id=request.req_id,
+                ok=False,
+                server=server.name,
+                error=protocol.ERR_NOT_FOUND,
+            )
+        erased = self.erased_data_count(retrieved)
+        decode_time = server.cost_model.decode_time(
+            self.codec.name, data_len, self.k, self.m, erased
+        )
+        yield from server.cpu(decode_time)
+        value = self.reconstruct(dict(retrieved), data_len)
+        return Response(
+            req_id=request.req_id,
+            ok=True,
+            server=server.name,
+            value=value,
+            meta={"data_len": data_len},
+        )
+
+
+class EraCECD(ErasureScheme):
+    """Client-side encode, client-side decode (share-nothing servers)."""
+
+    name = "era-ce-cd"
+
+    def set(self, client, key, value, metrics):
+        return (yield from self._client_encode_set(client, key, value, metrics))
+
+    def get(self, client, key, metrics):
+        return (yield from self._client_decode_get(client, key, metrics))
+
+
+class EraSESD(ErasureScheme):
+    """Server-side encode and decode: all coding burden on the servers."""
+
+    name = "era-se-sd"
+
+    def install(self, cluster):
+        super().install(cluster)
+        self.install_server_handlers(cluster, ("se_set", "sd_get"))
+
+    def set(self, client, key, value, metrics):
+        ok, _value, error = yield from self._server_offload(
+            client, key, "se_set", value, metrics
+        )
+        return ok, None, error
+
+    def get(self, client, key, metrics):
+        return (yield from self._server_offload(client, key, "sd_get", None, metrics))
+
+
+class EraSECD(ErasureScheme):
+    """Server-side encode, client-side decode — the paper's hybrid pick."""
+
+    name = "era-se-cd"
+
+    def install(self, cluster):
+        super().install(cluster)
+        self.install_server_handlers(cluster, ("se_set",))
+
+    def set(self, client, key, value, metrics):
+        ok, _value, error = yield from self._server_offload(
+            client, key, "se_set", value, metrics
+        )
+        return ok, None, error
+
+    def get(self, client, key, metrics):
+        return (yield from self._client_decode_get(client, key, metrics))
+
+
+class EraCESD(ErasureScheme):
+    """Client-side encode, server-side decode (evaluated as inferior in
+    Section IV-B; implemented for completeness and the ablation bench)."""
+
+    name = "era-ce-sd"
+
+    def install(self, cluster):
+        super().install(cluster)
+        self.install_server_handlers(cluster, ("sd_get",))
+
+    def set(self, client, key, value, metrics):
+        return (yield from self._client_encode_set(client, key, value, metrics))
+
+    def get(self, client, key, metrics):
+        return (yield from self._server_offload(client, key, "sd_get", None, metrics))

@@ -1,0 +1,134 @@
+"""Hybrid replication/erasure-coding scheme (the paper's future work).
+
+Section VIII proposes "hybrid erasure-coding/replication schemes with the
+goal of maximizing overall performance and storage efficiency for
+different workload data access patterns".  The rationale follows directly
+from the paper's own measurements:
+
+- below ~16 KB, coding overheads and per-chunk request costs dominate and
+  replication's single-round-trip Get is hard to beat (Figures 8 and 11);
+- above it, erasure coding wins on both bandwidth (5/3x vs 3x bytes
+  moved) and memory — and on realistic caching mixes (the ETC pool of
+  Atikoglu et al., the paper's reference [17]) the large tail carries
+  most of the bytes.
+
+Routing costs nothing for small values: they simply live on the
+replication path under their own key.  A large value stores its K+M
+erasure chunks plus a replicated one-byte *stub* under the main key whose
+item metadata flags the erasure path; a Get probes the primary once (one
+RTT, exactly like replication) and either returns the small value
+directly or follows the flag into the chunk gather.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.common.payload import Payload
+from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.resilience.erasure import EraCECD, ErasureScheme
+from repro.resilience.replication import AsyncReplication
+from repro.store import protocol
+from repro.store.arpe import OpMetrics
+
+#: Default switch point: the RDMA eager/rendezvous boundary — below it the
+#: whole value fits one eager message, so replication is already optimal.
+DEFAULT_SIZE_THRESHOLD = 16 * 1024
+
+_LARGE_FLAG = "hybrid_large"
+
+
+class HybridScheme(ResilienceScheme):
+    """Replicate small values, erasure-code large ones."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_SIZE_THRESHOLD,
+        replication: Optional[AsyncReplication] = None,
+        erasure: Optional[ErasureScheme] = None,
+    ):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+        self.replication = replication or AsyncReplication(3)
+        self.erasure = erasure or EraCECD()
+        if self.replication.tolerated_failures != self.erasure.tolerated_failures:
+            raise ValueError(
+                "sub-schemes must tolerate the same failures (%d vs %d)"
+                % (
+                    self.replication.tolerated_failures,
+                    self.erasure.tolerated_failures,
+                )
+            )
+        self.tolerated_failures = self.erasure.tolerated_failures
+        # effective overhead depends on the size mix; report the large-value
+        # steady state, which dominates bytes
+        self.storage_overhead = self.erasure.storage_overhead
+        self.small_sets = 0
+        self.large_sets = 0
+
+    def install(self, cluster) -> None:
+        super().install(cluster)
+        self.replication.install(cluster)
+        self.erasure.install(cluster)
+
+    # -- operations ---------------------------------------------------------
+    def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
+        if value.size <= self.threshold:
+            self.small_sets += 1
+            return (yield from self.replication.set(client, key, value, metrics))
+
+        self.large_sets += 1
+        ok, payload, error = yield from self.erasure.set(
+            client, key, value, metrics
+        )
+        if not ok:
+            return ok, payload, error
+        # Replicated one-byte stub under the main key routes future Gets
+        # to the chunk gather (and replaces any stale small value).
+        stub_ok = yield from self._set_stub(client, key, value.size, metrics)
+        if not stub_ok:
+            return False, None, protocol.ERR_SERVER
+        return True, None, ""
+
+    def _set_stub(
+        self, client, key: str, data_len: int, metrics: OpMetrics
+    ) -> Generator:
+        targets = client.ring.placement(key, self.replication.factor)
+        events = []
+        for server in targets:
+            yield self.charge_post(client, metrics, 1)
+            events.append(
+                client.request(
+                    server,
+                    "set",
+                    key,
+                    value=Payload.sized(1),
+                    meta={_LARGE_FLAG: True, "data_len": data_len},
+                )
+            )
+        responses = yield from self.wait_each(client, metrics, events)
+        return any(r.ok for r in responses)
+
+    def get(self, client, key: str, metrics: OpMetrics) -> Generator:
+        """One probe to the primary answers small Gets outright and routes
+        large ones; replicas cover failed primaries."""
+        targets = client.ring.placement(key, self.replication.factor)
+        last_error = protocol.ERR_NOT_FOUND
+        for attempt, server in enumerate(targets):
+            if attempt > 0:
+                metrics.wait_time += T_CHECK
+                yield client.compute(T_CHECK)
+            yield self.charge_post(client, metrics, 0)
+            event = client.request(server, "get", key)
+            (response,) = yield from self.wait_each(client, metrics, [event])
+            if response.ok:
+                if response.meta.get(_LARGE_FLAG):
+                    return (yield from self.erasure.get(client, key, metrics))
+                return True, response.value, ""
+            last_error = response.error
+            if response.error == protocol.ERR_NOT_FOUND:
+                return False, None, protocol.ERR_NOT_FOUND
+        return False, None, last_error

@@ -1,0 +1,123 @@
+"""Replication-based resilience: the paper's baselines.
+
+``Sync-Rep`` writes each replica with the blocking API — one full
+round-trip per copy, giving Equation 2's ``F * (L + D/B)``.  ``Async-Rep``
+posts all replica writes back-to-back and waits for the slowest, the
+overlapped ideal of Equation 6.  Gets go to the primary and fail over
+replica-by-replica, paying ``T_check`` per hop (Equation 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.common.payload import Payload
+from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.store import protocol
+from repro.store.arpe import OpMetrics
+
+
+class NoReplication(ResilienceScheme):
+    """Single-copy, volatile store — the NoRep baselines of Section VI-C."""
+
+    name = "no-rep"
+    tolerated_failures = 0
+    storage_overhead = 1.0
+
+    def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
+        server = client.ring.primary(key)
+        yield self.charge_post(client, metrics, value.size)
+        event = client.request(server, "set", key, value=value)
+        (response,) = yield from self.wait_each(client, metrics, [event])
+        return response.ok, None, response.error
+
+    def get(self, client, key: str, metrics: OpMetrics) -> Generator:
+        server = client.ring.primary(key)
+        yield self.charge_post(client, metrics, 0)
+        event = client.request(server, "get", key)
+        (response,) = yield from self.wait_each(client, metrics, [event])
+        return response.ok, response.value, response.error
+
+
+class _ReplicatedGetMixin:
+    """Primary-then-failover Get shared by both replication schemes."""
+
+    def get(self, client, key: str, metrics: OpMetrics) -> Generator:
+        targets = client.ring.placement(key, self.factor)
+        last_error = protocol.ERR_NOT_FOUND
+        for attempt, server in enumerate(targets):
+            if attempt > 0:
+                # Identify-a-live-server overhead (the paper's T_check).
+                metrics.wait_time += T_CHECK
+                yield client.compute(T_CHECK)
+            yield self.charge_post(client, metrics, 0)
+            event = client.request(server, "get", key)
+            (response,) = yield from self.wait_each(client, metrics, [event])
+            if response.ok:
+                return True, response.value, ""
+            last_error = response.error
+            if response.error == protocol.ERR_NOT_FOUND:
+                # The primary answered authoritatively: a miss is a miss.
+                return False, None, protocol.ERR_NOT_FOUND
+            # UNREACHABLE and CORRUPT both mean: try the next replica.
+        return False, None, last_error
+
+
+class SyncReplication(_ReplicatedGetMixin, ResilienceScheme):
+    """Blocking F-way replication (``Sync-Rep``): one RTT per replica."""
+
+    name = "sync-rep"
+
+    def __init__(self, factor: int = 3):
+        if factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.factor = factor
+        self.tolerated_failures = factor - 1
+        self.storage_overhead = float(factor)
+
+    def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
+        targets = client.ring.placement(key, self.factor)
+        stored = 0
+        last_error = ""
+        for server in targets:
+            yield self.charge_post(client, metrics, value.size)
+            event = client.request(server, "set", key, value=value)
+            (response,) = yield from self.wait_each(client, metrics, [event])
+            if response.ok:
+                stored += 1
+            else:
+                last_error = response.error
+        if stored == 0:
+            return False, None, last_error or protocol.ERR_SERVER
+        return True, None, ""
+
+
+class AsyncReplication(_ReplicatedGetMixin, ResilienceScheme):
+    """Non-blocking F-way replication (``Async-Rep``).
+
+    All replica writes are posted before any is waited on, so their
+    request/response phases overlap — latency approaches the slowest
+    replica (Equation 6) instead of the sum (Equation 2).
+    """
+
+    name = "async-rep"
+
+    def __init__(self, factor: int = 3):
+        if factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.factor = factor
+        self.tolerated_failures = factor - 1
+        self.storage_overhead = float(factor)
+
+    def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
+        targets = client.ring.placement(key, self.factor)
+        events: List = []
+        for server in targets:
+            yield self.charge_post(client, metrics, value.size)
+            events.append(client.request(server, "set", key, value=value))
+        responses = yield from self.wait_each(client, metrics, events)
+        stored = sum(1 for r in responses if r.ok)
+        if stored == 0:
+            errors = {r.error for r in responses if not r.ok}
+            return False, None, ", ".join(sorted(errors)) or protocol.ERR_SERVER
+        return True, None, ""

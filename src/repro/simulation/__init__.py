@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation engine.
+
+This subpackage provides the virtual-time substrate for the whole
+reproduction: a generator-based process model (similar in spirit to SimPy),
+an event scheduler with deterministic FIFO tie-breaking, and the resource
+primitives (capacity-limited resources, FIFO stores) used by the network,
+server, and burst-buffer models.
+
+No wall-clock time ever enters a simulation; given identical inputs and
+seeds, every run is bit-for-bit reproducible.
+"""
+
+from repro.simulation.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simulation.resources import Gate, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,35 @@
+"""Memcached-like key-value store substrate.
+
+Reproduces the pieces of RDMA-Memcached/Libmemcached the paper builds on:
+
+- :mod:`repro.store.hashring` — consistent hashing plus the paper's
+  "N-1 following servers" chunk-placement rule (Section IV-A).
+- :mod:`repro.store.slab` — slab-class memory allocator with LRU
+  eviction and byte-accurate accounting (drives Figure 10).
+- :mod:`repro.store.protocol` — request/response wire records.
+- :mod:`repro.store.server` — the Memcached server process: worker
+  threads, request dispatch, pluggable op handlers (the hook the
+  server-side erasure designs use).
+- :mod:`repro.store.client` — blocking and non-blocking
+  (``iset``/``iget``/``test``/``wait``) client APIs.
+- :mod:`repro.store.arpe` — the Asynchronous Request Processing Engine:
+  registered buffer pool, request queue, send window.
+"""
+
+from repro.store.arpe import AsyncRequestEngine, RequestHandle
+from repro.store.client import KVClient
+from repro.store.hashring import HashRing
+from repro.store.protocol import Request, Response
+from repro.store.server import MemcachedServer
+from repro.store.slab import SlabCache
+
+__all__ = [
+    "AsyncRequestEngine",
+    "HashRing",
+    "KVClient",
+    "MemcachedServer",
+    "Request",
+    "RequestHandle",
+    "Response",
+    "SlabCache",
+]

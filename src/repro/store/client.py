@@ -1,0 +1,191 @@
+"""The key-value store client library.
+
+Mirrors RDMA-Libmemcached's two API families:
+
+- **Blocking** (``memcached_set``/``memcached_get``): :meth:`KVClient.set`
+  and :meth:`KVClient.get` are generator methods driven to completion by
+  the calling process — the process waits for the full resilience
+  round-trip (this is what ``Sync-Rep`` uses).
+- **Non-blocking** (``memcached_iset``/``iget``/``test``/``wait``):
+  :meth:`KVClient.iset`/:meth:`KVClient.iget` enqueue the operation into
+  the ARPE and return a :class:`RequestHandle`; completions are reaped
+  with :meth:`KVClient.test`/:meth:`KVClient.wait`.
+
+How an individual operation touches servers — one copy, F replicas, or
+K+M erasure-coded chunks — is delegated to the attached resilience scheme.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.common.payload import Payload
+from repro.common.stats import LatencyRecorder
+from repro.ec.cost_model import CodingCostModel
+from repro.network.fabric import Fabric, Message
+from repro.simulation import Event, Simulator
+from repro.store import protocol
+from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
+from repro.store.hashring import HashRing
+from repro.store.protocol import PendingTable, Request, Response
+
+
+class KVStoreError(Exception):
+    """A key-value operation failed (e.g. all replicas unreachable)."""
+
+
+class KVClient:
+    """One application client attached to the server cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        ring: HashRing,
+        scheme,
+        cost_model: Optional[CodingCostModel] = None,
+        window: int = 32,
+        buffer_pool: int = 64,
+        host: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.ring = ring
+        self.scheme = scheme
+        self.cost_model = cost_model or CodingCostModel(
+            cpu_speed_factor=fabric.profile.cpu_speed_factor
+        )
+        self.endpoint = fabric.add_node(name, host=host)
+        self.pending = PendingTable(sim)
+        self.engine = AsyncRequestEngine(sim, window=window, buffer_pool=buffer_pool)
+        self.recorder = LatencyRecorder()
+        self._req_seq = itertools.count(1)
+        sim.process(self._dispatch_loop(), name="%s.dispatch" % name)
+
+    # -- plumbing ---------------------------------------------------------
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message: Message = yield self.endpoint.inbox.get()
+            if isinstance(message.payload, Response):
+                self.pending.complete(message.payload)
+
+    def request(
+        self,
+        dst: str,
+        op: str,
+        key: str,
+        value: Optional[Payload] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Event:
+        """Post one raw request; event fires with the :class:`Response`."""
+        req = Request(
+            op=op,
+            key=key,
+            req_id=next(self._req_seq),
+            reply_to=self.name,
+            value=value,
+            meta=dict(meta or {}),
+        )
+        return protocol.issue_request(self.fabric, self.pending, req, dst)
+
+    def next_req_id(self) -> int:
+        """Allocate a request id (shared by KV and Lustre traffic)."""
+        return next(self._req_seq)
+
+    def compute(self, seconds: float) -> Event:
+        """Charge client-side compute (encode/decode) as virtual time."""
+        return self.sim.timeout(max(0.0, seconds))
+
+    # -- blocking API ---------------------------------------------------------
+    def set(self, key: str, value: Payload) -> Generator:
+        """Blocking Set through the resilience scheme; returns ``True`` on
+        success.  Drive with ``ok = yield from client.set(...)``."""
+        metrics = OpMetrics(self.sim.now)
+        metrics.started_at = self.sim.now
+        ok, _result, error = yield from self.scheme.set(self, key, value, metrics)
+        metrics.completed_at = self.sim.now
+        self.recorder.record("set", metrics.latency)
+        if not ok and error == protocol.ERR_OUT_OF_MEMORY:
+            return False
+        if not ok:
+            raise KVStoreError("set %r failed: %s" % (key, error))
+        return True
+
+    def get(self, key: str) -> Generator:
+        """Blocking Get; returns the :class:`Payload` or ``None`` on miss."""
+        metrics = OpMetrics(self.sim.now)
+        metrics.started_at = self.sim.now
+        ok, result, error = yield from self.scheme.get(self, key, metrics)
+        metrics.completed_at = self.sim.now
+        self.recorder.record("get", metrics.latency)
+        if ok:
+            return result
+        if error == protocol.ERR_NOT_FOUND:
+            return None
+        raise KVStoreError("get %r failed: %s" % (key, error))
+
+    # -- non-blocking API -----------------------------------------------------
+    def iset(self, key: str, value: Payload) -> RequestHandle:
+        """memcached_iset: enqueue a Set, return its handle immediately."""
+        handle = RequestHandle(self.sim, "set", key)
+        self._record_on_done(handle)
+
+        def runner(h: RequestHandle) -> Generator:
+            return (yield from self.scheme.set(self, key, value, h.metrics))
+
+        return self.engine.submit(handle, runner)
+
+    def iget(self, key: str) -> RequestHandle:
+        """memcached_iget: enqueue a Get, return its handle immediately."""
+        handle = RequestHandle(self.sim, "get", key)
+        self._record_on_done(handle)
+
+        def runner(h: RequestHandle) -> Generator:
+            return (yield from self.scheme.get(self, key, h.metrics))
+
+        return self.engine.submit(handle, runner)
+
+    def imget(self, keys: Iterable[str]) -> List[RequestHandle]:
+        """Bulk non-blocking Get: one handle per key, all in flight.
+
+        The paper's Section III observation — "any bulk Set/Get request
+        access patterns can overlap the (D/B) factor" — in API form: the
+        per-key transfers share the window and pipeline together.
+        """
+        return [self.iget(key) for key in keys]
+
+    def mget(self, keys: Iterable[str]) -> Generator:
+        """Blocking bulk Get; returns ``{key: Payload-or-None}``.
+
+        Drive with ``values = yield from client.mget([...])``.  Misses and
+        per-key failures map to ``None`` (libmemcached ``memcached_mget``
+        semantics).
+        """
+        handles = self.imget(list(keys))
+        yield self.wait(handles)
+        return {
+            handle.key: handle.result if handle.ok else None
+            for handle in handles
+        }
+
+    def test(self, handle: RequestHandle) -> bool:
+        """memcached_test: non-blocking completion check."""
+        return self.engine.test(handle)
+
+    def wait(self, handles: Iterable[RequestHandle]) -> Event:
+        """memcached_wait: event that fires when all handles completed."""
+        return self.engine.wait_all(list(handles))
+
+    def _record_on_done(self, handle: RequestHandle) -> None:
+        def _record(_event: Event) -> None:
+            self.recorder.record(handle.op, handle.metrics.latency)
+
+        handle.done.callbacks.append(_record)
+
+    # -- introspection --------------------------------------------------------
+    def latencies(self, kind: str) -> List[float]:
+        """All recorded latencies for ``kind`` (\"set\" or \"get\")."""
+        return self.recorder.samples(kind)

@@ -1,0 +1,79 @@
+"""Consistent hashing and the paper's chunk-placement rule.
+
+Memcached clients use consistent hashing (libmemcached's ketama) to pick
+the server owning a key.  The paper's erasure designs then place the
+``N = K + M`` chunks on "the originally designated server and the N-1
+following servers in the Memcached server cluster list" (Section IV-A) —
+list order, not ring order — which this module implements as
+:meth:`HashRing.placement`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Sequence
+
+
+def stable_hash(data: str) -> int:
+    """Deterministic 64-bit hash (md5-based, like ketama) — never Python's
+    seeded ``hash()``."""
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class HashRing:
+    """Ketama-style consistent hash ring over a fixed server list."""
+
+    def __init__(self, servers: Sequence[str], points_per_server: int = 100):
+        if not servers:
+            raise ValueError("hash ring needs at least one server")
+        if len(set(servers)) != len(servers):
+            raise ValueError("duplicate server names")
+        self.servers: List[str] = list(servers)
+        self._index = {name: i for i, name in enumerate(self.servers)}
+        self._ring: List[int] = []
+        self._owners: List[str] = []
+        points = []
+        for name in self.servers:
+            for replica in range(points_per_server):
+                points.append((stable_hash("%s#%d" % (name, replica)), name))
+        points.sort()
+        for point, name in points:
+            self._ring.append(point)
+            self._owners.append(name)
+
+    def primary(self, key: str) -> str:
+        """The server that owns ``key`` under consistent hashing."""
+        h = stable_hash(key)
+        idx = bisect.bisect(self._ring, h)
+        if idx == len(self._ring):
+            idx = 0
+        return self._owners[idx]
+
+    def placement(self, key: str, count: int) -> List[str]:
+        """The primary plus the next ``count - 1`` servers in list order.
+
+        This is the paper's placement for both replicas and erasure-coded
+        chunks; it requires ``count <= len(servers)`` distinct nodes.
+        """
+        if count < 1:
+            raise ValueError("placement count must be >= 1")
+        if count > len(self.servers):
+            raise ValueError(
+                "placement of %d needs at least that many servers (have %d)"
+                % (count, len(self.servers))
+            )
+        start = self._index[self.primary(key)]
+        return [
+            self.servers[(start + offset) % len(self.servers)]
+            for offset in range(count)
+        ]
+
+    def next_alive(self, key: str, dead: Sequence[str]) -> Optional[str]:
+        """First live server in placement order — replication failover."""
+        dead_set = set(dead)
+        for name in self.placement(key, len(self.servers)):
+            if name not in dead_set:
+                return name
+        return None

@@ -1,0 +1,143 @@
+"""Wire-level request/response records and pending-request routing.
+
+Both clients and servers (which talk to peer servers in the server-side
+erasure designs) multiplex requests and responses over one endpoint inbox;
+:class:`PendingTable` matches responses back to the event a caller is
+waiting on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.payload import Payload
+from repro.simulation import Event, Simulator
+
+#: Fixed serialized header cost for requests and responses.
+REQUEST_HEADER = 48
+RESPONSE_HEADER = 48
+
+TAG_REQUEST = "req"
+TAG_RESPONSE = "resp"
+
+
+@dataclass
+class Request:
+    """A client -> server (or server -> server) operation."""
+
+    op: str
+    key: str
+    req_id: int
+    reply_to: str
+    value: Optional[Payload] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        size = REQUEST_HEADER + len(self.key)
+        if self.value is not None:
+            size += self.value.size
+        return size
+
+
+@dataclass
+class Response:
+    """The server's answer; ``ok=False`` carries an error code."""
+
+    req_id: int
+    ok: bool
+    server: str
+    value: Optional[Payload] = None
+    error: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        size = RESPONSE_HEADER
+        if self.value is not None:
+            size += self.value.size
+        return size
+
+
+def issue_request(
+    fabric,
+    pending: "PendingTable",
+    request: Request,
+    dst: str,
+) -> Event:
+    """Send ``request`` and return an event firing with its :class:`Response`.
+
+    Used by both the client library and servers talking to peers.  If the
+    fabric reports the destination unreachable, the waiter completes with
+    an ``ok=False`` / ``ERR_UNREACHABLE`` response — failures are data,
+    so callers can fail over without exception plumbing.
+    """
+    waiter = pending.register(request.req_id)
+    send_event = fabric.send(
+        request.reply_to,  # the requester replies-to itself: that is the src
+        dst,
+        size=request.wire_size(),
+        payload=request,
+        tag=TAG_REQUEST,
+    )
+
+    def _on_send(event: Event) -> None:
+        if not event.ok:
+            pending.complete(
+                Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=dst,
+                    error=ERR_UNREACHABLE,
+                )
+            )
+
+    send_event.callbacks.append(_on_send)
+    send_event.defuse()
+    return waiter
+
+
+ERR_NOT_FOUND = "NOT_FOUND"
+ERR_OUT_OF_MEMORY = "OUT_OF_MEMORY"
+ERR_UNKNOWN_OP = "UNKNOWN_OP"
+ERR_SERVER = "SERVER_ERROR"
+ERR_UNREACHABLE = "UNREACHABLE"
+ERR_CORRUPT = "CORRUPT"
+
+
+class PendingTable:
+    """Outstanding request registry: req_id -> completion event."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._pending: Dict[int, Event] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def register(self, req_id: int) -> Event:
+        """Create the completion event for an outgoing request id."""
+        if req_id in self._pending:
+            raise ValueError("duplicate outstanding req_id %d" % req_id)
+        event = self.sim.event()
+        self._pending[req_id] = event
+        return event
+
+    def complete(self, response: Response) -> bool:
+        """Fire the waiter for this response; ``False`` if none is pending.
+
+        Late responses (e.g. the waiter already failed over) are dropped,
+        like packets for a closed connection.
+        """
+        event = self._pending.pop(response.req_id, None)
+        if event is None:
+            return False
+        event.succeed(response)
+        return True
+
+    def fail(self, req_id: int, error: BaseException) -> bool:
+        """Fail the waiter (e.g. destination unreachable)."""
+        event = self._pending.pop(req_id, None)
+        if event is None:
+            return False
+        event.fail(error)
+        return True

@@ -1,0 +1,293 @@
+"""The Memcached server process.
+
+Each server owns a slab cache, a pool of worker threads (a simulated
+resource — CPU phases contend for it), and a dispatcher that drains the
+network inbox.  Built-in handlers implement ``set``/``get``/``delete``;
+the server-side erasure designs (Era-SE-*) register additional op handlers
+via :meth:`MemcachedServer.register_handler` and use the server's embedded
+request path (its ARPE, in the paper's terms) to talk to peer servers.
+
+A failed server loses its endpoint *and* its memory contents — Memcached
+is volatile, which is the entire premise of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.common.payload import Payload
+from repro.ec.cost_model import CodingCostModel
+from repro.network.fabric import Fabric, Message
+from repro.simulation import Event, Resource, Simulator
+from repro.store import protocol
+from repro.store.protocol import PendingTable, Request, Response
+from repro.store.slab import SlabCache
+
+#: Base CPU cost of parsing a request and probing the hash table.
+REQUEST_PARSE_CPU = 0.5e-6
+#: CPU cost per payload byte touched (copy into/out of slab memory).
+COPY_CPU_PER_BYTE = 2.0e-11
+#: CPU cost per byte of checksum verification (hardware CRC32C rate).
+CHECKSUM_CPU_PER_BYTE = 5.0e-11
+
+Handler = Callable[["MemcachedServer", Request], Generator]
+
+
+class MemcachedServer:
+    """One RDMA-Memcached server instance in the simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        memory_limit: int,
+        worker_threads: int = 8,
+        cost_model: Optional[CodingCostModel] = None,
+        verify_on_read: bool = True,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.endpoint = fabric.add_node(name)
+        self.cache = SlabCache(memory_limit)
+        #: verify stored checksums on every Get (detects bit rot; a
+        #: corrupt item is reported so the resilience layer can recover
+        #: it from replicas or parity chunks)
+        self.verify_on_read = verify_on_read
+        self.corruption_detected = 0
+        self.workers = Resource(sim, worker_threads)
+        self.cost_model = cost_model or CodingCostModel()
+        self.cpu_speed = fabric.profile.cpu_speed_factor
+        self.handlers: Dict[str, Handler] = {}
+        self.pending = PendingTable(sim)
+        self._req_seq = itertools.count(1)
+        self.alive = True
+        self.requests_handled = 0
+        self.peer_requests_sent = 0
+        #: optional callback(key, value_len) invoked after a successful
+        #: store — the Boldio burst buffer hooks its async flusher here.
+        self.on_store = None
+        sim.process(self._dispatch_loop(), name="%s.dispatch" % name)
+
+    # -- lifecycle ----------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the node: unreachable, and DRAM contents are gone."""
+        self.alive = False
+        self.endpoint.fail()
+        self.cache.wipe()
+
+    def recover(self) -> None:
+        """Bring the node back empty (cold restart)."""
+        self.alive = True
+        self.endpoint.recover()
+
+    def corrupt_item(self, key: str, byte_offset: int = 0) -> bool:
+        """Test hook: flip one byte of a stored item (simulated bit rot)."""
+        item = self.cache.peek(key)
+        if item is None or item.data is None:
+            return False
+        data = bytearray(item.data)
+        data[byte_offset % len(data)] ^= 0xFF
+        item.data = bytes(data)
+        return True
+
+    # -- extension hook -------------------------------------------------------
+    def register_handler(self, op: str, handler: Handler) -> None:
+        """Attach a handler for a scheme-specific op (e.g. ``se_set``)."""
+        if op in self.handlers:
+            raise ValueError("handler for op %r already registered" % op)
+        self.handlers[op] = handler
+
+    # -- CPU accounting -------------------------------------------------------
+    def cpu(self, seconds: float) -> Generator:
+        """Occupy one worker thread for ``seconds`` of compute.
+
+        ``seconds`` must already reflect this cluster's CPU speed (the
+        coding cost model is constructed with the profile's speed factor);
+        this method only adds worker-thread contention.
+        """
+        if seconds <= 0:
+            return
+        req = self.workers.request()
+        yield req
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.workers.release(req)
+
+    def _receive_cpu_cost(self, message_size: int) -> float:
+        """Per-message host CPU implied by the transport (IPoIB only)."""
+        profile = self.fabric.profile
+        return (
+            profile.recv_cpu_per_message
+            + message_size * profile.recv_cpu_per_byte
+        )
+
+    def next_req_id(self) -> int:
+        """Allocate a request id (shared by KV and Lustre traffic)."""
+        return next(self._req_seq)
+
+    # -- embedded client path (the server's ARPE) ------------------------------
+    def send_request(
+        self,
+        dst: str,
+        op: str,
+        key: str,
+        value: Optional[Payload] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Event:
+        """Issue a non-blocking request to a peer server.
+
+        Returns an event that fires with the :class:`Response`, or fails
+        with ``NodeUnreachableError`` if the peer is down.
+        """
+        request = Request(
+            op=op,
+            key=key,
+            req_id=next(self._req_seq),
+            reply_to=self.name,
+            value=value,
+            meta=dict(meta or {}),
+        )
+        self.peer_requests_sent += 1
+        return protocol.issue_request(self.fabric, self.pending, request, dst)
+
+    # -- dispatch ---------------------------------------------------------
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message: Message = yield self.endpoint.inbox.get()
+            payload = message.payload
+            if isinstance(payload, Response):
+                self.pending.complete(payload)
+            elif isinstance(payload, Request):
+                self.sim.process(
+                    self._handle_request(payload, message.size),
+                    name="%s.%s" % (self.name, payload.op),
+                )
+
+    def _handle_request(self, request: Request, message_size: int) -> Generator:
+        self.requests_handled += 1
+        base_cpu = REQUEST_PARSE_CPU / self.cpu_speed + self._receive_cpu_cost(
+            message_size
+        )
+        yield from self.cpu(base_cpu)
+
+        handler = self.handlers.get(request.op)
+        if handler is not None:
+            try:
+                response = yield from handler(self, request)
+            except Exception as exc:  # noqa: BLE001 - convert to wire error
+                response = Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=self.name,
+                    error="%s: %s" % (protocol.ERR_SERVER, exc),
+                )
+        else:
+            response = yield from self._builtin(request)
+
+        if response is None:
+            return  # handler replied on its own
+
+        send_event = self.fabric.send(
+            self.name,
+            request.reply_to,
+            size=response.wire_size(),
+            payload=response,
+            tag=protocol.TAG_RESPONSE,
+        )
+        send_event.defuse()  # a dead client simply never hears back
+
+    def store_item(self, key: str, value_len: int, data, meta) -> bool:
+        """Store into the slab cache, notifying the on_store hook."""
+        stored = self.cache.set(key, value_len, data=data, meta=meta)
+        if stored and self.on_store is not None:
+            self.on_store(key, value_len)
+        return stored
+
+    # -- built-in ops ---------------------------------------------------------
+    def _builtin(self, request: Request) -> Generator:
+        if request.op == "set":
+            return (yield from self._op_set(request))
+        if request.op == "get":
+            return (yield from self._op_get(request))
+        if request.op == "delete":
+            return (yield from self._op_delete(request))
+        return Response(
+            req_id=request.req_id,
+            ok=False,
+            server=self.name,
+            error=protocol.ERR_UNKNOWN_OP,
+        )
+
+    def _op_set(self, request: Request) -> Generator:
+        value = request.value
+        if value is None:
+            value = Payload.sized(0)
+        yield from self.cpu(value.size * COPY_CPU_PER_BYTE / self.cpu_speed)
+        meta = dict(request.meta)
+        if value.has_data:
+            # end-to-end integrity: checksum computed at ingest
+            yield from self.cpu(
+                value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
+            )
+            meta["crc"] = zlib.crc32(value.data)
+        stored = self.store_item(
+            request.key, value.size, data=value.data, meta=meta
+        )
+        return Response(
+            req_id=request.req_id,
+            ok=stored,
+            server=self.name,
+            error="" if stored else protocol.ERR_OUT_OF_MEMORY,
+        )
+
+    def _op_get(self, request: Request) -> Generator:
+        item = self.cache.get(request.key)
+        if item is None:
+            return Response(
+                req_id=request.req_id,
+                ok=False,
+                server=self.name,
+                error=protocol.ERR_NOT_FOUND,
+            )
+        if (
+            self.verify_on_read
+            and item.data is not None
+            and "crc" in item.meta
+        ):
+            yield from self.cpu(
+                item.value_len * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
+            )
+            if zlib.crc32(item.data) != item.meta["crc"]:
+                # bit rot: drop the poisoned item and tell the client,
+                # which recovers from a replica or parity chunk
+                self.corruption_detected += 1
+                self.cache.delete(request.key)
+                return Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=self.name,
+                    error=protocol.ERR_CORRUPT,
+                )
+        yield from self.cpu(item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed)
+        return Response(
+            req_id=request.req_id,
+            ok=True,
+            server=self.name,
+            value=Payload(item.value_len, item.data),
+            meta=dict(item.meta),
+        )
+
+    def _op_delete(self, request: Request) -> Generator:
+        yield from self.cpu(0)  # hash probe already charged in base cost
+        removed = self.cache.delete(request.key)
+        return Response(
+            req_id=request.req_id,
+            ok=removed,
+            server=self.name,
+            error="" if removed else protocol.ERR_NOT_FOUND,
+        )

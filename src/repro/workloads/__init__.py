@@ -1,0 +1,48 @@
+"""Workload generators and drivers for the paper's evaluation.
+
+- :mod:`repro.workloads.microbench` — OHB-style single-client Set/Get
+  latency benchmarks (Figures 8 and 9) and the multi-client memory
+  pressure workload (Figure 10).
+- :mod:`repro.workloads.ycsb` — YCSB with Zipfian skew, workloads A
+  (50:50) and B (95:5) (Figures 11 and 12).
+- :mod:`repro.workloads.keys` — deterministic key/value generation.
+"""
+
+from repro.workloads.etc import EtcResult, EtcSizeSampler, EtcSpec, run_etc
+from repro.workloads.keys import KeyValueSource
+from repro.workloads.microbench import (
+    BreakdownResult,
+    MicrobenchResult,
+    run_get_benchmark,
+    run_memory_pressure,
+    run_set_benchmark,
+)
+from repro.workloads.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    YCSBResult,
+    YCSBSpec,
+    ZipfianGenerator,
+    run_ycsb,
+)
+
+__all__ = [
+    "BreakdownResult",
+    "EtcResult",
+    "EtcSizeSampler",
+    "EtcSpec",
+    "KeyValueSource",
+    "MicrobenchResult",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "YCSBResult",
+    "YCSBSpec",
+    "ZipfianGenerator",
+    "run_etc",
+    "run_get_benchmark",
+    "run_memory_pressure",
+    "run_set_benchmark",
+    "run_ycsb",
+]

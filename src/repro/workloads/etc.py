@@ -1,0 +1,175 @@
+"""Facebook ETC-style workload (Atikoglu et al., SIGMETRICS'12 — the
+paper's reference [17] for "database online queries cached as key-value
+pairs typically range from 512 B to 32 KB").
+
+The ETC pool is Memcached's general-purpose tier: a 30:1 GET-heavy mix,
+Zipfian key popularity, and a heavy-tailed value-size distribution where
+most values are small but most *bytes* belong to large values.  We model
+sizes with the paper's reported shape: a discrete head for tiny values
+plus a generalized-Pareto body clamped to [64 B, 128 KB] (the quoted
+512 B - 32 KB is the *typical* range; ETC's tail extends beyond it and
+carries a large share of the bytes).
+
+This drives the mixed-size evaluation of the hybrid replication/erasure
+scheme (Section VIII future work): replication serves the many small
+values cheaply, erasure coding absorbs the few large values that carry
+the bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.common.stats import Summary
+from repro.core.cluster import KVCluster
+from repro.workloads.keys import KeyValueSource
+from repro.workloads.ycsb import ZipfianGenerator
+
+#: value-size model parameters (shaped after the SIGMETRICS'12 ETC pool)
+_HEAD_SIZES = (2, 11, 100, 300)  # bytes: tiny-value spikes
+_HEAD_PROBS = (0.01, 0.05, 0.20, 0.15)
+_PARETO_SCALE = 250.0
+_PARETO_SHAPE = 0.9  # heavy tail: ~0.7% of values (>16 KB) carry ~40% of bytes
+MIN_VALUE = 64
+MAX_VALUE = 128 * 1024
+
+GET_FRACTION = 30 / 31  # ETC's ~30:1 GET:SET ratio
+
+
+class EtcSizeSampler:
+    """Deterministic sampler for ETC-like value sizes."""
+
+    def __init__(self, seed: int = 21):
+        self._rng = np.random.default_rng(seed)
+
+    def next_size(self) -> int:
+        """Draw one value size."""
+        u = self._rng.random()
+        cumulative = 0.0
+        for size, prob in zip(_HEAD_SIZES, _HEAD_PROBS):
+            cumulative += prob
+            if u < cumulative:
+                return max(MIN_VALUE, size)
+        # generalized Pareto body for the remaining mass
+        tail_u = self._rng.random()
+        value = _PARETO_SCALE * (
+            (1.0 - tail_u) ** (-_PARETO_SHAPE) - 1.0
+        ) / _PARETO_SHAPE
+        return int(min(MAX_VALUE, max(MIN_VALUE, value)))
+
+    def sample_sizes(self, count: int) -> List[int]:
+        """Draw ``count`` value sizes."""
+        return [self.next_size() for _ in range(count)]
+
+
+@dataclass
+class EtcSpec:
+    """One ETC experiment configuration."""
+
+    record_count: int = 10_000
+    ops_per_client: int = 300
+    get_fraction: float = GET_FRACTION
+    size_seed: int = 21
+    theta: float = 0.99
+
+
+@dataclass
+class EtcResult:
+    scheme: str
+    num_clients: int
+    duration: float
+    operations: int
+    get_latency: Optional[Summary]
+    set_latency: Optional[Summary]
+    stored_bytes: int
+    misses: int
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate operations per second."""
+        return self.operations / self.duration if self.duration else float("inf")
+
+
+def run_etc(
+    cluster: KVCluster,
+    spec: Optional[EtcSpec] = None,
+    num_clients: int = 20,
+    client_hosts: int = 5,
+    window: int = 4,
+    seed: int = 17,
+) -> EtcResult:
+    """Load an ETC-shaped dataset and drive the GET-heavy run phase."""
+    spec = spec or EtcSpec()
+    sampler = EtcSizeSampler(spec.size_seed)
+    sizes = sampler.sample_sizes(spec.record_count)
+    source = KeyValueSource(prefix="e")
+
+    loaders = [
+        cluster.add_client(name_hint="etcload", host="elhost-%d" % i)
+        for i in range(4)
+    ]
+
+    def load(loader_index: int, client) -> Generator:
+        handles = [
+            client.iset(source.key(i), source.value(sizes[i]))
+            for i in range(loader_index, spec.record_count, len(loaders))
+        ]
+        yield client.wait(handles)
+
+    procs = [
+        cluster.sim.process(load(i, c)) for i, c in enumerate(loaders)
+    ]
+    cluster.sim.run(cluster.sim.all_of(procs))
+
+    clients = [
+        cluster.add_client(
+            name_hint="etc", window=window, host="ehost-%d" % (i % client_hosts)
+        )
+        for i in range(num_clients)
+    ]
+    misses = [0]
+
+    def run_client(index: int, client) -> Generator:
+        zipf = ZipfianGenerator(
+            spec.record_count, theta=spec.theta, seed=seed + index
+        )
+        handles = []
+        for _op in range(spec.ops_per_client):
+            key_index = zipf.next()
+            if zipf.uniform() < spec.get_fraction:
+                handles.append(client.iget(source.key(key_index)))
+            else:
+                handles.append(
+                    client.iset(
+                        source.key(key_index),
+                        source.value(sizes[key_index]),
+                    )
+                )
+        yield client.wait(handles)
+        misses[0] += sum(1 for h in handles if h.op == "get" and not h.ok)
+
+    start = cluster.sim.now
+    procs = [
+        cluster.sim.process(run_client(i, c)) for i, c in enumerate(clients)
+    ]
+    cluster.sim.run(cluster.sim.all_of(procs))
+    duration = cluster.sim.now - start
+
+    gets: List[float] = []
+    sets: List[float] = []
+    for client in clients:
+        gets.extend(client.latencies("get"))
+        sets.extend(client.latencies("set"))
+    return EtcResult(
+        scheme=cluster.scheme.name,
+        num_clients=num_clients,
+        duration=duration,
+        operations=num_clients * spec.ops_per_client,
+        get_latency=Summary.of(gets) if gets else None,
+        set_latency=Summary.of(sets) if sets else None,
+        stored_bytes=cluster.total_stored_bytes,
+        misses=misses[0],
+    )

@@ -1,0 +1,37 @@
+"""Deterministic key and value generation for workloads.
+
+Values can be materialized (real bytes, reproducible from the seed) or
+size-only — see :class:`repro.common.payload.Payload`.  Keys follow the
+paper's micro-benchmarks: fixed 16-byte keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.payload import Payload
+
+KEY_LENGTH = 16  # the paper fixes keys at 16 B
+
+
+class KeyValueSource:
+    """Reproducible key/value generator with a fixed key width."""
+
+    def __init__(self, seed: int = 1, prefix: str = "k"):
+        self.seed = seed
+        self.prefix = prefix
+        self._rng = np.random.default_rng(seed)
+
+    def key(self, index: int) -> str:
+        """The ``index``-th key, padded to exactly 16 bytes."""
+        raw = "%s%d" % (self.prefix, index)
+        if len(raw) > KEY_LENGTH:
+            raise ValueError("key index too large for 16-byte keys: %r" % raw)
+        return raw.ljust(KEY_LENGTH, "_")
+
+    def value(self, size: int, with_data: bool = False) -> Payload:
+        """A value of ``size`` bytes; real random bytes when requested."""
+        if not with_data:
+            return Payload.sized(size)
+        data = self._rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        return Payload.from_bytes(data)

@@ -1,0 +1,215 @@
+"""YCSB workload generator and driver (Section VI-C).
+
+Implements the parts of the Yahoo! Cloud Serving Benchmark the paper uses:
+Zipfian-skewed key popularity (the "skewed data popularity" of Figures 11
+and 12), a load phase, and a run phase with configurable read/update
+mixes — workload A (50:50), B (95:5), and C (100:0 reads).
+
+The Zipfian generator follows Gray et al.'s rejection-free construction
+(the same algorithm YCSB itself uses), with the usual scrambling so that
+popular ranks are spread across the keyspace rather than clustered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.common.stats import Summary
+from repro.core.cluster import KVCluster
+from repro.store.hashring import stable_hash
+from repro.workloads.keys import KeyValueSource
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed ranks in ``[0, items)`` (Gray's algorithm)."""
+
+    def __init__(
+        self,
+        items: int,
+        theta: float = ZIPFIAN_CONSTANT,
+        seed: int = 7,
+        scrambled: bool = True,
+    ):
+        if items < 1:
+            raise ValueError("need at least one item")
+        if not 0 < theta < 1:
+            raise ValueError("theta must lie in (0, 1)")
+        self.items = items
+        self.theta = theta
+        self.scrambled = scrambled
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, items + 1, dtype=np.float64)
+        self._zetan = float(np.sum(1.0 / np.power(ranks, theta)))
+        self._zeta2 = float(np.sum(1.0 / np.power(ranks[:2], theta))) if (
+            items >= 2
+        ) else self._zetan
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / items) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    def next_rank(self) -> int:
+        """Draw a popularity rank (0 = most popular)."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.items * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self.items - 1)
+
+    def next(self) -> int:
+        """Draw a key index, optionally scrambled across the keyspace."""
+        rank = self.next_rank()
+        if not self.scrambled:
+            return rank
+        return stable_hash("zipf%d" % rank) % self.items
+
+    def uniform(self) -> float:
+        """A plain uniform draw from the generator's stream (mix choice)."""
+        return float(self._rng.random())
+
+
+@dataclass(frozen=True)
+class YCSBSpec:
+    """One YCSB workload configuration."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    record_count: int = 250_000
+    ops_per_client: int = 2_500
+    value_size: int = 4096
+    theta: float = ZIPFIAN_CONSTANT
+
+    def __post_init__(self):
+        total = self.read_proportion + self.update_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("proportions must sum to 1, got %r" % total)
+
+
+WORKLOAD_A = YCSBSpec("ycsb-a", read_proportion=0.5, update_proportion=0.5)
+WORKLOAD_B = YCSBSpec("ycsb-b", read_proportion=0.95, update_proportion=0.05)
+WORKLOAD_C = YCSBSpec("ycsb-c", read_proportion=1.0, update_proportion=0.0)
+
+
+@dataclass
+class YCSBResult:
+    """Aggregate outcome of one YCSB run."""
+
+    spec: YCSBSpec
+    scheme: str
+    num_clients: int
+    duration: float
+    operations: int
+    read_latency: Optional[Summary]
+    write_latency: Optional[Summary]
+    misses: int
+
+    @property
+    def throughput(self) -> float:
+        """Aggregated operations per second across all clients."""
+        return self.operations / self.duration if self.duration else float("inf")
+
+
+def load_phase(
+    cluster: KVCluster,
+    spec: YCSBSpec,
+    loader_count: int = 8,
+    with_data: bool = False,
+) -> None:
+    """Populate ``record_count`` keys through ``loader_count`` clients."""
+    loaders = [
+        cluster.add_client(name_hint="loader", host="lhost-%d" % i)
+        for i in range(loader_count)
+    ]
+    source = KeyValueSource(prefix="y")
+
+    def load(loader_index: int, client) -> Generator:
+        handles = []
+        for i in range(loader_index, spec.record_count, loader_count):
+            handles.append(
+                client.iset(source.key(i), source.value(spec.value_size, with_data))
+            )
+        yield client.wait(handles)
+
+    procs = [
+        cluster.sim.process(load(i, client)) for i, client in enumerate(loaders)
+    ]
+    cluster.sim.run(cluster.sim.all_of(procs))
+
+
+def run_ycsb(
+    cluster: KVCluster,
+    spec: YCSBSpec,
+    num_clients: int = 150,
+    client_hosts: int = 10,
+    window: int = 4,
+    seed: int = 11,
+    load: bool = True,
+    loader_count: int = 8,
+) -> YCSBResult:
+    """Drive the run phase and report aggregate throughput and latency.
+
+    ``num_clients`` client processes are spread over ``client_hosts``
+    NIC-sharing hosts (the paper uses 150 clients on 10 compute nodes);
+    each keeps up to ``window`` operations in flight through its ARPE.
+    """
+    if load:
+        load_phase(cluster, spec, loader_count=loader_count)
+
+    clients = [
+        cluster.add_client(
+            name_hint="ycsb",
+            window=window,
+            host="yhost-%d" % (i % client_hosts),
+        )
+        for i in range(num_clients)
+    ]
+    source = KeyValueSource(prefix="y")
+    misses = [0]
+
+    def run_client(index: int, client) -> Generator:
+        zipf = ZipfianGenerator(spec.record_count, theta=spec.theta, seed=seed + index)
+        handles = []
+        for _op in range(spec.ops_per_client):
+            key_index = zipf.next()
+            key = source.key(key_index)
+            if zipf.uniform() < spec.read_proportion:
+                handles.append(client.iget(key))
+            else:
+                handles.append(
+                    client.iset(key, source.value(spec.value_size))
+                )
+        yield client.wait(handles)
+        misses[0] += sum(1 for h in handles if h.op == "get" and not h.ok)
+
+    start = cluster.sim.now
+    procs = [
+        cluster.sim.process(run_client(i, client))
+        for i, client in enumerate(clients)
+    ]
+    cluster.sim.run(cluster.sim.all_of(procs))
+    duration = cluster.sim.now - start
+
+    reads: List[float] = []
+    writes: List[float] = []
+    for client in clients:
+        reads.extend(client.latencies("get"))
+        writes.extend(client.latencies("set"))
+    return YCSBResult(
+        spec=spec,
+        scheme=cluster.scheme.name,
+        num_clients=num_clients,
+        duration=duration,
+        operations=num_clients * spec.ops_per_client,
+        read_latency=Summary.of(reads) if reads else None,
+        write_latency=Summary.of(writes) if writes else None,
+        misses=misses[0],
+    )

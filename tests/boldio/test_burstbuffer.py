@@ -1,0 +1,124 @@
+"""Boldio burst buffer: async flush and read-miss fallback."""
+
+import pytest
+
+from repro.boldio.burstbuffer import BoldioSystem
+from repro.boldio.lustre import LustreFS
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+
+MIB = 1024 * 1024
+
+
+def make_system(scheme="async-rep", memory=64 * MIB):
+    cluster = build_cluster(scheme=scheme, servers=5, memory_per_server=memory)
+    lustre = LustreFS(cluster.sim, cluster.fabric)
+    return BoldioSystem(cluster, lustre)
+
+
+def drive(system, gen):
+    return system.sim.run(system.sim.process(gen))
+
+
+class TestAsyncFlush:
+    def test_stored_values_reach_lustre(self):
+        system = make_system()
+        client = system.cluster.add_client()
+
+        def body():
+            for i in range(5):
+                yield from client.set("file/%d" % i, Payload.sized(MIB))
+            yield from system.drain_flushes()
+
+        drive(system, body())
+        # async-rep: every replica chunk is flushed
+        assert system.flushed_items == 15
+        assert system.lustre.total_bytes_written == 15 * MIB
+
+    def test_erasure_chunks_flushed(self):
+        system = make_system("era-ce-cd")
+        client = system.cluster.add_client()
+
+        def body():
+            yield from client.set("file/0", Payload.sized(3 * MIB))
+            yield from system.drain_flushes()
+
+        drive(system, body())
+        assert system.flushed_items == 5  # K+M chunks
+
+    def test_write_completes_before_flush(self):
+        """Persistence is asynchronous: the Set ack does not wait for
+        Lustre."""
+        system = make_system()
+        client = system.cluster.add_client()
+        timestamps = {}
+
+        def body():
+            yield from client.set("k", Payload.sized(MIB))
+            timestamps["ack"] = system.sim.now
+            yield from system.drain_flushes()
+            timestamps["flushed"] = system.sim.now
+
+        drive(system, body())
+        assert timestamps["ack"] < timestamps["flushed"]
+        # the ack must not include the ~2+ ms of disk time
+        assert timestamps["ack"] < 2e-3
+
+    def test_pending_flushes_counter(self):
+        system = make_system()
+        assert system.pending_flushes() == 0
+
+
+class TestReadFallback:
+    def test_cache_hit_path(self):
+        system = make_system()
+        client = system.cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.sized(MIB))
+            size, from_cache = yield from system.read_with_fallback(
+                client, "k", MIB
+            )
+            return size, from_cache
+
+        size, from_cache = drive(system, body())
+        assert size == MIB and from_cache
+
+    def test_miss_falls_back_to_lustre(self):
+        system = make_system()
+        client = system.cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.sized(MIB))
+            yield from system.drain_flushes()
+            # wipe the cache layer: only Lustre still has the data
+            for server in system.cluster.servers.values():
+                server.cache.flush()
+            size, from_cache = yield from system.read_with_fallback(
+                client, "k", MIB
+            )
+            return size, from_cache
+
+        size, from_cache = drive(system, body())
+        assert size == MIB and not from_cache
+        assert system.lustre.total_bytes_read == MIB
+
+    def test_fallback_slower_than_cache_hit(self):
+        system = make_system()
+        client = system.cluster.add_client()
+        times = {}
+
+        def body():
+            yield from client.set("k", Payload.sized(MIB))
+            yield from system.drain_flushes()
+            start = system.sim.now
+            yield from system.read_with_fallback(client, "k", MIB)
+            times["hit"] = system.sim.now - start
+            for server in system.cluster.servers.values():
+                server.cache.flush()
+            start = system.sim.now
+            yield from system.read_with_fallback(client, "k", MIB)
+            times["miss"] = system.sim.now - start
+
+        drive(system, body())
+        assert times["miss"] > times["hit"]

@@ -1,0 +1,116 @@
+"""TestDFSIO drivers: Boldio and Lustre-Direct phases."""
+
+import pytest
+
+from repro.boldio.burstbuffer import BoldioSystem
+from repro.boldio.dfsio import run_dfsio_boldio, run_dfsio_lustre
+from repro.boldio.lustre import LustreFS
+from repro.core.cluster import build_cluster
+from repro.network.fabric import Fabric
+from repro.network.profiles import RI_QDR
+from repro.simulation import Simulator
+
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+
+def make_system(scheme="async-rep"):
+    cluster = build_cluster(scheme=scheme, servers=5, memory_per_server=GIB)
+    lustre = LustreFS(cluster.sim, cluster.fabric)
+    return BoldioSystem(cluster, lustre)
+
+
+class TestBoldioPhases:
+    def test_write_phase(self):
+        system = make_system()
+        result = run_dfsio_boldio(
+            system, mode="write", num_datanodes=2, maps_per_node=2,
+            file_size=8 * MIB,
+        )
+        assert result.mode == "write"
+        assert result.total_bytes == 4 * 8 * MIB
+        assert result.throughput_mib > 0
+        assert result.num_maps == 4
+
+    def test_read_after_write_hits_cache(self):
+        system = make_system()
+        run_dfsio_boldio(
+            system, mode="write", num_datanodes=2, maps_per_node=2,
+            file_size=8 * MIB,
+        )
+        result = run_dfsio_boldio(
+            system, mode="read", num_datanodes=2, maps_per_node=2,
+            file_size=8 * MIB,
+        )
+        assert result.cache_hits == 32
+        assert result.cache_misses == 0
+
+    def test_invalid_mode(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            run_dfsio_boldio(system, mode="append")
+
+    def test_map_stream_caps_throughput(self):
+        """4 maps at 180 MB/s cannot exceed 720 MB/s aggregate."""
+        system = make_system()
+        result = run_dfsio_boldio(
+            system, mode="write", num_datanodes=1, maps_per_node=4,
+            file_size=16 * MIB,
+        )
+        assert result.throughput <= 4 * 180e6 * 1.05
+
+
+class TestLustreDirect:
+    def make_env(self):
+        sim = Simulator()
+        fabric = Fabric(sim, RI_QDR)
+        return sim, fabric, LustreFS(sim, fabric)
+
+    def test_write_then_read(self):
+        sim, fabric, lustre = self.make_env()
+        write = run_dfsio_lustre(
+            sim, fabric, lustre, mode="write", num_datanodes=2,
+            maps_per_node=2, file_size=8 * MIB,
+        )
+        read = run_dfsio_lustre(
+            sim, fabric, lustre, mode="read", num_datanodes=2,
+            maps_per_node=2, file_size=8 * MIB,
+        )
+        assert write.backend == "lustre-direct"
+        assert write.total_bytes == read.total_bytes == 4 * 8 * MIB
+        assert lustre.total_bytes_written == 4 * 8 * MIB
+
+    def test_invalid_mode(self):
+        sim, fabric, lustre = self.make_env()
+        with pytest.raises(ValueError):
+            run_dfsio_lustre(sim, fabric, lustre, mode="scan")
+
+
+class TestFigure13Shape:
+    def test_boldio_write_beats_lustre_direct(self):
+        """The burst buffer absorbs writes at memory speed (Fig. 13a)."""
+        system = make_system()
+        boldio = run_dfsio_boldio(
+            system, mode="write", num_datanodes=8, maps_per_node=4,
+            file_size=16 * MIB,
+        )
+        sim = Simulator()
+        fabric = Fabric(sim, RI_QDR)
+        lustre = LustreFS(sim, fabric)
+        direct = run_dfsio_lustre(
+            sim, fabric, lustre, mode="write", num_datanodes=12,
+            maps_per_node=4, file_size=16 * MIB,
+        )
+        assert boldio.throughput > 1.8 * direct.throughput
+
+    def test_era_matches_async_rep(self):
+        """Fig. 13: Boldio_Era-CE-CD ~= Boldio_Async-Rep (<= 9% apart)."""
+        results = {}
+        for scheme in ("async-rep", "era-ce-cd"):
+            system = make_system(scheme)
+            results[scheme] = run_dfsio_boldio(
+                system, mode="write", num_datanodes=4, maps_per_node=4,
+                file_size=16 * MIB,
+            ).throughput
+        ratio = results["era-ce-cd"] / results["async-rep"]
+        assert 0.85 < ratio < 1.25

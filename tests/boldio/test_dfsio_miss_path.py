@@ -1,0 +1,66 @@
+"""TestDFSIO read-miss path: evicted chunks fall back to Lustre."""
+
+from repro.boldio.burstbuffer import BoldioSystem
+from repro.boldio.dfsio import run_dfsio_boldio
+from repro.boldio.lustre import LustreFS
+from repro.core.cluster import build_cluster
+
+MIB = 1024 * 1024
+
+
+class TestReadAfterEviction:
+    def test_undersized_buffer_forces_lustre_fallback(self):
+        """A burst buffer smaller than the job spills; reads must survive
+        via Lustre and be slower than cache-resident reads."""
+        # 5 x 16 MiB buffer vs a 64 MiB job: most chunks get evicted
+        cluster = build_cluster(
+            scheme="async-rep", servers=5, memory_per_server=16 * MIB
+        )
+        lustre = LustreFS(cluster.sim, cluster.fabric)
+        system = BoldioSystem(cluster, lustre)
+
+        write = run_dfsio_boldio(
+            system, mode="write", num_datanodes=2, maps_per_node=2,
+            file_size=16 * MIB,
+        )
+        assert write.total_bytes == 64 * MIB
+
+        # everything that was stored must be persisted before reading
+        def drain():
+            yield from system.drain_flushes()
+
+        cluster.sim.run(cluster.sim.process(drain()))
+
+        read = run_dfsio_boldio(
+            system, mode="read", num_datanodes=2, maps_per_node=2,
+            file_size=16 * MIB,
+        )
+        assert read.cache_misses > 0  # evictions forced the PFS path
+        assert read.cache_hits + read.cache_misses == 64
+        assert lustre.total_bytes_read > 0
+
+    def test_fallback_read_slower_than_cached(self):
+        def read_throughput(memory):
+            cluster = build_cluster(
+                scheme="async-rep", servers=5, memory_per_server=memory
+            )
+            lustre = LustreFS(cluster.sim, cluster.fabric)
+            system = BoldioSystem(cluster, lustre)
+            run_dfsio_boldio(
+                system, mode="write", num_datanodes=2, maps_per_node=2,
+                file_size=16 * MIB,
+            )
+
+            def drain():
+                yield from system.drain_flushes()
+
+            cluster.sim.run(cluster.sim.process(drain()))
+            result = run_dfsio_boldio(
+                system, mode="read", num_datanodes=2, maps_per_node=2,
+                file_size=16 * MIB,
+            )
+            return result.throughput
+
+        cached = read_throughput(1024 * MIB)
+        spilled = read_throughput(16 * MIB)
+        assert spilled < cached

@@ -1,0 +1,171 @@
+"""Lustre model: MDS, striping, and disk-bandwidth serialization."""
+
+import pytest
+
+from repro.boldio.lustre import MDS_SERVICE_TIME, DiskTimeline, LustreFS
+from repro.network.fabric import Fabric
+from repro.network.profiles import RI_QDR
+from repro.simulation import Simulator
+from repro.store.protocol import PendingTable
+
+MIB = 1024 * 1024
+
+
+class FakeNode:
+    """Minimal Lustre client: endpoint + pending table + dispatch."""
+
+    def __init__(self, sim, fabric, name):
+        self.sim = sim
+        self.name = name
+        self.endpoint = fabric.add_node(name)
+        self.pending = PendingTable(sim)
+        self._seq = iter(range(1, 10_000))
+        sim.process(self._loop())
+
+    def next_req_id(self):
+        return next(self._seq)
+
+    def _loop(self):
+        from repro.store.protocol import Response
+
+        while True:
+            message = yield self.endpoint.inbox.get()
+            if isinstance(message.payload, Response):
+                self.pending.complete(message.payload)
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    fabric = Fabric(sim, RI_QDR)
+    lustre = LustreFS(sim, fabric, num_osts=4)
+    node = FakeNode(sim, fabric, "client-node")
+    return sim, fabric, lustre, node
+
+
+class TestDiskTimeline:
+    def test_sequential_reservation(self):
+        sim = Simulator()
+        disk = DiskTimeline(sim, write_bandwidth=100.0, read_bandwidth=50.0)
+        first = disk.reserve(100, is_write=True)
+        second = disk.reserve(100, is_write=True)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_read_write_asymmetry(self):
+        sim = Simulator()
+        disk = DiskTimeline(sim, write_bandwidth=100.0, read_bandwidth=50.0)
+        assert disk.reserve(100, is_write=False) == pytest.approx(2.0)
+
+    def test_byte_counters(self):
+        sim = Simulator()
+        disk = DiskTimeline(sim, 100.0, 100.0)
+        disk.reserve(30, is_write=True)
+        disk.reserve(70, is_write=False)
+        assert disk.bytes_written == 30
+        assert disk.bytes_read == 70
+
+
+class TestMetadata:
+    def test_create_registers_file(self, env):
+        sim, _fabric, lustre, _node = env
+        sim.run(lustre.create("/f1"))
+        assert lustre.exists("/f1")
+        assert lustre.stat("/f1").stripe_count == 4
+        assert sim.now == pytest.approx(MDS_SERVICE_TIME)
+
+    def test_mds_queueing(self, env):
+        sim, _fabric, lustre, _node = env
+        events = [lustre.create("/f%d" % i) for i in range(3)]
+        sim.run(sim.all_of(events))
+        assert sim.now == pytest.approx(3 * MDS_SERVICE_TIME)
+
+    def test_stat_missing(self, env):
+        _sim, _fabric, lustre, _node = env
+        assert lustre.stat("/ghost") is None
+
+
+class TestStriping:
+    def test_round_robin_over_osts(self, env):
+        _sim, _fabric, lustre, _node = env
+        osts = [lustre.ost_for("/f", i).name for i in range(8)]
+        assert len(set(osts[:4])) == 4  # four consecutive stripes, four OSTs
+        assert osts[:4] == osts[4:]  # wraps around
+
+    def test_different_files_start_on_different_osts(self, env):
+        _sim, _fabric, lustre, _node = env
+        starts = {lustre.ost_for("/file-%d" % i, 0).name for i in range(30)}
+        assert len(starts) > 1
+
+
+class TestDataPath:
+    def test_write_then_size_recorded(self, env):
+        sim, _fabric, lustre, node = env
+
+        def body():
+            yield lustre.create("/f")
+            response = yield lustre.write_stripe(node, "/f", 0, MIB)
+            response2 = yield lustre.write_stripe(node, "/f", 1, MIB)
+            return response.ok, response2.ok
+
+        ok1, ok2 = sim.run(sim.process(body()))
+        assert ok1 and ok2
+        assert lustre.stat("/f").size == 2 * MIB
+        assert lustre.total_bytes_written == 2 * MIB
+
+    def test_write_unknown_file_raises(self, env):
+        _sim, _fabric, lustre, node = env
+        with pytest.raises(KeyError):
+            lustre.write_stripe(node, "/missing", 0, MIB)
+
+    def test_read_returns_sized_payload(self, env):
+        sim, _fabric, lustre, node = env
+
+        def body():
+            yield lustre.create("/f")
+            yield lustre.write_stripe(node, "/f", 0, MIB)
+            response = yield lustre.read_stripe(node, "/f", 0, MIB)
+            return response
+
+        response = sim.run(sim.process(body()))
+        assert response.ok
+        assert response.value.size == MIB
+        assert lustre.total_bytes_read == MIB
+
+    def test_disk_bandwidth_limits_throughput(self, env):
+        sim, _fabric, lustre, node = env
+        total = 64 * MIB
+
+        def body():
+            yield lustre.create("/big")
+            events = [
+                lustre.write_stripe(node, "/big", i, MIB)
+                for i in range(total // MIB)
+            ]
+            for event in events:
+                yield event
+
+        sim.run(sim.process(body()))
+        # 64 MiB over 4 OSTs at 440 MB/s each: at least the disk time
+        min_time = (total / 4) / 440e6
+        assert sim.now >= min_time
+
+    def test_parallel_osts_faster_than_one(self):
+        def run(num_osts):
+            sim = Simulator()
+            fabric = Fabric(sim, RI_QDR)
+            lustre = LustreFS(sim, fabric, num_osts=num_osts)
+            node = FakeNode(sim, fabric, "n")
+
+            def body():
+                yield lustre.create("/f")
+                events = [
+                    lustre.write_stripe(node, "/f", i, MIB) for i in range(16)
+                ]
+                for event in events:
+                    yield event
+
+            sim.run(sim.process(body()))
+            return sim.now
+
+        assert run(4) < run(1)

@@ -1,0 +1,55 @@
+"""Payload abstraction: real-bytes vs size-only semantics."""
+
+import pytest
+
+from repro.common.payload import Payload
+
+
+class TestConstruction:
+    def test_from_bytes(self):
+        payload = Payload.from_bytes(b"hello")
+        assert payload.size == 5
+        assert payload.has_data
+        assert payload.data == b"hello"
+
+    def test_sized(self):
+        payload = Payload.sized(1000)
+        assert payload.size == 1000
+        assert not payload.has_data
+        assert payload.data is None
+
+    def test_empty_bytes(self):
+        payload = Payload.from_bytes(b"")
+        assert payload.size == 0 and payload.has_data
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(3, b"toolong")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Payload.sized(-1)
+
+
+class TestSemantics:
+    def test_equality(self):
+        assert Payload.from_bytes(b"x") == Payload.from_bytes(b"x")
+        assert Payload.sized(5) == Payload.sized(5)
+        assert Payload.sized(5) != Payload.from_bytes(b"12345")
+        assert Payload.sized(5) != Payload.sized(6)
+
+    def test_equality_with_other_types(self):
+        assert Payload.sized(5) != "not a payload"
+
+    def test_checksum(self):
+        assert Payload.from_bytes(b"abc").checksum() == Payload.from_bytes(
+            b"abc"
+        ).checksum()
+        assert Payload.from_bytes(b"abc").checksum() != Payload.from_bytes(
+            b"abd"
+        ).checksum()
+        assert Payload.sized(10).checksum() is None
+
+    def test_repr_mentions_kind(self):
+        assert "bytes" in repr(Payload.from_bytes(b"x"))
+        assert "sized" in repr(Payload.sized(1))

@@ -1,0 +1,113 @@
+"""Statistics helpers: percentiles, summaries, recorders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import LatencyRecorder, Summary, percentile
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 0) == 5.0
+        assert percentile([5.0], 100) == 5.0
+
+    def test_extremes(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 3.0
+
+    def test_median_even_count_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_does_not_mutate_input(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 50)
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_bounded_by_min_max(self, samples):
+        for q in (0, 25, 50, 75, 95, 100):
+            value = percentile(samples, q)
+            assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                    max_size=50))
+    def test_monotone_in_q(self, samples):
+        values = [percentile(samples, q) for q in (0, 50, 95, 100)]
+        assert values == sorted(values)
+
+
+class TestSummary:
+    def test_of_samples(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.total == pytest.approx(10.0)
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_scaled(self):
+        summary = Summary.of([1.0, 3.0]).scaled(1e6)
+        assert summary.mean == pytest.approx(2e6)
+        assert summary.count == 2  # counts don't scale
+
+    def test_percentile_ordering(self):
+        summary = Summary.of(list(range(100)))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+class TestLatencyRecorder:
+    def test_record_and_summarize(self):
+        recorder = LatencyRecorder()
+        recorder.record("get", 1.0)
+        recorder.record("get", 3.0)
+        recorder.record("set", 5.0)
+        assert recorder.kinds() == ["get", "set"]
+        assert recorder.count("get") == 2
+        assert recorder.summary("get").mean == pytest.approx(2.0)
+
+    def test_extend(self):
+        recorder = LatencyRecorder()
+        recorder.extend("op", [0.1, 0.2, 0.3])
+        assert recorder.count("op") == 3
+
+    def test_negative_latency_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("get", -0.1)
+
+    def test_merged_summary(self):
+        recorder = LatencyRecorder()
+        recorder.record("a", 1.0)
+        recorder.record("b", 3.0)
+        assert recorder.merged_summary().count == 2
+        assert recorder.merged_summary().mean == pytest.approx(2.0)
+
+    def test_samples_returns_copy(self):
+        recorder = LatencyRecorder()
+        recorder.record("a", 1.0)
+        recorder.samples("a").append(99.0)
+        assert recorder.count("a") == 1
+
+    def test_unknown_kind_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.samples("nothing") == []
+        assert recorder.count("nothing") == 0

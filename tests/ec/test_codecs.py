@@ -1,0 +1,248 @@
+"""Codec correctness: every K-subset of chunks reconstructs the data."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    CauchyReedSolomon,
+    ErasureCodingError,
+    LiberationRaid6,
+    ReedSolomonVandermonde,
+    available_codecs,
+    make_codec,
+)
+from repro.ec import bitmatrix
+from repro.ec.matrix import SingularMatrixError
+
+ALL_CODECS = [
+    ReedSolomonVandermonde(3, 2),
+    CauchyReedSolomon(3, 2),
+    LiberationRaid6(3, 2),
+]
+
+
+def pattern_id(codec):
+    return codec.name
+
+
+@pytest.fixture(params=ALL_CODECS, ids=pattern_id)
+def codec(request):
+    return request.param
+
+
+DATA_SAMPLES = [
+    b"",
+    b"x",
+    b"hello world",
+    bytes(range(256)),
+    b"\x00" * 1000,
+    bytes((i * 37 + 11) % 256 for i in range(10_001)),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("data", DATA_SAMPLES, ids=lambda d: "len%d" % len(d))
+    def test_all_data_chunks(self, codec, data):
+        chunk_set = codec.encode(data)
+        out = codec.decode(chunk_set.subset(range(codec.k)), len(data))
+        assert out == data
+
+    @pytest.mark.parametrize("data", DATA_SAMPLES[2:4], ids=lambda d: "len%d" % len(d))
+    def test_every_k_subset_decodes(self, codec, data):
+        chunk_set = codec.encode(data)
+        for indices in itertools.combinations(range(codec.n), codec.k):
+            out = codec.decode(chunk_set.subset(indices), len(data))
+            assert out == data, "subset %s failed for %s" % (indices, codec.name)
+
+    def test_extra_chunks_are_fine(self, codec):
+        data = b"redundant" * 100
+        chunk_set = codec.encode(data)
+        out = codec.decode(chunk_set.subset(range(codec.n)), len(data))
+        assert out == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_property_random_payloads(self, data):
+        codec = make_codec("rs_van", 3, 2)
+        chunk_set = codec.encode(data)
+        # rotate through a few erasure patterns deterministically
+        for indices in ((0, 1, 2), (2, 3, 4), (0, 2, 4)):
+            assert codec.decode(chunk_set.subset(indices), len(data)) == data
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=2048),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_property_arbitrary_geometry_rs(self, data, k, m):
+        codec = ReedSolomonVandermonde(k, m)
+        chunk_set = codec.encode(data)
+        # drop the last m chunks: must still decode from the first k
+        assert codec.decode(chunk_set.subset(range(k)), len(data)) == data
+        # drop the first min(m, k) data chunks: decode from the tail
+        tail = list(range(codec.n))[m:][: codec.k]
+        if len(tail) == codec.k:
+            assert codec.decode(chunk_set.subset(tail), len(data)) == data
+
+
+class TestChunkGeometry:
+    def test_chunk_sizes_equal(self, codec):
+        chunk_set = codec.encode(b"q" * 1000)
+        sizes = {len(c) for c in chunk_set.chunks}
+        assert len(sizes) == 1
+        assert chunk_set.n == codec.n
+
+    def test_chunk_length_matches_encode(self, codec):
+        for size in (0, 1, 7, 1000, 65536, 100001):
+            data = b"z" * size
+            chunk_set = codec.encode(data)
+            assert chunk_set.chunk_size == codec.chunk_length(size)
+
+    def test_alignment_respected(self):
+        crs = CauchyReedSolomon(3, 2)
+        assert crs.chunk_length(1000) % crs.word_size == 0
+        lib = LiberationRaid6(3, 2)
+        assert lib.chunk_length(1000) % lib.word_size == 0
+
+    def test_storage_overhead(self, codec):
+        assert codec.storage_overhead == pytest.approx(codec.n / codec.k)
+        assert codec.tolerated_failures == codec.m
+
+
+class TestErrors:
+    def test_too_few_chunks(self, codec):
+        chunk_set = codec.encode(b"abc" * 50)
+        with pytest.raises(ErasureCodingError):
+            codec.decode(chunk_set.subset(range(codec.k - 1)), 150)
+
+    def test_mismatched_chunk_sizes(self, codec):
+        chunk_set = codec.encode(b"abc" * 50)
+        chunks = chunk_set.subset(range(codec.k))
+        chunks[0] = chunks[0] + b"extra!!!"
+        with pytest.raises(ErasureCodingError):
+            codec.decode(chunks, 150)
+
+    def test_out_of_range_index(self, codec):
+        chunk_set = codec.encode(b"abc" * 50)
+        chunks = {i - 1: c for i, c in chunk_set.subset(range(codec.k)).items()}
+        with pytest.raises(ErasureCodingError):
+            codec.decode(chunks, 150)
+
+    def test_data_len_exceeds_payload(self, codec):
+        chunk_set = codec.encode(b"abc")
+        with pytest.raises(ErasureCodingError):
+            codec.decode(chunk_set.subset(range(codec.k)), 10_000)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ReedSolomonVandermonde(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomonVandermonde(3, -1)
+        with pytest.raises(ValueError):
+            ReedSolomonVandermonde(200, 100)
+
+    def test_liberation_requires_m_2(self):
+        with pytest.raises(ValueError):
+            LiberationRaid6(3, 3)
+
+    def test_liberation_word_size_check(self):
+        with pytest.raises(ValueError):
+            LiberationRaid6(5, 2, word_size=3)
+
+
+class TestLiberationConstruction:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_mds_for_various_k(self, k):
+        codec = LiberationRaid6(k, 2)
+        data = bytes((i * 13 + k) % 256 for i in range(777))
+        chunk_set = codec.encode(data)
+        for indices in itertools.combinations(range(codec.n), codec.k):
+            assert codec.decode(chunk_set.subset(indices), len(data)) == data
+
+    def test_minimum_density(self):
+        codec = LiberationRaid6(3, 2)
+        w, k = codec.word_size, codec.k
+        q_rows = codec.bit_generator[(k + 1) * w :]
+        # Liberation density: k*w ones for the shifts + (k-1) extra bits.
+        assert int(q_rows.sum()) == k * w + (k - 1)
+
+    def test_construction_is_deterministic(self):
+        a = LiberationRaid6(4, 2)
+        b = LiberationRaid6(4, 2)
+        assert np.array_equal(a.bit_generator, b.bit_generator)
+
+
+class TestBitmatrixHelpers:
+    def test_element_bitmatrix_multiplies(self):
+        from repro.ec import gf256
+
+        for a in (1, 2, 0x1D, 255):
+            mat = bitmatrix.element_to_bitmatrix(a)
+            for b in (1, 3, 0x80):
+                vec = np.array(
+                    [(b >> i) & 1 for i in range(8)], dtype=np.uint8
+                )
+                product_bits = mat.dot(vec) % 2
+                product = sum(int(bit) << i for i, bit in enumerate(product_bits))
+                assert product == gf256.gf_mul(a, b)
+
+    def test_bitmatrix_invert_roundtrip(self):
+        mat = bitmatrix.element_to_bitmatrix(0x53)
+        inv = bitmatrix.bitmatrix_invert(mat)
+        assert np.array_equal(mat.dot(inv) % 2, np.eye(8, dtype=np.uint8))
+
+    def test_bitmatrix_invert_singular(self):
+        with pytest.raises(SingularMatrixError):
+            bitmatrix.bitmatrix_invert(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rank(self):
+        assert bitmatrix.bitmatrix_rank(np.eye(5, dtype=np.uint8)) == 5
+        assert bitmatrix.bitmatrix_rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+    def test_shift_identity_is_permutation(self):
+        s = bitmatrix.shift_identity(7, 3)
+        assert s.sum() == 7
+        assert np.array_equal(s.sum(axis=0), np.ones(7, dtype=np.uint8))
+
+    def test_chunk_packet_roundtrip(self):
+        chunk = np.arange(64, dtype=np.uint8)
+        packets = bitmatrix.chunk_to_packets(chunk, 8)
+        assert len(packets) == 8
+        assert np.array_equal(bitmatrix.packets_to_chunk(packets), chunk)
+
+    def test_chunk_packets_alignment_error(self):
+        with pytest.raises(ValueError):
+            bitmatrix.chunk_to_packets(np.zeros(10, dtype=np.uint8), 8)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_codecs()) == {
+            "rs_van", "crs", "r6_lib", "lrc", "lt",
+        }
+
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("rs", "rs_van"),
+            ("reed_solomon", "rs_van"),
+            ("cauchy", "crs"),
+            ("liberation", "r6_lib"),
+            ("RS_VAN", "rs_van"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert make_codec(alias, 3, 2).name == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_codec("raptor", 3, 2)
+
+    def test_instances_cached(self):
+        assert make_codec("rs_van", 3, 2) is make_codec("rs", 3, 2)
+        assert make_codec("rs_van", 4, 2) is not make_codec("rs_van", 3, 2)

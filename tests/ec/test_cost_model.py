@@ -1,0 +1,97 @@
+"""Cost model: calibration shape against the paper's Figure 4."""
+
+import pytest
+
+from repro.ec.cost_model import CodingCostModel, SchemeCost
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def model():
+    return CodingCostModel()
+
+
+class TestFigure4Shape:
+    @pytest.mark.parametrize("size", [KIB, 16 * KIB, 256 * KIB, MIB])
+    def test_rs_van_fastest_in_kv_range(self, model, size):
+        """Section III-B: RS_Van wins for 1 KB - 1 MB key-value pairs."""
+        rs = model.encode_time("rs_van", size, 3, 2)
+        crs = model.encode_time("crs", size, 3, 2)
+        lib = model.encode_time("r6_lib", size, 3, 2)
+        assert rs < crs
+        assert rs < lib
+
+    def test_bitmatrix_codes_win_at_huge_sizes(self, model):
+        """CRS/Liberation are tuned for ~256 MB objects (Plank 2009)."""
+        size = 256 * MIB
+        rs = model.encode_time("rs_van", size, 3, 2)
+        assert model.encode_time("crs", size, 3, 2) < rs
+        assert model.encode_time("r6_lib", size, 3, 2) < rs
+
+    def test_one_mb_encode_is_a_few_hundred_microseconds(self, model):
+        """The paper observes 'a noticeable overhead (few 100 us)'."""
+        t = model.encode_time("rs_van", MIB, 3, 2)
+        assert 100e-6 < t < 1000e-6
+
+    def test_encode_monotone_in_size(self, model):
+        times = [
+            model.encode_time("rs_van", s, 3, 2)
+            for s in (KIB, 4 * KIB, 64 * KIB, MIB)
+        ]
+        assert times == sorted(times)
+
+    def test_two_failures_cost_more_than_one(self, model):
+        one = model.decode_time("rs_van", MIB, 3, 2, 1)
+        two = model.decode_time("rs_van", MIB, 3, 2, 2)
+        assert two > one
+
+
+class TestSemantics:
+    def test_no_parity_means_free_encode(self, model):
+        assert model.encode_time("rs_van", MIB, 3, 0) == 0.0
+
+    def test_zero_erasures_is_cheap_reassembly(self, model):
+        passthrough = model.decode_time("rs_van", MIB, 3, 2, 0)
+        real = model.decode_time("rs_van", MIB, 3, 2, 1)
+        assert passthrough < real / 3
+
+    def test_erasures_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.decode_time("rs_van", MIB, 3, 2, 3)
+        with pytest.raises(ValueError):
+            model.decode_time("rs_van", MIB, 3, 2, -1)
+
+    def test_unknown_scheme(self, model):
+        with pytest.raises(KeyError):
+            model.encode_time("raptor", MIB, 3, 2)
+
+    def test_cpu_speed_scales_everything(self):
+        slow = CodingCostModel(cpu_speed_factor=1.0)
+        fast = CodingCostModel(cpu_speed_factor=2.0)
+        s = slow.encode_time("rs_van", MIB, 3, 2)
+        f = fast.encode_time("rs_van", MIB, 3, 2)
+        assert f == pytest.approx(s / 2)
+
+    def test_cpu_speed_validation(self):
+        with pytest.raises(ValueError):
+            CodingCostModel(cpu_speed_factor=0)
+
+    def test_replication_copy_cheaper_than_encode(self, model):
+        assert model.replication_copy_time(MIB) < model.encode_time(
+            "rs_van", MIB, 3, 2
+        )
+
+    def test_custom_cost_table(self):
+        custom = CodingCostModel(
+            costs={"flat": SchemeCost(1e-6, 0.0, 0.0, 1)}
+        )
+        assert custom.encode_time("flat", MIB, 3, 2) == pytest.approx(1e-6)
+
+    def test_piecewise_boundary(self):
+        cost = SchemeCost(setup=0.0, per_byte=1.0, large_per_byte=0.5,
+                          cache_boundary=100)
+        assert cost.time_for_work(100) == pytest.approx(100.0)
+        assert cost.time_for_work(200) == pytest.approx(100.0 + 50.0)
+        assert cost.time_for_work(0) == 0.0

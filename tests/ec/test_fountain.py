@@ -1,0 +1,130 @@
+"""Systematic LT fountain code: peeling decode and honest guarantees."""
+
+import itertools
+
+import pytest
+
+from repro.ec import make_codec
+from repro.ec.base import ErasureCodingError
+from repro.ec.fountain import FountainLT
+
+
+def patterned(size):
+    return bytes((i * 29 + 3) % 256 for i in range(size))
+
+
+@pytest.fixture(scope="module")
+def lt33():
+    return FountainLT(3, 3)
+
+
+class TestConstruction:
+    def test_guarantee_verified_not_assumed(self, lt33):
+        """XOR codes cannot be MDS for m >= 2: the guarantee is < m."""
+        assert 1 <= lt33.tolerated_failures < lt33.m
+
+    def test_lt33_matches_rs32_tolerance_at_higher_storage(self, lt33):
+        """The fountain trade: RS(3,2)'s tolerance for 2.0x storage."""
+        assert lt33.tolerated_failures == 2
+        assert lt33.storage_overhead == pytest.approx(2.0)
+
+    def test_deterministic_construction(self):
+        a = FountainLT(4, 3)
+        b = FountainLT(4, 3)
+        assert a.neighbourhoods == b.neighbourhoods
+        assert a.guaranteed == b.guaranteed
+
+    def test_degrees_at_least_two(self, lt33):
+        assert all(len(n) >= 2 for n in lt33.neighbourhoods)
+        assert lt33.average_degree() >= 2.0
+
+    def test_needs_a_coded_chunk(self):
+        with pytest.raises(ValueError):
+            FountainLT(3, 0)
+
+    def test_registry(self):
+        codec = make_codec("lt", 3, 3)
+        assert isinstance(codec, FountainLT)
+        assert make_codec("fountain", 3, 3) is codec
+
+
+class TestDecode:
+    @pytest.mark.parametrize("size", [1, 100, 9999])
+    def test_all_guaranteed_patterns(self, lt33, size):
+        data = patterned(size)
+        chunk_set = lt33.encode(data)
+        for t in range(1, lt33.tolerated_failures + 1):
+            for erased in itertools.combinations(range(lt33.n), t):
+                available = {
+                    i: chunk_set.chunks[i]
+                    for i in range(lt33.n)
+                    if i not in erased
+                }
+                assert lt33.decode(available, len(data)) == data, erased
+
+    def test_beyond_guarantee_most_patterns_still_decode(self, lt33):
+        """The probabilistic fountain regime."""
+        rate = lt33.decode_success_rate(lt33.m)
+        assert 0.5 < rate < 1.0
+
+    def test_undecodable_pattern_raises_or_reports(self, lt33):
+        data = patterned(500)
+        chunk_set = lt33.encode(data)
+        # find a failing pattern at m failures (exists since rate < 1)
+        bad = None
+        for erased in itertools.combinations(range(lt33.n), lt33.m):
+            survivors = [i for i in range(lt33.n) if i not in erased]
+            if not lt33.can_decode(survivors):
+                bad = erased
+                break
+        assert bad is not None
+        available = {
+            i: chunk_set.chunks[i] for i in range(lt33.n) if i not in bad
+        }
+        with pytest.raises(ErasureCodingError):
+            lt33.decode(available, len(data))
+
+    def test_systematic_fast_path(self, lt33):
+        data = patterned(300)
+        chunk_set = lt33.encode(data)
+        assert lt33.decode(chunk_set.subset(range(3)), len(data)) == data
+
+    def test_peeling_with_extra_symbols(self):
+        """More survivors than strictly needed: the peeler uses them."""
+        codec = FountainLT(4, 3)
+        data = patterned(4_000)
+        chunk_set = codec.encode(data)
+        available = chunk_set.subset(range(codec.n))  # everything
+        assert codec.decode(available, len(data)) == data
+
+
+class TestInScheme:
+    def test_lt_in_full_cluster(self):
+        from repro.common.payload import Payload
+        from repro.core.cluster import build_cluster
+
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=6, codec="lt", k=3, m=3,
+            memory_per_server=64 * 1024 * 1024,
+        )
+        client = cluster.add_client()
+        data = patterned(20_000)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            placement = cluster.ring.placement("key", 6)
+            cluster.fail_servers(placement[:2])  # guaranteed tolerance
+            return (yield from client.get("key"))
+
+        value = cluster.sim.run(cluster.sim.process(body()))
+        assert value.data == data
+
+    def test_lt_encode_cheaper_than_rs(self):
+        """The cost model prices XOR below GF table lookups."""
+        from repro.ec.cost_model import CodingCostModel
+
+        model = CodingCostModel()
+        mib = 1 << 20
+        assert model.encode_time("lt", mib, 3, 3) < model.encode_time(
+            "rs_van", mib, 3, 2
+        ) * 3 / 2  # even with one extra parity chunk of work

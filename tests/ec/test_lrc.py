@@ -1,0 +1,157 @@
+"""Locally Repairable Codes: construction, decode, and local repair."""
+
+import itertools
+
+import pytest
+
+from repro.ec import make_codec
+from repro.ec.base import ErasureCodingError
+from repro.ec.lrc import LocalReconstructionCode
+
+
+def patterned(size):
+    return bytes((i * 41 + 5) % 256 for i in range(size))
+
+
+@pytest.fixture(scope="module")
+def lrc622():
+    return LocalReconstructionCode(6, local_groups=2, global_parities=2)
+
+
+class TestConstruction:
+    def test_layout(self, lrc622):
+        assert lrc622.k == 6
+        assert lrc622.m == 4
+        assert lrc622.n == 10
+        assert lrc622.group_size == 3
+
+    def test_maximally_recoverable(self, lrc622):
+        """Azure-style: guaranteed tolerance reaches r + 1."""
+        assert lrc622.tolerated == 3
+
+    @pytest.mark.parametrize("k,l,r", [(4, 2, 1), (4, 2, 2), (6, 3, 2)])
+    def test_other_geometries_hit_target(self, k, l, r):
+        codec = LocalReconstructionCode(k, local_groups=l, global_parities=r)
+        assert codec.tolerated == r + 1
+
+    def test_group_must_divide(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(5, local_groups=2)
+
+    def test_negative_globals(self):
+        with pytest.raises(ValueError):
+            LocalReconstructionCode(4, local_groups=2, global_parities=-1)
+
+    def test_storage_overhead(self, lrc622):
+        assert lrc622.storage_overhead == pytest.approx(10 / 6)
+
+    def test_registry(self):
+        codec = make_codec("lrc", 6, 4)
+        assert isinstance(codec, LocalReconstructionCode)
+        assert codec.global_parities == 2
+        with pytest.raises(ValueError):
+            make_codec("lrc", 6, 2)
+
+
+class TestDecode:
+    def test_all_tolerated_patterns(self, lrc622):
+        data = patterned(9_000)
+        chunk_set = lrc622.encode(data)
+        for t in range(1, lrc622.tolerated + 1):
+            for erased in itertools.combinations(range(lrc622.n), t):
+                available = {
+                    i: chunk_set.chunks[i]
+                    for i in range(lrc622.n)
+                    if i not in erased
+                }
+                assert lrc622.decode(available, len(data)) == data, erased
+
+    def test_undecodable_pattern_raises(self, lrc622):
+        """A whole group plus its parity plus a global = 5 losses >
+        tolerance, and unrecoverable when it isolates a group."""
+        data = patterned(600)
+        chunk_set = lrc622.encode(data)
+        erased = {0, 1, 2, 6, 8}  # group 0 data + its local parity + global
+        available = {
+            i: chunk_set.chunks[i] for i in range(lrc622.n) if i not in erased
+        }
+        with pytest.raises(ErasureCodingError):
+            lrc622.decode(available, len(data))
+
+    def test_systematic_fast_path(self, lrc622):
+        data = patterned(300)
+        chunk_set = lrc622.encode(data)
+        available = chunk_set.subset(range(6))
+        assert lrc622.decode(available, len(data)) == data
+
+
+class TestLocalRepair:
+    def test_data_chunk_sources(self, lrc622):
+        sources = lrc622.local_repair_sources(1, list(range(10)))
+        assert sorted(sources) == [0, 2, 6]  # group 0 peers + local parity
+
+    def test_second_group(self, lrc622):
+        sources = lrc622.local_repair_sources(4, list(range(10)))
+        assert sorted(sources) == [3, 5, 7]
+
+    def test_local_parity_repair(self, lrc622):
+        sources = lrc622.local_repair_sources(6, list(range(10)))
+        assert sorted(sources) == [0, 1, 2]
+
+    def test_global_parity_has_no_local_repair(self, lrc622):
+        assert lrc622.local_repair_sources(8, list(range(10))) is None
+
+    def test_unavailable_source_blocks_local_repair(self, lrc622):
+        available = [i for i in range(10) if i != 0]
+        assert lrc622.local_repair_sources(1, available) is None
+
+    @pytest.mark.parametrize("lost", range(8))
+    def test_repair_chunk_correct(self, lrc622, lost):
+        data = patterned(4_000)
+        chunk_set = lrc622.encode(data)
+        sources = lrc622.local_repair_sources(
+            lost, [i for i in range(10) if i != lost]
+        )
+        rebuilt = lrc622.repair_chunk(
+            lost, {i: chunk_set.chunks[i] for i in sources}
+        )
+        assert rebuilt == chunk_set.chunks[lost]
+
+    def test_repair_reads_fewer_chunks_than_global_decode(self, lrc622):
+        """The entire point: locality 3+1 instead of K=6."""
+        sources = lrc622.local_repair_sources(0, list(range(1, 10)))
+        assert len(sources) == lrc622.group_size < lrc622.k
+
+    def test_wrong_sources_rejected(self, lrc622):
+        data = patterned(100)
+        chunk_set = lrc622.encode(data)
+        with pytest.raises(ErasureCodingError):
+            lrc622.repair_chunk(0, {3: chunk_set.chunks[3]})
+
+    def test_group_helpers_validate(self, lrc622):
+        with pytest.raises(ValueError):
+            lrc622.group_of(6)
+        with pytest.raises(ValueError):
+            lrc622.local_parity_index(2)
+
+
+class TestInScheme:
+    def test_lrc_in_full_cluster(self):
+        from repro.common.payload import Payload
+        from repro.core.cluster import build_cluster
+
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=10, codec="lrc", k=6, m=4,
+            memory_per_server=64 * 1024 * 1024,
+        )
+        client = cluster.add_client()
+        data = patterned(30_000)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            placement = cluster.ring.placement("key", 10)
+            cluster.fail_servers(placement[:3])  # tolerated = 3
+            return (yield from client.get("key"))
+
+        value = cluster.sim.run(cluster.sim.process(body()))
+        assert value.data == data

@@ -1,0 +1,131 @@
+"""Matrix algebra over GF(2^8): construction and inversion."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import gf256, matrix
+
+
+def is_identity(mat):
+    n = len(mat)
+    return all(
+        mat[i][j] == (1 if i == j else 0) for i in range(n) for j in range(n)
+    )
+
+
+class TestConstructors:
+    def test_identity(self):
+        assert is_identity(matrix.identity(4))
+
+    def test_zeros_shape(self):
+        z = matrix.zeros(2, 3)
+        assert len(z) == 2 and all(len(row) == 3 for row in z)
+        assert all(v == 0 for row in z for v in row)
+
+    def test_vandermonde_entries(self):
+        vand = matrix.vandermonde(4, 3)
+        for i in range(4):
+            for j in range(3):
+                assert vand[i][j] == gf256.gf_pow(i, j)
+
+    def test_vandermonde_too_many_rows(self):
+        with pytest.raises(ValueError):
+            matrix.vandermonde(257, 3)
+
+    def test_cauchy_all_square_submatrices_invertible(self):
+        c = matrix.cauchy(3, 3)
+        # every 2x2 minor must be nonsingular (Cauchy property)
+        for rows in itertools.combinations(range(3), 2):
+            for cols in itertools.combinations(range(3), 2):
+                minor = [[c[r][col] for col in cols] for r in rows]
+                matrix.invert(minor)  # should not raise
+
+    def test_cauchy_point_exhaustion(self):
+        with pytest.raises(ValueError):
+            matrix.cauchy(200, 100)
+
+
+class TestMatmul:
+    def test_identity_is_neutral(self):
+        a = matrix.vandermonde(3, 3)
+        assert matrix.matmul(a, matrix.identity(3)) == a
+        assert matrix.matmul(matrix.identity(3), a) == a
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix.matmul(matrix.zeros(2, 3), matrix.zeros(2, 3))
+
+    def test_known_product(self):
+        a = [[1, 2], [0, 1]]
+        b = [[1, 0], [3, 1]]
+        product = matrix.matmul(a, b)
+        assert product == [
+            [1 ^ gf256.gf_mul(2, 3), 2],
+            [3, 1],
+        ]
+
+
+class TestInvert:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_inverse_times_original_is_identity(self, n, rnd):
+        # random invertible matrix: start from identity, do row ops
+        mat = matrix.identity(n)
+        for _ in range(3 * n):
+            i, j = rnd.randrange(n), rnd.randrange(n)
+            coef = rnd.randrange(1, 256)
+            if i != j:
+                mat[i] = [a ^ gf256.gf_mul(coef, b) for a, b in zip(mat[i], mat[j])]
+            else:
+                mat[i] = [gf256.gf_mul(coef, a) for a in mat[i]]
+        inv = matrix.invert(mat)
+        assert is_identity(matrix.matmul(mat, inv))
+        assert is_identity(matrix.matmul(inv, mat))
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(matrix.SingularMatrixError):
+            matrix.invert([[1, 1], [1, 1]])
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(matrix.SingularMatrixError):
+            matrix.invert(matrix.zeros(3, 3))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            matrix.invert(matrix.zeros(2, 3))
+
+    def test_invert_does_not_mutate_input(self):
+        mat = [[2, 1], [1, 1]]
+        snapshot = [row[:] for row in mat]
+        matrix.invert(mat)
+        assert mat == snapshot
+
+
+class TestSystematicRS:
+    def test_top_block_is_identity(self):
+        gen = matrix.systematic_rs_matrix(5, 3)
+        assert is_identity([row[:] for row in gen[:3]])
+
+    @pytest.mark.parametrize("n,k", [(5, 3), (6, 4), (4, 2), (9, 6), (3, 1)])
+    def test_mds_every_k_rows_invertible(self, n, k):
+        gen = matrix.systematic_rs_matrix(n, k)
+        for rows in itertools.combinations(range(n), k):
+            sub = matrix.submatrix(gen, rows)
+            matrix.invert(sub)  # raises if the code were not MDS
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            matrix.systematic_rs_matrix(2, 3)
+        with pytest.raises(ValueError):
+            matrix.systematic_rs_matrix(3, 0)
+
+    def test_submatrix_picks_rows(self):
+        gen = matrix.systematic_rs_matrix(5, 3)
+        sub = matrix.submatrix(gen, [0, 4])
+        assert sub[0] == gen[0]
+        assert sub[1] == gen[4]
+        sub[0][0] ^= 1  # must be a copy
+        assert sub[0] != gen[0]

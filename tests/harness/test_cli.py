@@ -1,0 +1,31 @@
+"""The `python -m repro.harness` command-line runner."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("fig4", "fig8", "fig13"):
+            assert figure in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig4" in capsys.readouterr().out
+
+    def test_run_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "rs_van" in out
+        assert "encode_us" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_case_insensitive(self, capsys):
+        assert main(["FIG4"]) == 0
+        assert "rs_van" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Analytical latency models (Equations 1-8) and model-vs-simulation."""
+
+import pytest
+
+from repro.model import (
+    LatencyModel,
+    era_get_ideal,
+    era_get_latency,
+    era_set_ideal,
+    era_set_latency,
+    rep_get_latency,
+    rep_set_ideal,
+    rep_set_latency,
+    t_comm,
+)
+from repro.network.profiles import RI_QDR
+
+L = RI_QDR.link_latency
+B = RI_QDR.bandwidth
+MIB = 1024 * 1024
+
+
+class TestClosedForms:
+    def test_equation_1(self):
+        assert t_comm(MIB, L, B) == pytest.approx(L + MIB / B)
+
+    def test_equation_2_scales_with_factor(self):
+        assert rep_set_latency(MIB, L, B, 3) == pytest.approx(
+            3 * t_comm(MIB, L, B)
+        )
+
+    def test_equation_4_adds_t_check(self):
+        base = rep_get_latency(MIB, L, B)
+        checked = rep_get_latency(MIB, L, B, t_check=5e-6)
+        assert checked == pytest.approx(base + 5e-6)
+
+    def test_equation_3_n_chunk_writes(self):
+        t_enc = 300e-6
+        expected = t_enc + 5 * t_comm(MIB // 3, L, B)
+        assert era_set_latency(MIB, L, B, 3, 2, t_enc) == pytest.approx(expected)
+
+    def test_equation_5_k_chunk_reads(self):
+        t_dec = 200e-6
+        expected = t_dec + 3 * t_comm(MIB // 3, L, B)
+        assert era_get_latency(MIB, L, B, 3, t_dec) == pytest.approx(expected)
+
+    def test_ideal_set_beats_sequential_replication(self):
+        assert rep_set_ideal(MIB, L, B, 3) < rep_set_latency(MIB, L, B, 3)
+
+    def test_ideal_era_set_beats_sequential(self):
+        t_enc = 300e-6
+        assert era_set_ideal(MIB, L, B, 3, 2, t_enc) < era_set_latency(
+            MIB, L, B, 3, 2, t_enc
+        )
+
+    def test_ideal_era_get_beats_sequential(self):
+        assert era_get_ideal(MIB, L, B, 3, 0.0) < era_get_latency(
+            MIB, L, B, 3, 0.0
+        )
+
+    def test_era_set_moves_fewer_bytes_than_replication(self):
+        """The storage-bandwidth argument: N/K x D < F x D."""
+        era = era_set_ideal(MIB, L, B, 3, 2, 0.0)
+        rep = rep_set_ideal(MIB, L, B, 3)
+        assert era < rep
+
+
+class TestLatencyModelWrapper:
+    @pytest.fixture
+    def model(self):
+        return LatencyModel(RI_QDR)
+
+    def test_storage_overheads(self, model):
+        assert model.replication_storage_overhead(3) == 3.0
+        assert model.erasure_storage_overhead(3, 2) == pytest.approx(5 / 3)
+        assert model.storage_efficiency_gain(3, 3, 2) == pytest.approx(1.8)
+
+    def test_sync_rep_set_matches_equation(self, model):
+        assert model.sync_rep_set(MIB, 3) == pytest.approx(
+            rep_set_latency(MIB, L, B, 3)
+        )
+
+    def test_era_set_includes_encode_cost(self, model):
+        with_encode = model.era_set(MIB, 3, 2)
+        encode = model.cost_model.encode_time("rs_van", MIB, 3, 2)
+        assert with_encode > encode
+
+    def test_degraded_get_costs_more(self, model):
+        assert model.era_get(MIB, 3, 2, erased=2) > model.era_get(
+            MIB, 3, 2, erased=0
+        )
+
+    def test_overlapped_variants_cheaper(self, model):
+        assert model.era_set_overlapped(MIB, 3, 2) < model.era_set(MIB, 3, 2)
+        assert model.era_get_overlapped(MIB, 3, 2) < model.era_get(MIB, 3, 2)
+
+
+class TestModelVsSimulation:
+    """The simulator should land in the same ballpark as the equations."""
+
+    def test_sync_rep_set_within_model_envelope(self):
+        from repro.common.payload import Payload
+        from repro.core.cluster import build_cluster
+
+        cluster = build_cluster(
+            scheme="sync-rep", servers=5, memory_per_server=64 * MIB
+        )
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(MIB))
+
+        cluster.sim.run(cluster.sim.process(body()))
+        simulated = cluster.sim.now
+        model = LatencyModel(RI_QDR)
+        predicted = model.sync_rep_set(MIB, 3)
+        # the simulator adds response trips and software costs; same scale
+        assert predicted * 0.5 < simulated < predicted * 3
+
+    def test_era_ce_set_between_ideal_and_sequential(self):
+        from repro.common.payload import Payload
+        from repro.core.cluster import build_cluster
+
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=5, memory_per_server=64 * MIB
+        )
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(MIB))
+
+        cluster.sim.run(cluster.sim.process(body()))
+        simulated = cluster.sim.now
+        model = LatencyModel(RI_QDR)
+        assert simulated < model.era_set(MIB, 3, 2) * 1.5
+        assert simulated > model.era_set_overlapped(MIB, 3, 2) * 0.5

@@ -1,0 +1,103 @@
+"""Property-based network model checks: timing sanity under random loads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fabric import Fabric
+from repro.network.profiles import RI_QDR
+from repro.simulation import Simulator
+
+
+def build(num_nodes=4):
+    sim = Simulator()
+    fabric = Fabric(sim, RI_QDR)
+    for i in range(num_nodes):
+        fabric.add_node("n%d" % i)
+    return sim, fabric
+
+
+class TestTimingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=10 * 1024 * 1024))
+    def test_transfer_never_beats_physics(self, size):
+        """Completion time >= latency + size/bandwidth, always."""
+        sim, fabric = build(2)
+        sim.run(fabric.send("n0", "n1", size))
+        floor = RI_QDR.link_latency + size / RI_QDR.bandwidth
+        assert sim.now >= floor
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=1024 * 1024),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_aggregate_bandwidth_conserved(self, message_sizes):
+        """N messages through one egress take at least sum(bytes)/B."""
+        sim, fabric = build(4)
+        events = [
+            fabric.send("n0", "n%d" % (1 + i % 3), size)
+            for i, size in enumerate(message_sizes)
+        ]
+        sim.run(sim.all_of(events))
+        assert sim.now >= sum(message_sizes) / RI_QDR.bandwidth
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=512 * 1024),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_fifo_delivery_per_protocol_class(self, message_sizes):
+        """Same-protocol messages on one (src, dst) pair arrive in send
+        order.  (A small eager message may legitimately overtake a large
+        rendezvous transfer whose handshake is still in flight.)"""
+        sim, fabric = build(2)
+        order = []
+        for index, size in enumerate(message_sizes):
+            event = fabric.send("n0", "n1", size, payload=index)
+            eager = size <= RI_QDR.eager_threshold
+
+            def _on_arrival(e, index=index, eager=eager):
+                order.append((index, eager))
+
+            event.callbacks.append(_on_arrival)
+        sim.run()
+        eager_order = [i for i, is_eager in order if is_eager]
+        rendezvous_order = [i for i, is_eager in order if not is_eager]
+        assert eager_order == sorted(eager_order)
+        assert rendezvous_order == sorted(rendezvous_order)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=1024 * 1024))
+    def test_determinism(self, size):
+        def once():
+            sim, fabric = build(3)
+            events = [
+                fabric.send("n0", "n1", size),
+                fabric.send("n0", "n2", size // 2 + 1),
+                fabric.rdma_read("n1", "n2", size),
+            ]
+            sim.run(sim.all_of(events))
+            return sim.now
+
+        assert once() == once()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=1024 * 1024),
+        st.integers(min_value=1, max_value=1024 * 1024),
+    )
+    def test_bigger_payload_never_arrives_sooner(self, a, b):
+        small, large = sorted((a, b))
+
+        def time_for(size):
+            sim, fabric = build(2)
+            sim.run(fabric.send("n0", "n1", size))
+            return sim.now
+
+        assert time_for(small) <= time_for(large) + 1e-12

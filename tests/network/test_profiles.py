@@ -1,0 +1,65 @@
+"""Cluster profile definitions and lookup."""
+
+import pytest
+
+from repro.network.profiles import (
+    RI2_EDR,
+    RI_QDR,
+    SDSC_COMET,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_bandwidth_ordering_matches_interconnect_generations(self):
+        assert RI_QDR.bandwidth < SDSC_COMET.bandwidth < RI2_EDR.bandwidth
+
+    def test_latency_ordering(self):
+        assert RI2_EDR.link_latency < SDSC_COMET.link_latency < RI_QDR.link_latency
+
+    def test_cpu_factor_ordering(self):
+        """Westmere < Haswell < Broadwell (the paper's attribution for the
+        larger RI2-EDR gains)."""
+        assert RI_QDR.cpu_speed_factor == 1.0
+        assert RI_QDR.cpu_speed_factor < SDSC_COMET.cpu_speed_factor
+        assert SDSC_COMET.cpu_speed_factor < RI2_EDR.cpu_speed_factor
+
+    def test_eager_threshold_is_16k(self):
+        """RDMA-Memcached switches protocols at 16 KB (Section VI-C)."""
+        for profile in (RI_QDR, SDSC_COMET, RI2_EDR):
+            assert profile.eager_threshold == 16 * 1024
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("ri-qdr") is RI_QDR
+        assert profile_by_name("SDSC-COMET") is SDSC_COMET
+        assert profile_by_name("ri2-edr") is RI2_EDR
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            profile_by_name("summit")
+
+
+class TestIPoIB:
+    def test_ipoib_lookup(self):
+        ipoib = profile_by_name("sdsc-comet-ipoib")
+        assert ipoib.name == "sdsc-comet-ipoib"
+        assert not ipoib.is_rdma
+
+    def test_ipoib_is_slower(self):
+        base = RI_QDR
+        ipoib = base.to_ipoib()
+        assert ipoib.link_latency > 10 * base.link_latency
+        assert ipoib.bandwidth < base.bandwidth
+
+    def test_ipoib_charges_receive_cpu(self):
+        ipoib = RI_QDR.to_ipoib()
+        assert ipoib.recv_cpu_per_message > 0
+        assert ipoib.recv_cpu_per_byte > 0
+        assert RI_QDR.recv_cpu_per_message == 0
+
+    def test_ipoib_has_no_eager_rendezvous_split(self):
+        assert RI_QDR.to_ipoib().eager_threshold == 0
+
+    def test_base_profile_untouched(self):
+        RI_QDR.to_ipoib()
+        assert RI_QDR.is_rdma

@@ -1,0 +1,318 @@
+"""Erasure-coded schemes: placement, degraded reads, and all four designs."""
+
+import itertools
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.resilience.erasure import chunk_key
+from repro.store.client import KVStoreError
+
+MIB = 1024 * 1024
+ERA_SCHEMES = ["era-ce-cd", "era-se-sd", "era-se-cd", "era-ce-sd"]
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+def fresh(scheme, **kwargs):
+    kwargs.setdefault("servers", 5)
+    kwargs.setdefault("memory_per_server", 64 * MIB)
+    return build_cluster(scheme=scheme, **kwargs)
+
+
+def patterned(size):
+    return bytes((i * 31 + 7) % 256 for i in range(size))
+
+
+class TestChunkPlacement:
+    @pytest.mark.parametrize("scheme", ERA_SCHEMES)
+    def test_five_chunks_one_per_server(self, scheme):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(patterned(3000)))
+
+        drive(cluster, body())
+        placement = cluster.ring.placement("key", 5)
+        for index, server_name in enumerate(placement):
+            item = cluster.servers[server_name].cache.peek(chunk_key("key", index))
+            assert item is not None, (scheme, index)
+            assert item.meta["data_len"] == 3000
+
+    def test_chunk_sizes_are_value_over_k(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(3 * 1000))
+
+        drive(cluster, body())
+        placement = cluster.ring.placement("key", 5)
+        item = cluster.servers[placement[0]].cache.peek(chunk_key("key", 0))
+        assert item.value_len == 1000
+
+    def test_storage_overhead_is_n_over_k(self):
+        cluster = fresh("era-ce-cd")
+        assert cluster.scheme.storage_overhead == pytest.approx(5 / 3)
+        assert cluster.scheme.tolerated_failures == 2
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("scheme", ERA_SCHEMES)
+    @pytest.mark.parametrize("size", [1, 100, 4096, 100_000])
+    def test_healthy_roundtrip(self, scheme, size):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+        data = patterned(size)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            return (yield from client.get("key"))
+
+        value = drive(cluster, body())
+        assert value.data == data
+
+    @pytest.mark.parametrize("scheme", ERA_SCHEMES)
+    def test_sized_payload_roundtrip(self, scheme):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(5000))
+            return (yield from client.get("key"))
+
+        value = drive(cluster, body())
+        assert value.size == 5000
+
+    def test_miss_returns_none(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+
+        def body():
+            return (yield from client.get("ghost"))
+
+        assert drive(cluster, body()) is None
+
+
+class TestDegradedReads:
+    @pytest.mark.parametrize("scheme", ["era-ce-cd", "era-se-sd", "era-se-cd"])
+    @pytest.mark.parametrize("dead", list(itertools.combinations(range(5), 2)))
+    def test_any_two_failures_tolerated(self, scheme, dead):
+        """RS(3,2) must survive every 2-of-5 failure pattern with the
+        exact original bytes."""
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+        data = patterned(10_000)
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("key", 5)
+        cluster.fail_servers([placement[i] for i in dead])
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data, (scheme, dead)
+
+    def test_three_failures_unavailable(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("key", Payload.sized(1000))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("key", 5)
+        cluster.fail_servers(placement[:3])
+
+        def read():
+            try:
+                yield from client.get("key")
+            except KVStoreError:
+                return "unavailable"
+
+        assert drive(cluster, read()) == "unavailable"
+
+    def test_degraded_read_slower_than_healthy(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("key", Payload.sized(MIB))
+
+        drive(cluster, store())
+
+        def read():
+            yield from client.get("key")
+
+        healthy_start = cluster.sim.now
+        drive(cluster, read())
+        healthy = cluster.sim.now - healthy_start
+
+        placement = cluster.ring.placement("key", 5)
+        cluster.fail_servers(placement[:2])  # two *data* chunks lost
+        degraded_start = cluster.sim.now
+        drive(cluster, read())
+        degraded = cluster.sim.now - degraded_start
+        assert degraded > healthy * 1.2
+
+    def test_parity_failures_cost_nothing_extra_to_decode(self):
+        """Losing only parity chunks keeps the systematic fast path."""
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+        data = patterned(30_000)
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("key", 5)
+        cluster.fail_servers(placement[3:])  # parity holders only
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data
+
+    def test_evicted_chunk_recovered_from_parity(self):
+        """Data loss without node failure: chunk deleted on one server."""
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+        data = patterned(9_000)
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("key", 5)
+        cluster.servers[placement[1]].cache.delete(chunk_key("key", 1))
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data
+
+
+class TestServerSideDesigns:
+    def test_se_set_single_client_request(self):
+        """Era-SE: the client sends ONE request; servers fan out."""
+        cluster = fresh("era-se-cd")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(30_000))
+
+        drive(cluster, body())
+        assert client.endpoint.messages_sent == 1
+        fanned = sum(s.peer_requests_sent for s in cluster.servers.values())
+        assert fanned == 4  # primary pushed the other four chunks
+
+    def test_sd_get_single_client_request(self):
+        cluster = fresh("era-se-sd")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(30_000))
+            yield from client.get("key")
+
+        drive(cluster, body())
+        assert client.endpoint.messages_sent == 2  # one set, one get
+
+    def test_se_set_failover_when_primary_dead(self):
+        cluster = fresh("era-se-cd")
+        client = cluster.add_client()
+        placement = cluster.ring.placement("key", 5)
+        cluster.fail_servers([placement[0]])
+
+        def body():
+            return (yield from client.set("key", Payload.sized(10_000)))
+
+        assert drive(cluster, body()) is True
+        # the value must be recoverable despite the dead primary
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.size == 10_000
+
+    def test_sd_get_gather_uses_local_chunk(self):
+        """The gathering server reads its own chunk from local memory."""
+        cluster = fresh("era-se-sd")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(patterned(6_000)))
+            return (yield from client.get("key"))
+
+        value = drive(cluster, body())
+        assert value.data == patterned(6_000)
+        primary = cluster.ring.placement("key", 5)[0]
+        # gather fetched k-1 = 2 chunks from peers (plus 4 from se_set fan-out)
+        assert cluster.servers[primary].peer_requests_sent == 4 + 2
+
+    def test_ce_sd_combination(self):
+        cluster = fresh("era-ce-sd")
+        client = cluster.add_client()
+        data = patterned(12_345)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            return (yield from client.get("key"))
+
+        assert drive(cluster, body()).data == data
+
+
+class TestCodecChoices:
+    @pytest.mark.parametrize("codec", ["rs_van", "crs", "r6_lib"])
+    def test_all_codecs_work_in_scheme(self, codec):
+        cluster = fresh("era-ce-cd", codec=codec)
+        client = cluster.add_client()
+        data = patterned(5_000)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            placement = cluster.ring.placement("key", 5)
+            cluster.fail_servers(placement[:2])
+            return (yield from client.get("key"))
+
+        assert drive(cluster, body()).data == data
+
+    def test_custom_geometry(self):
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=6, k=4, m=2,
+            memory_per_server=64 * MIB,
+        )
+        client = cluster.add_client()
+        data = patterned(8_000)
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(data))
+            return (yield from client.get("key"))
+
+        assert drive(cluster, body()).data == data
+        placement = cluster.ring.placement("key", 6)
+        assert all(
+            cluster.servers[s].cache.peek(chunk_key("key", i)) is not None
+            for i, s in enumerate(placement)
+        )
+
+    def test_scheme_needs_enough_servers(self):
+        cluster = fresh("era-ce-cd", servers=4)  # n=5 > 4 servers
+        client = cluster.add_client()
+
+        def body():
+            try:
+                yield from client.set("key", Payload.sized(100))
+            except ValueError:
+                return "rejected"
+
+        assert drive(cluster, body()) == "rejected"

@@ -1,0 +1,116 @@
+"""Failure injection scheduling and the background repair extension."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.resilience.recovery import FailureInjector, RepairManager
+from repro.resilience.erasure import chunk_key
+
+MIB = 1024 * 1024
+
+
+def fresh(scheme="era-ce-cd", servers=5):
+    return build_cluster(
+        scheme=scheme, servers=servers, memory_per_server=64 * MIB
+    )
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+class TestFailureInjector:
+    def test_fail_at_scheduled_time(self):
+        cluster = fresh()
+        injector = FailureInjector(cluster)
+        injector.fail_at("server-0", when=5.0)
+
+        def probe():
+            yield cluster.sim.timeout(4.0)
+            before = cluster.servers["server-0"].alive
+            yield cluster.sim.timeout(2.0)
+            after = cluster.servers["server-0"].alive
+            return before, after
+
+        assert drive(cluster, probe()) == (True, False)
+
+    def test_recover_at(self):
+        cluster = fresh()
+        injector = FailureInjector(cluster)
+        injector.fail_at("server-1", when=1.0)
+        injector.recover_at("server-1", when=3.0)
+
+        def probe():
+            yield cluster.sim.timeout(10.0)
+            return cluster.servers["server-1"].alive
+
+        assert drive(cluster, probe()) is True
+        assert [entry[1] for entry in injector.log] == ["fail", "recover"]
+
+    def test_fail_now(self):
+        cluster = fresh()
+        injector = FailureInjector(cluster)
+        injector.fail_now(["server-2", "server-3"])
+        assert not cluster.servers["server-2"].alive
+        assert not cluster.servers["server-3"].alive
+
+    def test_unknown_server_rejected(self):
+        cluster = fresh()
+        injector = FailureInjector(cluster)
+        with pytest.raises(KeyError):
+            injector.fail_at("server-99", when=1.0)
+
+
+class TestRepairManager:
+    def test_repair_restores_fault_tolerance(self):
+        """After repair, the value must survive the *next* two failures."""
+        cluster = fresh(servers=6)  # one node outside the placement
+        scheme = cluster.scheme
+        client = cluster.add_client()
+        data = bytes((i * 3) % 256 for i in range(6000))
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = scheme.placement(cluster.ring, "key")
+        victim = placement[1]
+        cluster.fail_servers([victim])
+
+        repair = RepairManager(cluster, scheme)
+
+        def run_repair():
+            count = yield from repair.repair_server(victim, ["key"])
+            return count
+
+        assert drive(cluster, run_repair()) == 1
+        assert repair.repaired_bytes > 0
+
+        # the rebuilt chunk lives on a substitute node outside the placement
+        substitutes = [
+            name
+            for name, server in cluster.servers.items()
+            if name not in placement
+            and server.cache.peek(chunk_key("key", 1)) is not None
+        ]
+        assert substitutes
+
+    def test_repair_skips_unaffected_keys(self):
+        cluster = fresh(servers=6)
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("key", Payload.sized(1000))
+
+        drive(cluster, store())
+        placement = cluster.scheme.placement(cluster.ring, "key")
+        outside = next(
+            name for name in cluster.servers if name not in placement
+        )
+        repair = RepairManager(cluster, cluster.scheme)
+
+        def run_repair():
+            return (yield from repair.repair_server(outside, ["key"]))
+
+        assert drive(cluster, run_repair()) == 0

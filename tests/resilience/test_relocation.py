@@ -1,0 +1,99 @@
+"""Chunk-relocation metadata: placement overrides after repair."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.resilience.recovery import RepairManager
+
+MIB = 1024 * 1024
+
+
+def fresh(servers=6):
+    return build_cluster(
+        scheme="era-ce-cd", servers=servers, memory_per_server=64 * MIB
+    )
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+class TestChunkServers:
+    def test_defaults_to_placement(self):
+        cluster = fresh()
+        scheme = cluster.scheme
+        assert scheme.chunk_servers(cluster.ring, "k") == scheme.placement(
+            cluster.ring, "k"
+        )
+
+    def test_relocation_overrides_one_slot(self):
+        cluster = fresh()
+        scheme = cluster.scheme
+        placement = scheme.placement(cluster.ring, "k")
+        outside = next(
+            name for name in cluster.servers if name not in placement
+        )
+        scheme.record_relocation("k", 2, outside)
+        servers = scheme.chunk_servers(cluster.ring, "k")
+        assert servers[2] == outside
+        assert servers[0] == placement[0]
+
+    def test_fresh_set_clears_relocations(self):
+        cluster = fresh()
+        scheme = cluster.scheme
+        client = cluster.add_client()
+        placement = scheme.placement(cluster.ring, "key")
+        outside = next(
+            name for name in cluster.servers if name not in placement
+        )
+        scheme.record_relocation("key", 1, outside)
+
+        def body():
+            yield from client.set("key", Payload.sized(1000))
+
+        drive(cluster, body())
+        assert scheme.chunk_servers(cluster.ring, "key") == placement
+
+    def test_relocations_are_per_key(self):
+        cluster = fresh()
+        scheme = cluster.scheme
+        scheme.record_relocation("a", 0, "server-5")
+        assert scheme.chunk_servers(cluster.ring, "b") == scheme.placement(
+            cluster.ring, "b"
+        )
+
+
+class TestRepairedReadsUseRelocation:
+    def test_degraded_latency_restored_by_relocated_chunk(self):
+        """After repair, reads hit the substitute instead of decoding."""
+        cluster = fresh()
+        scheme = cluster.scheme
+        client = cluster.add_client()
+        data = bytes(i % 251 for i in range(30_000))
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = scheme.placement(cluster.ring, "key")
+        victim = placement[0]  # primary data chunk
+        cluster.servers[victim].fail()
+
+        repair = RepairManager(cluster, scheme)
+
+        def do_repair():
+            yield from repair.repair_server(victim, ["key"])
+
+        drive(cluster, do_repair())
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data
+        # the read decoded nothing: all data chunks were reachable
+        # (chunk 0 from the substitute node)
+        substitute = scheme.chunk_servers(cluster.ring, "key")[0]
+        assert substitute != victim
+        assert cluster.servers[substitute].alive

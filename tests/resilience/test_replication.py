@@ -1,0 +1,210 @@
+"""Replication schemes: placement, overlap, and failover."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.resilience.erasure import chunk_key
+from repro.store import protocol
+
+MIB = 1024 * 1024
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+def fresh(scheme, **kwargs):
+    kwargs.setdefault("servers", 5)
+    kwargs.setdefault("memory_per_server", 64 * MIB)
+    return build_cluster(scheme=scheme, **kwargs)
+
+
+class TestReplicaPlacement:
+    @pytest.mark.parametrize("scheme", ["sync-rep", "async-rep"])
+    def test_three_copies_stored(self, scheme):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.from_bytes(b"v" * 100))
+
+        drive(cluster, body())
+        placement = cluster.ring.placement("key", 3)
+        for name in placement:
+            assert cluster.servers[name].cache.peek("key") is not None
+        others = set(cluster.servers) - set(placement)
+        for name in others:
+            assert cluster.servers[name].cache.peek("key") is None
+
+    def test_replication_factor_respected(self):
+        cluster = fresh("sync-rep", replication_factor=2)
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(100))
+
+        drive(cluster, body())
+        stored = sum(
+            1 for s in cluster.servers.values() if s.cache.peek("key")
+        )
+        assert stored == 2
+
+    def test_storage_overhead_property(self):
+        cluster = fresh("async-rep")
+        assert cluster.scheme.storage_overhead == 3.0
+        assert cluster.scheme.tolerated_failures == 2
+
+    def test_factor_validation(self):
+        from repro.resilience.replication import SyncReplication
+
+        with pytest.raises(ValueError):
+            SyncReplication(0)
+
+
+class TestOverlap:
+    def test_async_set_faster_than_sync(self):
+        """Equation 6 vs Equation 2: overlapping replicas must win."""
+        times = {}
+        for scheme in ("sync-rep", "async-rep"):
+            cluster = fresh(scheme)
+            client = cluster.add_client()
+
+            def body():
+                yield from client.set("key", Payload.sized(256 * 1024))
+
+            drive(cluster, body())
+            times[scheme] = cluster.sim.now
+        assert times["async-rep"] < times["sync-rep"]
+
+    def test_get_reads_single_copy(self):
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(1000))
+            yield from client.get("key")
+
+        drive(cluster, body())
+        primary = cluster.ring.primary("key")
+        # only the primary saw the get
+        assert cluster.servers[primary].cache.total_gets == 1
+        for name, server in cluster.servers.items():
+            if name != primary:
+                assert server.cache.total_gets == 0
+
+
+class TestFailover:
+    @pytest.mark.parametrize("scheme", ["sync-rep", "async-rep"])
+    def test_get_fails_over_to_replica(self, scheme):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+        data = b"replicated!" * 10
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("key", 3)
+        cluster.fail_servers(placement[:2])
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data
+
+    def test_failover_charges_t_check(self):
+        from repro.resilience.base import T_CHECK
+
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("key", Payload.sized(100))
+
+        drive(cluster, store())
+        healthy_start = cluster.sim.now
+
+        def read():
+            yield from client.get("key")
+
+        drive(cluster, read())
+        healthy_time = cluster.sim.now - healthy_start
+
+        placement = cluster.ring.placement("key", 3)
+        cluster.fail_servers([placement[0]])
+        degraded_start = cluster.sim.now
+        drive(cluster, read())
+        degraded_time = cluster.sim.now - degraded_start
+        assert degraded_time > healthy_time + T_CHECK / 2
+
+    def test_all_replicas_dead_raises(self):
+        from repro.store.client import KVStoreError
+
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("key", Payload.sized(100))
+
+        drive(cluster, store())
+        cluster.fail_servers(cluster.ring.placement("key", 3))
+
+        def read():
+            try:
+                yield from client.get("key")
+            except KVStoreError:
+                return "unavailable"
+
+        assert drive(cluster, read()) == "unavailable"
+
+    def test_set_with_one_dead_replica_still_succeeds(self):
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+        placement = cluster.ring.placement("key", 3)
+        cluster.fail_servers([placement[2]])
+
+        def body():
+            return (yield from client.set("key", Payload.sized(100)))
+
+        assert drive(cluster, body()) is True
+
+    def test_miss_on_primary_is_authoritative(self):
+        """A live primary that lacks the key means NOT_FOUND, no failover."""
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+
+        def read():
+            return (yield from client.get("never-stored"))
+
+        assert drive(cluster, read()) is None
+        # only one server was asked
+        total_gets = sum(s.cache.total_gets for s in cluster.servers.values())
+        assert total_gets == 1
+
+
+class TestNoReplication:
+    def test_single_copy(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(50))
+
+        drive(cluster, body())
+        stored = sum(
+            1 for s in cluster.servers.values() if s.cache.peek("key")
+        )
+        assert stored == 1
+
+    def test_no_chunk_keys_created(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("key", Payload.sized(50))
+
+        drive(cluster, body())
+        for server in cluster.servers.values():
+            assert server.cache.peek(chunk_key("key", 0)) is None

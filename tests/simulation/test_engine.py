@@ -1,0 +1,333 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_run_until_time_stops_early(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_peek_empty_heap(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.timeout(2.5)
+        assert sim.peek() == 2.5
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+
+class TestProcesses:
+    def test_process_runs_to_completion(self, sim):
+        log = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        p = sim.process(proc())
+        assert sim.run(p) == 42
+
+    def test_process_is_event_waitable(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "done"
+
+        def parent():
+            result = yield sim.process(child())
+            return result, sim.now
+
+        p = sim.process(parent())
+        assert sim.run(p) == ("done", 2.0)
+
+    def test_timeout_value_passes_through(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        assert sim.run(sim.process(proc())) == "hello"
+
+    def test_exception_in_process_propagates(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_waiter_sees_child_exception(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except ValueError:
+                return "caught"
+
+        assert sim.run(sim.process(parent())) == "caught"
+
+    def test_yield_non_event_is_error(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim, "not a generator")
+
+    def test_is_alive_lifecycle(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yield_already_processed_event(self, sim):
+        timeout = sim.timeout(1.0, value="early")
+        sim.run()
+
+        def proc():
+            got = yield timeout  # fired long ago
+            return got
+
+        assert sim.run(sim.process(proc())) == "early"
+
+
+class TestEvents:
+    def test_manual_succeed(self, sim):
+        event = sim.event()
+
+        def proc():
+            value = yield event
+            return value
+
+        p = sim.process(proc())
+        event.succeed("payload")
+        assert sim.run(p) == "payload"
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_failed_event_raises_in_waiter(self, sim):
+        event = sim.event()
+
+        def proc():
+            try:
+                yield event
+            except RuntimeError:
+                return "handled"
+
+        p = sim.process(proc())
+        event.fail(RuntimeError("down"))
+        assert sim.run(p) == "handled"
+
+    def test_unhandled_failed_event_escapes_run(self, sim):
+        sim.event().fail(RuntimeError("unobserved"))
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_defused_failure_does_not_escape(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("defused"))
+        event.defuse()
+        sim.run()  # no raise
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        log = []
+        for tag in ("a", "b", "c"):
+            sim.timeout(1.0).callbacks.append(
+                lambda _e, t=tag: log.append(t)
+            )
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_two_runs_identical(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(name, delay):
+                yield sim.timeout(delay)
+                log.append((name, sim.now))
+                yield sim.timeout(delay)
+                log.append((name, sim.now))
+
+            for i in range(5):
+                sim.process(worker("w%d" % i, 0.5 + i * 0.1))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+    def test_event_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.processed_events == 2
+
+
+class TestConditions:
+    def test_all_of_gathers_values(self, sim):
+        events = [sim.timeout(i, value=i) for i in (3.0, 1.0, 2.0)]
+
+        def proc():
+            values = yield sim.all_of(events)
+            return values, sim.now
+
+        values, when = sim.run(sim.process(proc()))
+        assert values == [3.0, 1.0, 2.0]
+        assert when == 3.0
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def proc():
+            got = yield sim.all_of([])
+            return got
+
+        assert sim.run(sim.process(proc())) == []
+
+    def test_any_of_returns_first(self, sim):
+        slow = sim.timeout(5.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+
+        def proc():
+            event, value = yield sim.any_of([slow, fast])
+            return value, sim.now
+
+        assert sim.run(sim.process(proc())) == ("fast", 1.0)
+
+    def test_all_of_propagates_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+
+        def proc():
+            try:
+                yield sim.all_of([good, bad])
+            except RuntimeError:
+                return "failed"
+
+        p = sim.process(proc())
+        bad.fail(RuntimeError("nope"))
+        assert sim.run(p) == "failed"
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim, [other.timeout(1.0)])
+
+    def test_all_of_with_already_fired_events(self, sim):
+        first = sim.timeout(1.0, value="x")
+        sim.run()
+        second = sim.timeout(1.0, value="y")
+
+        def proc():
+            values = yield sim.all_of([first, second])
+            return values
+
+        assert sim.run(sim.process(proc())) == ["x", "y"]
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_waiting_process(self, sim):
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1.0)
+            p.interrupt("failure")
+
+        sim.process(attacker())
+        assert sim.run(p) == ("interrupted", "failure", 1.0)
+
+    def test_interrupt_dead_process_is_error(self, sim):
+        def quick():
+            yield sim.timeout(0.5)
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_run_until_event(self, sim):
+        marker = sim.timeout(2.0, value="mark")
+        sim.timeout(10.0)
+        assert sim.run(until=marker) == "mark"
+        assert sim.now == 2.0
+
+    def test_run_until_event_that_never_fires(self, sim):
+        stuck = sim.event()
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=stuck)

@@ -1,0 +1,197 @@
+"""Engine edge cases: exit, interrupts under contention, nested conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import (
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestProcessExit:
+    def test_exit_returns_value(self, sim):
+        def proc(process_ref):
+            yield sim.timeout(1.0)
+            process_ref[0].exit("early")
+            yield sim.timeout(100.0)  # never reached
+
+        ref = []
+        p = sim.process(proc(ref))
+        ref.append(p)
+        assert sim.run(p) == "early"
+        assert sim.now == 1.0
+
+
+class TestInterruptsUnderContention:
+    def test_interrupt_while_queued_on_resource(self, sim):
+        res = Resource(sim, 1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(10.0)
+            res.release(req)
+
+        def waiter():
+            req = res.request()
+            try:
+                yield req
+            except Interrupt:
+                res.cancel(req)
+                return "gave up"
+
+        sim.process(holder())
+        victim = sim.process(waiter())
+
+        def attacker():
+            yield sim.timeout(1.0)
+            victim.interrupt()
+
+        sim.process(attacker())
+        assert sim.run(victim) == "gave up"
+        assert res.queued == 0  # the cancelled request left the queue
+
+    def test_interrupted_process_can_keep_working(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                log.append(("interrupted", sim.now))
+            yield sim.timeout(2.0)
+            log.append(("resumed work", sim.now))
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(attacker())
+        sim.run()
+        assert log == [("interrupted", 1.0), ("resumed work", 3.0)]
+
+    def test_interrupt_fires_before_same_time_events(self, sim):
+        """Interrupts use priority 0: they preempt ordinary events."""
+        order = []
+
+        def victim():
+            try:
+                yield sim.timeout(5.0)
+                order.append("timeout")
+            except Interrupt:
+                order.append("interrupt")
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield sim.timeout(5.0)
+            if p.is_alive:
+                p.interrupt()
+
+        sim.process(attacker())
+        sim.run()
+        assert len(order) == 1  # exactly one outcome, never both
+
+
+class TestNestedConditions:
+    def test_all_of_any_of_composition(self, sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(5.0, value="slow")
+        other = sim.timeout(2.0, value="other")
+
+        def proc():
+            first = sim.any_of([fast, slow])
+            both = sim.all_of([first, other])
+            values = yield both
+            return values
+
+        (first_result, other_value) = sim.run(sim.process(proc()))
+        event, value = first_result
+        assert value == "fast"
+        assert other_value == "other"
+        assert sim.now == 2.0
+
+    def test_waiting_on_same_event_twice(self, sim):
+        shared = sim.timeout(3.0, value=42)
+        results = []
+
+        def waiter(name):
+            value = yield shared
+            results.append((name, value, sim.now))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.run()
+        assert results == [("a", 42, 3.0), ("b", 42, 3.0)]
+
+
+class TestStoreChannelPatterns:
+    def test_producer_consumer_pipeline(self, sim):
+        stage1 = Store(sim)
+        stage2 = Store(sim)
+        sink = []
+
+        def producer():
+            for i in range(5):
+                yield sim.timeout(1.0)
+                stage1.put(i)
+
+        def transformer():
+            while True:
+                item = yield stage1.get()
+                yield sim.timeout(0.5)
+                stage2.put(item * 10)
+
+        def consumer():
+            for _ in range(5):
+                sink.append((yield stage2.get()))
+
+        sim.process(producer())
+        sim.process(transformer())
+        done = sim.process(consumer())
+        sim.run(done)
+        assert sink == [0, 10, 20, 30, 40]
+
+
+class TestRandomizedDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(2, 12))
+    def test_random_process_soup_is_reproducible(self, seed, count):
+        import random
+
+        def build():
+            rnd = random.Random(seed)
+            sim = Simulator()
+            res = Resource(sim, 2)
+            store = Store(sim, capacity=3)
+            log = []
+
+            def worker(wid):
+                for step in range(rnd.randint(1, 4)):
+                    yield sim.timeout(rnd.random())
+                    req = res.request()
+                    yield req
+                    yield sim.timeout(rnd.random() * 0.1)
+                    res.release(req)
+                    yield store.put((wid, step))
+                    item = yield store.get()
+                    log.append((sim.now, wid, item))
+
+            for wid in range(count):
+                sim.process(worker(wid))
+            sim.run()
+            return log
+
+        assert build() == build()

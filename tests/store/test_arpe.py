@@ -1,0 +1,188 @@
+"""ARPE: non-blocking handles, windowing, and phase metrics."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.simulation import Simulator
+from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(scheme="no-rep", servers=3, memory_per_server=64 * MIB)
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+class TestNonBlockingAPI:
+    def test_iset_returns_immediately(self, cluster):
+        client = cluster.add_client()
+        handle = client.iset("k", Payload.sized(100))
+        assert isinstance(handle, RequestHandle)
+        assert not handle.completed
+
+    def test_wait_completes_all(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handles = [
+                client.iset("k%d" % i, Payload.sized(100)) for i in range(10)
+            ]
+            yield client.wait(handles)
+            return [h.ok for h in handles]
+
+        assert drive(cluster, body()) == [True] * 10
+
+    def test_iget_returns_value(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            yield client.wait([client.iset("k", Payload.from_bytes(b"data"))])
+            handle = client.iget("k")
+            yield client.wait([handle])
+            return handle.result.data
+
+        assert drive(cluster, body()) == b"data"
+
+    def test_iget_miss_reports_not_ok(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handle = client.iget("ghost")
+            yield client.wait([handle])
+            return handle.ok, handle.error
+
+        ok, error = drive(cluster, body())
+        assert not ok and error == "NOT_FOUND"
+
+    def test_memcached_test_polls(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handle = client.iset("k", Payload.sized(10))
+            before = client.test(handle)
+            yield client.wait([handle])
+            after = client.test(handle)
+            return before, after
+
+        assert drive(cluster, body()) == (False, True)
+
+    def test_handle_latency_recorded(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handle = client.iset("k", Payload.sized(10))
+            yield client.wait([handle])
+            return handle.metrics.latency
+
+        latency = drive(cluster, body())
+        assert latency > 0
+        assert client.latencies("set") == [latency]
+
+
+class TestWindowing:
+    def test_window_bounds_inflight(self, cluster):
+        client = cluster.add_client(window=2)
+        engine = client.engine
+        peak = [0]
+
+        original = engine.window.request
+
+        def tracking_request():
+            req = original()
+            peak[0] = max(peak[0], engine.window.in_use)
+            return req
+
+        engine.window.request = tracking_request
+
+        def body():
+            handles = [
+                client.iset("k%d" % i, Payload.sized(1000)) for i in range(12)
+            ]
+            yield client.wait(handles)
+
+        drive(cluster, body())
+        assert peak[0] <= 2
+
+    def test_window_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AsyncRequestEngine(sim, window=0)
+        with pytest.raises(ValueError):
+            AsyncRequestEngine(sim, buffer_pool=0)
+
+    def test_submitted_completed_counters(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handles = [client.iset("k%d" % i, Payload.sized(1)) for i in range(5)]
+            yield client.wait(handles)
+
+        drive(cluster, body())
+        assert client.engine.submitted == 5
+        assert client.engine.completed == 5
+        assert client.engine.in_flight == 0
+
+    def test_wait_any(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handles = [client.iset("k%d" % i, Payload.sized(1)) for i in range(3)]
+            yield client.engine.wait_any(handles)
+            return any(h.completed for h in handles)
+
+        assert drive(cluster, body()) is True
+
+    def test_drain(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            for i in range(4):
+                client.iset("k%d" % i, Payload.sized(1))
+            yield from client.engine.drain()
+            return client.engine.in_flight
+
+        assert drive(cluster, body()) == 0
+
+    def test_runner_exception_surfaces_in_handle(self, cluster):
+        client = cluster.add_client()
+
+        def exploding_runner(handle):
+            yield client.sim.timeout(0)
+            raise RuntimeError("runner blew up")
+
+        handle = RequestHandle(client.sim, "set", "k")
+        client.engine.submit(handle, exploding_runner)
+
+        def body():
+            yield client.wait([handle])
+            return handle.ok, handle.error
+
+        ok, error = drive(cluster, body())
+        assert not ok and "blew up" in error
+
+
+class TestOpMetrics:
+    def test_initial_state(self):
+        sim = Simulator()
+        metrics = OpMetrics(sim.now)
+        assert metrics.encode_time == 0.0
+        assert metrics.request_time == 0.0
+
+    def test_latency_and_service_time(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            handle = client.iset("k", Payload.sized(64 * 1024))
+            yield client.wait([handle])
+            return handle.metrics
+
+        metrics = drive(cluster, body())
+        assert metrics.latency >= metrics.service_time
+        assert metrics.wait_time > 0
+        assert metrics.request_time > 0

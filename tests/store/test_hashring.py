@@ -1,0 +1,103 @@
+"""Consistent hashing and placement rules."""
+
+from collections import Counter
+
+import pytest
+
+from repro.store.hashring import HashRing, stable_hash
+
+SERVERS = ["server-%d" % i for i in range(5)]
+
+
+@pytest.fixture
+def ring():
+    return HashRing(SERVERS)
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_spreads_keys(self):
+        values = {stable_hash("key%d" % i) for i in range(100)}
+        assert len(values) == 100
+
+
+class TestPrimary:
+    def test_primary_is_a_known_server(self, ring):
+        for i in range(50):
+            assert ring.primary("key%d" % i) in SERVERS
+
+    def test_primary_deterministic(self, ring):
+        other = HashRing(SERVERS)
+        for i in range(50):
+            key = "key%d" % i
+            assert ring.primary(key) == other.primary(key)
+
+    def test_distribution_reasonably_uniform(self, ring):
+        counts = Counter(ring.primary("key%d" % i) for i in range(5000))
+        assert len(counts) == 5
+        for server, count in counts.items():
+            assert 400 < count < 1800, (server, count)
+
+    def test_ring_stability_under_growth(self):
+        """Consistent hashing: adding a server moves only some keys."""
+        small = HashRing(SERVERS)
+        large = HashRing(SERVERS + ["server-5"])
+        moved = sum(
+            1
+            for i in range(2000)
+            if small.primary("key%d" % i) != large.primary("key%d" % i)
+        )
+        # naive mod-hashing would move ~83%; consistent hashing ~1/6
+        assert moved < 800
+
+
+class TestPlacement:
+    def test_placement_starts_at_primary(self, ring):
+        key = "object-1"
+        placement = ring.placement(key, 5)
+        assert placement[0] == ring.primary(key)
+
+    def test_placement_follows_list_order(self, ring):
+        """The paper's rule: primary + N-1 *following* servers in the
+        cluster list (Section IV-A)."""
+        key = "object-2"
+        placement = ring.placement(key, 3)
+        start = SERVERS.index(placement[0])
+        expected = [SERVERS[(start + i) % 5] for i in range(3)]
+        assert placement == expected
+
+    def test_placement_distinct_servers(self, ring):
+        placement = ring.placement("k", 5)
+        assert len(set(placement)) == 5
+
+    def test_placement_count_validation(self, ring):
+        with pytest.raises(ValueError):
+            ring.placement("k", 0)
+        with pytest.raises(ValueError):
+            ring.placement("k", 6)
+
+
+class TestNextAlive:
+    def test_skips_dead_servers(self, ring):
+        key = "object-3"
+        placement = ring.placement(key, 5)
+        assert ring.next_alive(key, dead=placement[:2]) == placement[2]
+
+    def test_no_dead_returns_primary(self, ring):
+        key = "object-4"
+        assert ring.next_alive(key, dead=[]) == ring.primary(key)
+
+    def test_all_dead_returns_none(self, ring):
+        assert ring.next_alive("k", dead=SERVERS) is None
+
+
+class TestValidation:
+    def test_empty_server_list(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_servers(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])

@@ -1,0 +1,181 @@
+"""End-to-end integrity: checksums, corruption detection, and recovery."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.resilience.erasure import chunk_key
+from repro.store import protocol
+
+MIB = 1024 * 1024
+
+
+def fresh(scheme, **kwargs):
+    kwargs.setdefault("servers", 5)
+    kwargs.setdefault("memory_per_server", 64 * MIB)
+    return build_cluster(scheme=scheme, **kwargs)
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+def patterned(size):
+    return bytes((i * 13 + 1) % 256 for i in range(size))
+
+
+class TestChecksums:
+    def test_crc_stored_with_data(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(b"payload"))
+
+        drive(cluster, body())
+        server = cluster.servers[cluster.ring.primary("k")]
+        assert "crc" in server.cache.peek("k").meta
+
+    def test_sized_payloads_have_no_crc(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.sized(100))
+
+        drive(cluster, body())
+        server = cluster.servers[cluster.ring.primary("k")]
+        assert "crc" not in server.cache.peek("k").meta
+
+    def test_clean_read_passes_verification(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+        data = patterned(10_000)
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(data))
+            return (yield from client.get("k"))
+
+        assert drive(cluster, body()).data == data
+
+
+class TestCorruptionDetection:
+    def test_corrupt_item_reported_and_dropped(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+        primary = cluster.ring.primary("k")
+
+        def store():
+            yield from client.set("k", Payload.from_bytes(b"x" * 1000))
+
+        drive(cluster, store())
+        assert cluster.servers[primary].corrupt_item("k", byte_offset=5)
+
+        def read():
+            return (yield client.request(primary, "get", "k"))
+
+        response = drive(cluster, read())
+        assert not response.ok
+        assert response.error == protocol.ERR_CORRUPT
+        assert cluster.servers[primary].corruption_detected == 1
+        # the poisoned item was evicted so it cannot be served again
+        assert cluster.servers[primary].cache.peek("k") is None
+
+    def test_corrupt_hook_needs_real_data(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("k", Payload.sized(100))
+
+        drive(cluster, store())
+        primary = cluster.ring.primary("k")
+        assert not cluster.servers[primary].corrupt_item("k")
+
+    def test_verification_can_be_disabled(self):
+        from repro.network.fabric import Fabric
+        from repro.network.profiles import RI_QDR
+        from repro.simulation import Simulator
+        from repro.store.server import MemcachedServer
+
+        sim = Simulator()
+        fabric = Fabric(sim, RI_QDR)
+        server = MemcachedServer(
+            sim, fabric, "s", memory_limit=16 * MIB, verify_on_read=False
+        )
+        assert server.verify_on_read is False
+
+
+class TestCorruptionRecovery:
+    def test_replication_fails_over_on_corruption(self):
+        cluster = fresh("async-rep")
+        client = cluster.add_client()
+        data = patterned(5_000)
+
+        def store():
+            yield from client.set("k", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        primary = cluster.ring.placement("k", 3)[0]
+        cluster.servers[primary].corrupt_item("k")
+
+        def read():
+            return (yield from client.get("k"))
+
+        value = drive(cluster, read())
+        assert value.data == data  # served by a clean replica
+
+    def test_erasure_recovers_corrupt_chunk_from_parity(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+        data = patterned(12_000)
+
+        def store():
+            yield from client.set("k", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("k", 5)
+        cluster.servers[placement[1]].corrupt_item(chunk_key("k", 1))
+
+        def read():
+            return (yield from client.get("k"))
+
+        value = drive(cluster, read())
+        assert value.data == data  # decoded around the poisoned chunk
+        assert cluster.servers[placement[1]].corruption_detected == 1
+
+    def test_corruption_beyond_tolerance_is_data_loss(self):
+        """More poisoned chunks than parity can absorb: the value reads
+        back as lost (NOT_FOUND), never as silently wrong data."""
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+
+        def store():
+            yield from client.set("k", Payload.from_bytes(patterned(3_000)))
+
+        drive(cluster, store())
+        placement = cluster.ring.placement("k", 5)
+        for index in range(3):  # > m = 2 chunks poisoned
+            cluster.servers[placement[index]].corrupt_item(
+                chunk_key("k", index)
+            )
+
+        def read():
+            return (yield from client.get("k"))
+
+        assert drive(cluster, read()) is None
+
+    def test_hybrid_routes_around_corrupt_stub(self):
+        cluster = fresh("hybrid")
+        client = cluster.add_client()
+        data = patterned(100_000)  # large: erasure path + stub
+
+        def store():
+            yield from client.set("k", Payload.from_bytes(data))
+
+        drive(cluster, store())
+
+        def read():
+            return (yield from client.get("k"))
+
+        assert drive(cluster, read()).data == data

@@ -1,0 +1,81 @@
+"""Wire records and pending-request routing."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.simulation import Simulator
+from repro.store.protocol import (
+    PendingTable,
+    REQUEST_HEADER,
+    RESPONSE_HEADER,
+    Request,
+    Response,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestWireSizes:
+    def test_request_without_value(self):
+        req = Request(op="get", key="abcd", req_id=1, reply_to="c")
+        assert req.wire_size() == REQUEST_HEADER + 4
+
+    def test_request_with_value(self):
+        req = Request(
+            op="set", key="abcd", req_id=1, reply_to="c",
+            value=Payload.sized(1000),
+        )
+        assert req.wire_size() == REQUEST_HEADER + 4 + 1000
+
+    def test_response_sizes(self):
+        small = Response(req_id=1, ok=True, server="s")
+        big = Response(req_id=1, ok=True, server="s", value=Payload.sized(500))
+        assert small.wire_size() == RESPONSE_HEADER
+        assert big.wire_size() == RESPONSE_HEADER + 500
+
+
+class TestPendingTable:
+    def test_register_and_complete(self, sim):
+        table = PendingTable(sim)
+        event = table.register(7)
+        response = Response(req_id=7, ok=True, server="s")
+        assert table.complete(response)
+        assert event.triggered
+        assert len(table) == 0
+
+    def test_complete_unknown_response_dropped(self, sim):
+        table = PendingTable(sim)
+        assert not table.complete(Response(req_id=9, ok=True, server="s"))
+
+    def test_duplicate_registration_rejected(self, sim):
+        table = PendingTable(sim)
+        table.register(1)
+        with pytest.raises(ValueError):
+            table.register(1)
+
+    def test_fail_pending(self, sim):
+        table = PendingTable(sim)
+        event = table.register(3)
+        assert table.fail(3, RuntimeError("gone"))
+        event.defuse()
+        sim.run()
+        assert not event.ok
+
+    def test_fail_unknown(self, sim):
+        table = PendingTable(sim)
+        assert not table.fail(3, RuntimeError("gone"))
+
+    def test_waiter_receives_response_value(self, sim):
+        table = PendingTable(sim)
+        event = table.register(5)
+
+        def waiter():
+            response = yield event
+            return response.server
+
+        p = sim.process(waiter())
+        table.complete(Response(req_id=5, ok=True, server="srv-2"))
+        assert sim.run(p) == "srv-2"

@@ -1,0 +1,213 @@
+"""Server/client request path: ops, errors, hooks, and CPU accounting."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.store import protocol
+from repro.store.protocol import Response
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(scheme="no-rep", servers=3, memory_per_server=64 * MIB)
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.add_client()
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+class TestBuiltinOps:
+    def test_set_get_roundtrip(self, cluster, client):
+        def body():
+            ok = yield from client.set("key", Payload.from_bytes(b"value"))
+            value = yield from client.get("key")
+            return ok, value.data
+
+        assert drive(cluster, body()) == (True, b"value")
+
+    def test_get_missing_returns_none(self, cluster, client):
+        def body():
+            return (yield from client.get("ghost"))
+
+        assert drive(cluster, body()) is None
+
+    def test_delete(self, cluster, client):
+        server = cluster.ring.primary("key")
+
+        def body():
+            yield from client.set("key", Payload.sized(10))
+            response = yield client.request(server, "delete", "key")
+            value = yield from client.get("key")
+            return response.ok, value
+
+        ok, value = drive(cluster, body())
+        assert ok and value is None
+
+    def test_delete_missing_not_found(self, cluster, client):
+        server = cluster.ring.primary("nothing")
+
+        def body():
+            return (yield client.request(server, "delete", "nothing"))
+
+        response = drive(cluster, body())
+        assert not response.ok
+        assert response.error == protocol.ERR_NOT_FOUND
+
+    def test_unknown_op_error(self, cluster, client):
+        def body():
+            return (yield client.request("server-0", "bogus", "k"))
+
+        response = drive(cluster, body())
+        assert not response.ok
+        assert response.error == protocol.ERR_UNKNOWN_OP
+
+    def test_sized_payload_roundtrip(self, cluster, client):
+        def body():
+            yield from client.set("sized", Payload.sized(2048))
+            return (yield from client.get("sized"))
+
+        value = drive(cluster, body())
+        assert value.size == 2048
+        assert not value.has_data
+
+    def test_out_of_memory_reported(self, cluster, client):
+        def body():
+            return (yield from client.set("big", Payload.sized(8 * MIB)))
+
+        assert drive(cluster, body()) is False
+
+
+class TestFailureHandling:
+    def test_request_to_dead_server_gets_unreachable(self, cluster, client):
+        cluster.servers["server-1"].fail()
+
+        def body():
+            return (yield client.request("server-1", "get", "k"))
+
+        response = drive(cluster, body())
+        assert not response.ok
+        assert response.error == protocol.ERR_UNREACHABLE
+
+    def test_failed_server_loses_data(self, cluster, client):
+        server_name = cluster.ring.primary("key")
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(b"v"))
+
+        drive(cluster, store())
+        cluster.servers[server_name].fail()
+        cluster.servers[server_name].recover()
+
+        def read():
+            return (yield from client.get("key"))
+
+        assert drive(cluster, read()) is None
+
+
+class TestServerInternals:
+    def test_on_store_hook_fires(self, cluster, client):
+        seen = []
+        for server in cluster.servers.values():
+            server.on_store = lambda key, size: seen.append((key, size))
+
+        def body():
+            yield from client.set("hooked", Payload.sized(123))
+
+        drive(cluster, body())
+        assert seen == [("hooked", 123)]
+
+    def test_handler_registration_conflict(self, cluster):
+        server = cluster.servers["server-0"]
+
+        def handler(srv, request):
+            yield srv.sim.timeout(0)
+            return None
+
+        server.register_handler("custom", handler)
+        with pytest.raises(ValueError):
+            server.register_handler("custom", handler)
+
+    def test_custom_handler_invoked(self, cluster, client):
+        def ping(server, request):
+            yield from server.cpu(1e-6)
+            return Response(
+                req_id=request.req_id, ok=True, server=server.name,
+                meta={"pong": True},
+            )
+
+        for server in cluster.servers.values():
+            server.register_handler("ping", ping)
+
+        def body():
+            return (yield client.request("server-0", "ping", ""))
+
+        response = drive(cluster, body())
+        assert response.ok and response.meta == {"pong": True}
+
+    def test_handler_exception_becomes_server_error(self, cluster, client):
+        def broken(server, request):
+            yield from server.cpu(1e-6)
+            raise RuntimeError("kaboom")
+
+        cluster.servers["server-0"].register_handler("broken", broken)
+
+        def body():
+            return (yield client.request("server-0", "broken", ""))
+
+        response = drive(cluster, body())
+        assert not response.ok
+        assert "kaboom" in response.error
+
+    def test_request_counter(self, cluster, client):
+        def body():
+            yield from client.set("a", Payload.sized(1))
+            yield from client.get("a")
+
+        drive(cluster, body())
+        total = sum(s.requests_handled for s in cluster.servers.values())
+        assert total == 2
+
+    def test_worker_contention_serializes_cpu(self, cluster):
+        """With one worker thread, concurrent CPU phases serialize."""
+        from repro.simulation import Simulator
+        from repro.network.fabric import Fabric
+        from repro.network.profiles import RI_QDR
+        from repro.store.server import MemcachedServer
+
+        sim = Simulator()
+        fabric = Fabric(sim, RI_QDR)
+        server = MemcachedServer(
+            sim, fabric, "solo", memory_limit=16 * MIB, worker_threads=1
+        )
+
+        def burn():
+            yield from server.cpu(1.0)
+
+        procs = [sim.process(burn()) for _ in range(3)]
+        sim.run(sim.all_of(procs))
+        assert sim.now == pytest.approx(3.0)
+
+    def test_next_req_id_monotonic(self, cluster, client):
+        first = client.next_req_id()
+        second = client.next_req_id()
+        assert second == first + 1
+
+
+class TestLatencyRecording:
+    def test_blocking_ops_recorded(self, cluster, client):
+        def body():
+            yield from client.set("a", Payload.sized(100))
+            yield from client.get("a")
+
+        drive(cluster, body())
+        assert len(client.latencies("set")) == 1
+        assert len(client.latencies("get")) == 1
+        assert client.latencies("set")[0] > 0

@@ -1,0 +1,82 @@
+"""Cluster telemetry: per-server and aggregate statistics."""
+
+import pytest
+
+from repro import Payload, build_cluster
+from repro.workloads.ycsb import YCSBSpec, run_ycsb
+
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+class TestServerStats:
+    def test_counters_after_traffic(self):
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=5, memory_per_server=64 * MIB
+        )
+        client = cluster.add_client()
+
+        def body():
+            for i in range(10):
+                yield from client.set("k%d" % i, Payload.sized(3000))
+            for i in range(10):
+                yield from client.get("k%d" % i)
+
+        drive(cluster, body())
+        rows = cluster.server_stats()
+        assert len(rows) == 5
+        assert all(r["alive"] for r in rows)
+        assert sum(r["requests"] for r in rows) == 10 * 5 + 10 * 3
+        assert sum(r["items"] for r in rows) == 50  # 10 keys x 5 chunks
+        assert all(0.0 <= r["hit_rate"] <= 1.0 for r in rows)
+
+    def test_failure_visible(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=3, memory_per_server=64 * MIB
+        )
+        cluster.fail_servers(["server-2"])
+        rows = {r["server"]: r for r in cluster.server_stats()}
+        assert rows["server-2"]["alive"] is False
+        assert rows["server-0"]["alive"] is True
+
+
+class TestAggregateStats:
+    def test_summary_fields(self):
+        cluster = build_cluster(
+            scheme="async-rep", servers=5, memory_per_server=64 * MIB
+        )
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.sized(MIB))
+
+        drive(cluster, body())
+        stats = cluster.stats()
+        assert stats["scheme"] == "async-rep"
+        assert stats["servers"] == 5 and stats["alive"] == 5
+        assert stats["tolerates"] == 2
+        assert stats["total_items"] == 3
+        assert stats["stored_bytes"] > 3 * MIB
+        assert stats["virtual_time"] > 0
+        assert stats["lost_bytes"] == 0
+
+    def test_erasure_balances_zipfian_load_better(self):
+        """The paper's load-balancing claim, measured directly: chunked
+        reads spread a skewed workload where replication hammers primaries."""
+        spec = YCSBSpec(
+            "ycsb-c", 1.0, 0.0, record_count=2_000, ops_per_client=200,
+            value_size=4096,
+        )
+        imbalance = {}
+        for scheme in ("async-rep", "era-ce-cd"):
+            cluster = build_cluster(
+                scheme=scheme, servers=5, memory_per_server=GIB
+            )
+            run_ycsb(cluster, spec, num_clients=8, client_hosts=2,
+                     loader_count=4)
+            imbalance[scheme] = cluster.stats()["load_imbalance"]
+        assert imbalance["era-ce-cd"] < imbalance["async-rep"]

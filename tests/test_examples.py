@@ -1,0 +1,55 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+The two quick examples run in-process; the heavier workload examples are
+import-checked (their mains run minutes of simulation and are exercised
+manually / by the benchmarks instead).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / ("%s.py" % name))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        present = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart",
+            "scheme_shootout",
+            "ycsb_cloud_workload",
+            "boldio_burst_buffer",
+            "failure_and_repair",
+            "etc_hybrid_cache",
+        } <= present
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "degraded read intact: True" in out
+        assert "storage overhead: 1.67x" in out
+
+    def test_failure_and_repair_runs(self, capsys):
+        load_example("failure_and_repair").main()
+        out = capsys.readouterr().out
+        assert "repair recovered" in out
+        assert "three nodes down total" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        ["scheme_shootout", "ycsb_cloud_workload", "boldio_burst_buffer",
+         "etc_hybrid_cache"],
+    )
+    def test_heavy_examples_importable(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,119 @@
+"""Public API surface: registries, builders, and cluster accounting."""
+
+import pytest
+
+from repro import KVCluster, Payload, build_cluster, __version__
+from repro.network.profiles import RI2_EDR, profile_by_name
+from repro.resilience import available_schemes, make_scheme
+from repro.resilience.replication import AsyncReplication
+
+MIB = 1024 * 1024
+GIB = 1024 ** 3
+
+
+class TestSchemeRegistry:
+    def test_available_schemes(self):
+        names = available_schemes()
+        assert "era-ce-cd" in names
+        assert "sync-rep" in names
+        assert "hybrid" in names
+        assert len(names) == 8
+
+    @pytest.mark.parametrize("name", ["no-rep", "sync-rep", "async-rep",
+                                      "hybrid", "era-ce-cd", "era-se-sd",
+                                      "era-se-cd", "era-ce-sd"])
+    def test_every_name_constructs(self, name):
+        scheme = make_scheme(name)
+        assert scheme.name in (name, "hybrid")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scheme("raid5")
+
+    def test_parameters_forwarded(self):
+        scheme = make_scheme("era-ce-cd", codec_name="crs", k=4, m=2)
+        assert scheme.codec.name == "crs"
+        assert scheme.k == 4
+
+    def test_replication_factor_forwarded(self):
+        scheme = make_scheme("sync-rep", replication_factor=5)
+        assert scheme.factor == 5
+
+
+class TestBuildCluster:
+    def test_defaults(self):
+        cluster = build_cluster()
+        assert isinstance(cluster, KVCluster)
+        assert len(cluster.servers) == 5
+        assert cluster.profile.name == "ri-qdr"
+        assert cluster.scheme.name == "era-ce-cd"
+
+    def test_profile_object_accepted(self):
+        cluster = build_cluster(profile=RI2_EDR, servers=3, scheme="no-rep")
+        assert cluster.profile is RI2_EDR
+
+    def test_scheme_object_accepted(self):
+        scheme = AsyncReplication(2)
+        cluster = build_cluster(scheme=scheme, servers=3)
+        assert cluster.scheme is scheme
+
+    def test_ipoib_profile_by_name(self):
+        cluster = build_cluster(profile="ri-qdr-ipoib", scheme="no-rep",
+                                servers=2, memory_per_server=64 * MIB)
+        assert not cluster.profile.is_rdma
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(servers=0)
+
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+
+class TestClusterAccounting:
+    def test_memory_properties(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=2, memory_per_server=64 * MIB
+        )
+        assert cluster.total_memory_limit == 2 * 64 * MIB
+        assert cluster.total_memory_used == 0
+        assert cluster.memory_utilization() == 0.0
+
+    def test_alive_servers_tracks_failures(self):
+        cluster = build_cluster(scheme="no-rep", servers=3,
+                                memory_per_server=64 * MIB)
+        assert len(cluster.alive_servers()) == 3
+        cluster.fail_servers(["server-1"])
+        assert cluster.alive_servers() == ["server-0", "server-2"]
+        cluster.recover_servers(["server-1"])
+        assert len(cluster.alive_servers()) == 3
+
+    def test_client_names_unique(self):
+        cluster = build_cluster(scheme="no-rep", servers=2,
+                                memory_per_server=64 * MIB)
+        names = {cluster.add_client().name for _ in range(5)}
+        assert len(names) == 5
+
+    def test_shared_sim_injection(self):
+        from repro.simulation import Simulator
+
+        sim = Simulator()
+        cluster = build_cluster(scheme="no-rep", servers=2,
+                                memory_per_server=64 * MIB, sim=sim)
+        assert cluster.sim is sim
+
+    def test_stored_bytes_after_write(self):
+        cluster = build_cluster(scheme="no-rep", servers=2,
+                                memory_per_server=64 * MIB)
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.sized(1000))
+
+        cluster.sim.run(cluster.sim.process(body()))
+        assert cluster.total_stored_bytes > 1000  # value + overheads
+        assert cluster.total_memory_used > 0
+
+    def test_profile_lookup_roundtrip(self):
+        for name in ("ri-qdr", "sdsc-comet", "ri2-edr"):
+            assert profile_by_name(name).name == name

@@ -1,0 +1,81 @@
+"""ETC-style workload: size distribution and driver."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.workloads.etc import (
+    EtcSizeSampler,
+    EtcSpec,
+    GET_FRACTION,
+    MAX_VALUE,
+    MIN_VALUE,
+    run_etc,
+)
+
+GIB = 1024 ** 3
+
+
+class TestSizeSampler:
+    def test_sizes_within_paper_range(self):
+        """The paper's motivation: online KV pairs are 512 B - 32 KB-ish."""
+        sampler = EtcSizeSampler(seed=1)
+        sizes = sampler.sample_sizes(5_000)
+        assert all(MIN_VALUE <= s <= MAX_VALUE for s in sizes)
+
+    def test_heavy_tail(self):
+        """Most values small; most BYTES in large values."""
+        sampler = EtcSizeSampler(seed=2)
+        sizes = sorted(sampler.sample_sizes(10_000))
+        median = sizes[len(sizes) // 2]
+        assert median < 2_000  # typical value is small
+        top_decile_bytes = sum(sizes[int(len(sizes) * 0.9):])
+        assert top_decile_bytes > 0.4 * sum(sizes)  # tail carries the bytes
+
+    def test_deterministic(self):
+        a = EtcSizeSampler(seed=3).sample_sizes(100)
+        b = EtcSizeSampler(seed=3).sample_sizes(100)
+        assert a == b
+
+    def test_get_fraction_is_30_to_1(self):
+        assert GET_FRACTION == pytest.approx(30 / 31)
+
+
+class TestDriver:
+    def small_spec(self):
+        return EtcSpec(record_count=400, ops_per_client=60)
+
+    def test_run_produces_result(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=5, memory_per_server=GIB
+        )
+        result = run_etc(
+            cluster, self.small_spec(), num_clients=4, client_hosts=2
+        )
+        assert result.operations == 240
+        assert result.get_latency is not None
+        assert result.misses == 0
+        assert result.stored_bytes > 0
+
+    def test_get_heavy_mix(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=5, memory_per_server=GIB
+        )
+        result = run_etc(
+            cluster, self.small_spec(), num_clients=4, client_hosts=2
+        )
+        gets = result.get_latency.count
+        sets = result.set_latency.count if result.set_latency else 0
+        assert gets > 10 * max(1, sets)
+
+    def test_hybrid_stores_fewer_bytes_than_replication(self):
+        """On the real size mix, hybrid memory sits below replication."""
+        stored = {}
+        for scheme in ("async-rep", "hybrid"):
+            cluster = build_cluster(
+                scheme=scheme, servers=5, memory_per_server=GIB
+            )
+            result = run_etc(
+                cluster, self.small_spec(), num_clients=2, client_hosts=1
+            )
+            stored[scheme] = result.stored_bytes
+        assert stored["hybrid"] < stored["async-rep"]

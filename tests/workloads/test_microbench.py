@@ -1,0 +1,129 @@
+"""OHB-style micro-benchmark drivers and the memory-pressure workload."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.workloads.keys import KEY_LENGTH, KeyValueSource
+from repro.workloads.microbench import (
+    load_keys,
+    run_get_benchmark,
+    run_memory_pressure,
+    run_set_benchmark,
+)
+
+MIB = 1024 * 1024
+
+
+def fresh(scheme="era-ce-cd", memory=64 * MIB):
+    return build_cluster(scheme=scheme, servers=5, memory_per_server=memory)
+
+
+class TestKeySource:
+    def test_keys_are_16_bytes(self):
+        source = KeyValueSource()
+        for i in (0, 7, 999):
+            assert len(source.key(i)) == KEY_LENGTH
+
+    def test_keys_unique(self):
+        source = KeyValueSource()
+        keys = {source.key(i) for i in range(1000)}
+        assert len(keys) == 1000
+
+    def test_value_with_data_deterministic(self):
+        a = KeyValueSource(seed=4).value(100, with_data=True)
+        b = KeyValueSource(seed=4).value(100, with_data=True)
+        assert a.data == b.data
+        assert a.size == 100
+
+    def test_sized_value(self):
+        value = KeyValueSource().value(100)
+        assert value.size == 100 and not value.has_data
+
+
+class TestSetBenchmark:
+    def test_result_fields(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        result = run_set_benchmark(cluster, client, num_ops=50, value_size=4096)
+        assert result.op == "set"
+        assert result.num_ops == 50
+        assert result.failures == 0
+        assert result.avg_latency > 0
+        assert result.latency.count == 50
+        assert result.ops_per_second == pytest.approx(50 / result.total_time)
+
+    def test_blocking_mode_slower(self):
+        times = {}
+        for blocking in (True, False):
+            cluster = fresh("async-rep")
+            client = cluster.add_client()
+            result = run_set_benchmark(
+                cluster, client, num_ops=100, value_size=16384,
+                blocking=blocking,
+            )
+            times[blocking] = result.avg_latency
+        assert times[True] > times[False]
+
+    def test_breakdown_phases_populated(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+        result = run_set_benchmark(cluster, client, num_ops=50, value_size=65536)
+        assert result.breakdown.encode > 0  # client-side encoding
+        assert result.breakdown.wait > 0
+        assert result.breakdown.request > 0
+        assert result.breakdown.decode == 0  # sets never decode
+
+
+class TestGetBenchmark:
+    def test_preload_then_read(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        result = run_get_benchmark(cluster, client, num_ops=50, value_size=4096)
+        assert result.failures == 0
+        assert result.op == "get"
+
+    def test_without_preload_all_miss(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+        result = run_get_benchmark(
+            cluster, client, num_ops=20, value_size=1024, preload=False
+        )
+        assert result.failures == 20
+
+    def test_load_keys_populates(self):
+        cluster = fresh("no-rep")
+        client = cluster.add_client()
+        source = KeyValueSource()
+        load_keys(cluster, client, 30, 2048, source)
+        total_items = sum(
+            s.cache.item_count for s in cluster.servers.values()
+        )
+        assert total_items == 30
+
+
+class TestMemoryPressure:
+    def test_replication_uses_more_memory_than_erasure(self):
+        """The Figure 10 effect at miniature scale."""
+        results = {}
+        for scheme in ("async-rep", "era-ce-cd"):
+            cluster = build_cluster(
+                scheme=scheme, servers=5, memory_per_server=64 * MIB
+            )
+            results[scheme] = run_memory_pressure(
+                cluster, num_clients=4, ops_per_client=20, value_size=MIB
+            )
+        rep, era = results["async-rep"], results["era-ce-cd"]
+        assert rep.memory_utilization > era.memory_utilization
+        # ~3x vs ~5/3x stored bytes
+        ratio = rep.stored_bytes / era.stored_bytes
+        assert 1.5 < ratio < 2.1
+
+    def test_overload_causes_data_loss_for_replication(self):
+        cluster = build_cluster(
+            scheme="async-rep", servers=5, memory_per_server=8 * MIB
+        )
+        result = run_memory_pressure(
+            cluster, num_clients=4, ops_per_client=20, value_size=MIB
+        )
+        assert result.lost_bytes > 0
+        assert result.evictions + result.failed_stores > 0

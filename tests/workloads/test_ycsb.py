@@ -1,0 +1,140 @@
+"""YCSB generator: Zipfian skew, specs, and the multi-client driver."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.workloads.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    YCSBSpec,
+    ZipfianGenerator,
+    run_ycsb,
+)
+
+MIB = 1024 * 1024
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(1000, seed=3)
+        for _ in range(2000):
+            assert 0 <= gen.next() < 1000
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=3, scrambled=False)
+        counts = Counter(gen.next_rank() for _ in range(20_000))
+        assert counts[0] == max(counts.values())
+        # theta=0.99 gives the head a heavy share
+        assert counts[0] > 0.05 * 20_000
+
+    def test_skew_declines_down_the_ranks(self):
+        gen = ZipfianGenerator(1000, seed=5, scrambled=False)
+        counts = Counter(gen.next_rank() for _ in range(50_000))
+        assert counts[0] > counts.get(10, 0) > counts.get(500, 0)
+
+    def test_scrambling_spreads_hot_keys(self):
+        gen = ZipfianGenerator(1000, seed=3, scrambled=True)
+        hot = Counter(gen.next() for _ in range(20_000)).most_common(2)
+        # the two hottest scrambled keys should not be adjacent indices
+        assert abs(hot[0][0] - hot[1][0]) > 1
+
+    def test_deterministic_given_seed(self):
+        a = [ZipfianGenerator(100, seed=9).next() for _ in range(50)]
+        b = [ZipfianGenerator(100, seed=9).next() for _ in range(50)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [ZipfianGenerator(100, seed=1).next() for _ in range(50)]
+        b = [ZipfianGenerator(100, seed=2).next() for _ in range(50)]
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestSpecs:
+    def test_builtin_mixes(self):
+        assert WORKLOAD_A.read_proportion == 0.5
+        assert WORKLOAD_B.read_proportion == 0.95
+        assert WORKLOAD_C.read_proportion == 1.0
+
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            YCSBSpec("bad", 0.5, 0.2)
+
+    def test_paper_defaults(self):
+        """Section VI-C: 250K records, 2.5K ops per client, 16 B keys."""
+        assert WORKLOAD_A.record_count == 250_000
+        assert WORKLOAD_A.ops_per_client == 2_500
+
+
+class TestDriver:
+    def small_spec(self, name="ycsb-a", read=0.5):
+        return YCSBSpec(
+            name, read, 1 - read, record_count=500, ops_per_client=50,
+            value_size=1024,
+        )
+
+    def test_run_produces_result(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=5, memory_per_server=64 * MIB
+        )
+        result = run_ycsb(
+            cluster, self.small_spec(), num_clients=4, client_hosts=2,
+            loader_count=2,
+        )
+        assert result.operations == 200
+        assert result.throughput > 0
+        assert result.read_latency is not None
+        assert result.write_latency is not None
+        assert result.misses == 0  # all keys were loaded
+
+    def test_read_only_workload_has_no_writes(self):
+        cluster = build_cluster(
+            scheme="no-rep", servers=5, memory_per_server=64 * MIB
+        )
+        spec = YCSBSpec(
+            "ycsb-c", 1.0, 0.0, record_count=300, ops_per_client=30,
+            value_size=512,
+        )
+        result = run_ycsb(
+            cluster, spec, num_clients=2, client_hosts=1, loader_count=2
+        )
+        assert result.write_latency is None
+        assert result.read_latency.count == 60
+
+    def test_deterministic_run(self):
+        def once():
+            cluster = build_cluster(
+                scheme="era-ce-cd", servers=5, memory_per_server=64 * MIB
+            )
+            result = run_ycsb(
+                cluster, self.small_spec(), num_clients=3, client_hosts=1,
+                loader_count=2,
+            )
+            return result.duration, result.throughput
+
+        assert once() == once()
+
+    def test_update_heavy_slower_than_read_heavy_for_replication(self):
+        """Writes cost 3x the bytes under replication; A must be slower
+        than B at the same size."""
+        durations = {}
+        for spec in (
+            self.small_spec("a", read=0.5),
+            self.small_spec("b", read=0.95),
+        ):
+            cluster = build_cluster(
+                scheme="async-rep", servers=5, memory_per_server=64 * MIB
+            )
+            result = run_ycsb(
+                cluster, spec, num_clients=4, client_hosts=2, loader_count=2
+            )
+            durations[spec.name] = result.duration
+        assert durations["a"] > durations["b"]
