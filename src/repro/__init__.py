@@ -12,6 +12,7 @@ The package builds the paper's full stack in simulation:
 - :mod:`repro.resilience` — the paper's contribution: Sync/Async
   replication and the four online-erasure-coding placements.
 - :mod:`repro.model` — the analytical latency models (Equations 1-8).
+- :mod:`repro.obs` — span tracing, metrics, and Chrome-trace export.
 - :mod:`repro.workloads` — OHB micro-benchmarks, YCSB, TestDFSIO.
 - :mod:`repro.boldio` — the Boldio burst-buffer over a Lustre model.
 - :mod:`repro.harness` — per-figure experiment runners.
@@ -34,7 +35,19 @@ Quickstart::
 
 from repro.common.payload import Payload
 from repro.core.cluster import KVCluster, build_cluster
+from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
+from repro.store.result import ErrorCode, OpResult
 
 __version__ = "1.0.0"
 
-__all__ = ["KVCluster", "Payload", "__version__", "build_cluster"]
+__all__ = [
+    "ErrorCode",
+    "KVCluster",
+    "MetricsRegistry",
+    "OpResult",
+    "Payload",
+    "Tracer",
+    "__version__",
+    "build_cluster",
+    "write_chrome_trace",
+]

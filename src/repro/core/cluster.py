@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Union
 from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric
 from repro.network.profiles import ClusterProfile, profile_by_name
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resilience.base import ResilienceScheme
 from repro.resilience.registry import make_scheme
 from repro.simulation import Simulator
@@ -46,12 +48,21 @@ class KVCluster:
         memory_per_server: int = 20 * GIB,
         worker_threads: int = 8,
         sim: Optional[Simulator] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: bool = False,
     ):
         if num_servers < 1:
             raise ValueError("need at least one server")
         self.sim = sim or Simulator()
         self.profile = profile
-        self.fabric = Fabric(self.sim, profile)
+        if tracer is None:
+            tracer = Tracer(self.sim) if trace else NULL_TRACER
+        self.tracer = tracer
+        self.metrics = metrics or MetricsRegistry()
+        self.fabric = Fabric(
+            self.sim, profile, tracer=self.tracer, metrics=self.metrics
+        )
         self.cost_model = CodingCostModel(
             cpu_speed_factor=profile.cpu_speed_factor
         )
@@ -65,6 +76,8 @@ class KVCluster:
                 memory_limit=memory_per_server,
                 worker_threads=worker_threads,
                 cost_model=self.cost_model,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
         self.ring = HashRing(list(self.servers))
         self.scheme = scheme
@@ -92,6 +105,8 @@ class KVCluster:
             window=window,
             buffer_pool=buffer_pool,
             host=host,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.clients.append(client)
         return client
@@ -226,6 +241,9 @@ def build_cluster(
     k: int = 3,
     m: int = 2,
     sim: Optional[Simulator] = None,
+    tracer=None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace: bool = False,
 ) -> KVCluster:
     """One-call constructor matching the paper's experiment setups.
 
@@ -233,6 +251,9 @@ def build_cluster(
     or any of those with ``-ipoib`` appended) or a
     :class:`ClusterProfile`.  ``scheme`` is a scheme name (see
     :func:`repro.resilience.available_schemes`) or a prebuilt scheme.
+    ``trace=True`` attaches a real :class:`~repro.obs.trace.Tracer`
+    (exposed as ``cluster.tracer``) so the run can be exported with
+    :func:`repro.obs.write_chrome_trace`.
     """
     if isinstance(profile, str):
         profile = profile_by_name(profile)
@@ -251,4 +272,7 @@ def build_cluster(
         memory_per_server=memory_per_server,
         worker_threads=worker_threads,
         sim=sim,
+        tracer=tracer,
+        metrics=metrics,
+        trace=trace,
     )

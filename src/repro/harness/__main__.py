@@ -51,6 +51,9 @@ _SCALES = {
     ),
 }
 
+#: experiments whose runners accept ``trace_dir``.
+_TRACEABLE = {"fig8", "fig9", "fig11", "fig12"}
+
 
 def _rows_to_table(rows) -> str:
     fields = [f.name for f in dataclasses.fields(rows[0])]
@@ -79,6 +82,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help=(
+            "export one Chrome trace JSON per run into DIR (open in "
+            "Perfetto or chrome://tracing); fig8, fig9, fig11, fig12 only"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
@@ -94,7 +105,13 @@ def main(argv=None) -> int:
         )
     runner = experiments.EXPERIMENTS[figure]
     ci_kwargs, full_kwargs = _SCALES[figure]
-    kwargs = full_kwargs if args.full else ci_kwargs
+    kwargs = dict(full_kwargs if args.full else ci_kwargs)
+    if args.trace_dir:
+        if figure not in _TRACEABLE:
+            parser.error(
+                "--trace-dir is supported for: %s" % ", ".join(sorted(_TRACEABLE))
+            )
+        kwargs["trace_dir"] = args.trace_dir
     print(
         "Running %s (%s scale) ..." % (figure, "full" if args.full else "CI"),
         file=sys.stderr,

@@ -8,8 +8,9 @@ scale shrinks counts (not sizes) to keep wall-clock reasonable.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.boldio.burstbuffer import BoldioSystem
 from repro.boldio.dfsio import run_dfsio_boldio, run_dfsio_lustre
@@ -18,6 +19,7 @@ from repro.core.cluster import build_cluster
 from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric
 from repro.network.profiles import profile_by_name
+from repro.obs.export import write_chrome_trace
 from repro.simulation import Simulator
 from repro.workloads.keys import KeyValueSource
 from repro.workloads.microbench import (
@@ -94,10 +96,27 @@ class MicroLatencyRow:
     p99_latency_us: float
 
 
-def _fresh_cluster(scheme: str, profile: str = "ri-qdr"):
+def _fresh_cluster(scheme: str, profile: str = "ri-qdr", trace: bool = False):
     return build_cluster(
-        profile=profile, scheme=scheme, servers=5, memory_per_server=20 * GIB
+        profile=profile,
+        scheme=scheme,
+        servers=5,
+        memory_per_server=20 * GIB,
+        trace=trace,
     )
+
+
+def _export_trace(cluster, trace_dir: Optional[str], label: str) -> Optional[str]:
+    """Write one experiment run's Chrome trace; returns the path or None.
+
+    Files land as ``<trace_dir>/<label>.trace.json`` — open them in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    if not trace_dir:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, "%s.trace.json" % label)
+    return write_chrome_trace(cluster.tracer, path, cluster.metrics)
 
 
 def fig8_microbench(
@@ -106,25 +125,31 @@ def fig8_microbench(
     num_ops: int = 1000,
     failed_servers: int = 0,
     ops_kind: str = "both",
+    trace_dir: Optional[str] = None,
 ) -> List[MicroLatencyRow]:
     """Figures 8(a)-(c): OHB latency on RI-QDR, 5 servers, RS(3,2)/Rep=3.
 
     ``failed_servers=2`` reproduces Figure 8(c): the last two placement
     servers crash after the load phase, forcing degraded reads.  Degraded
     runs use window=1 (per-op recovery latency); others use the default
-    ARPE window.
+    ARPE window.  With ``trace_dir``, every configuration's run is
+    exported as a Chrome trace JSON file into that directory.
     """
     rows: List[MicroLatencyRow] = []
     window = 1 if failed_servers else MICRO_WINDOW
+    trace = bool(trace_dir)
     for scheme in schemes:
         blocking = scheme == "sync-rep"
         for size in sizes:
             if ops_kind in ("both", "set") and not failed_servers:
-                cluster = _fresh_cluster(scheme)
+                cluster = _fresh_cluster(scheme, trace=trace)
                 client = cluster.add_client(window=window)
                 result = run_set_benchmark(
                     cluster, client, num_ops=num_ops, value_size=size,
                     blocking=blocking,
+                )
+                _export_trace(
+                    cluster, trace_dir, "fig8-set-%s-%d" % (scheme, size)
                 )
                 rows.append(
                     MicroLatencyRow(
@@ -137,7 +162,7 @@ def fig8_microbench(
                     )
                 )
             if ops_kind in ("both", "get"):
-                cluster = _fresh_cluster(scheme)
+                cluster = _fresh_cluster(scheme, trace=trace)
                 client = cluster.add_client(window=window)
                 source = KeyValueSource()
                 load_keys(cluster, client, num_ops, size, source)
@@ -147,6 +172,9 @@ def fig8_microbench(
                 result = run_get_benchmark(
                     cluster, client, num_ops=num_ops, value_size=size,
                     blocking=blocking, preload=False, source=source,
+                )
+                _export_trace(
+                    cluster, trace_dir, "fig8-get-%s-%d" % (scheme, size)
                 )
                 rows.append(
                     MicroLatencyRow(
@@ -181,16 +209,21 @@ def fig9_breakdown(
     sizes: Sequence[int] = (64 * KIB, 256 * KIB, MIB),
     schemes: Sequence[str] = ("async-rep", "era-ce-cd", "era-se-cd", "era-se-sd"),
     num_ops: int = 500,
+    trace_dir: Optional[str] = None,
 ) -> List[BreakdownRow]:
     """Figure 9: client-side phase breakdown for Set (no failures) and Get
     (two node failures), value sizes 64 KB - 1 MB."""
     rows: List[BreakdownRow] = []
+    trace = bool(trace_dir)
     for scheme in schemes:
         for size in sizes:
-            cluster = _fresh_cluster(scheme)
+            cluster = _fresh_cluster(scheme, trace=trace)
             client = cluster.add_client(window=MICRO_WINDOW)
             result = run_set_benchmark(
                 cluster, client, num_ops=num_ops, value_size=size
+            )
+            _export_trace(
+                cluster, trace_dir, "fig9-set-%s-%d" % (scheme, size)
             )
             rows.append(
                 BreakdownRow(
@@ -204,7 +237,7 @@ def fig9_breakdown(
                 )
             )
 
-            cluster = _fresh_cluster(scheme)
+            cluster = _fresh_cluster(scheme, trace=trace)
             client = cluster.add_client(window=1)
             source = KeyValueSource()
             load_keys(cluster, client, num_ops, size, source)
@@ -212,6 +245,9 @@ def fig9_breakdown(
             result = run_get_benchmark(
                 cluster, client, num_ops=num_ops, value_size=size,
                 preload=False, source=source,
+            )
+            _export_trace(
+                cluster, trace_dir, "fig9-get-degraded-%s-%d" % (scheme, size)
             )
             rows.append(
                 BreakdownRow(
@@ -295,14 +331,15 @@ class YCSBRow:
 YCSB_SCHEMES = ("no-rep-ipoib", "no-rep", "async-rep", "era-ce-cd", "era-se-cd")
 
 
-def _ycsb_cluster(scheme: str, profile: str):
+def _ycsb_cluster(scheme: str, profile: str, trace: bool = False):
     if scheme == "no-rep-ipoib":
         return build_cluster(
             profile=profile + "-ipoib", scheme="no-rep", servers=5,
-            memory_per_server=64 * GIB,
+            memory_per_server=64 * GIB, trace=trace,
         )
     return build_cluster(
-        profile=profile, scheme=scheme, servers=5, memory_per_server=64 * GIB
+        profile=profile, scheme=scheme, servers=5, memory_per_server=64 * GIB,
+        trace=trace,
     )
 
 
@@ -315,11 +352,13 @@ def fig11_12_ycsb(
     client_hosts: int = 10,
     record_count: int = 250_000,
     ops_per_client: int = 2_500,
+    trace_dir: Optional[str] = None,
 ) -> List[YCSBRow]:
     """Figures 11 and 12: YCSB A/B latency and throughput sweeps.
 
     One run yields both the latency series (Fig. 11) and the throughput
-    series (Fig. 12) for its configuration.
+    series (Fig. 12) for its configuration.  With ``trace_dir``, each
+    configuration's full run is exported as a Chrome trace JSON file.
     """
     rows: List[YCSBRow] = []
     for spec_base in workloads:
@@ -333,10 +372,15 @@ def fig11_12_ycsb(
                 value_size=size,
             )
             for scheme in schemes:
-                cluster = _ycsb_cluster(scheme, profile)
+                cluster = _ycsb_cluster(scheme, profile, trace=bool(trace_dir))
                 result = run_ycsb(
                     cluster, spec, num_clients=num_clients,
                     client_hosts=client_hosts,
+                )
+                _export_trace(
+                    cluster,
+                    trace_dir,
+                    "ycsb-%s-%s-%d" % (spec.name, scheme, size),
                 )
                 rows.append(
                     YCSBRow(

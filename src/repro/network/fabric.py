@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.network.profiles import ClusterProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.simulation import Event, Simulator, Store
 
 
@@ -147,9 +149,21 @@ class Endpoint:
 class Fabric:
     """A full-bisection fabric connecting all endpoints of a cluster."""
 
-    def __init__(self, sim: Simulator, profile: ClusterProfile):
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: ClusterProfile,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.profile = profile
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or MetricsRegistry()
+        self._bytes_sent = self.metrics.counter("fabric.bytes_sent")
+        self._messages = self.metrics.counter("fabric.messages")
+        self._rdma_ops = self.metrics.counter("fabric.rdma_ops")
+        self._unreachable = self.metrics.counter("fabric.unreachable")
         self.endpoints: Dict[str, Endpoint] = {}
         self._hosts: Dict[str, tuple] = {}
         self._seq = itertools.count(1)
@@ -201,12 +215,14 @@ class Fabric:
         payload: Any = None,
         tag: str = "",
         one_sided: bool = False,
+        parent=None,
     ) -> Event:
         """Two-sided message: delivered into ``dst``'s inbox.
 
         Returns an event that fires (with the :class:`Message`) at delivery
         time, or fails with :class:`NodeUnreachableError` after the
-        detection delay when either end is dead.
+        detection delay when either end is dead.  ``parent`` (a span)
+        links the transfer span under the caller's operation.
         """
         sender = self.endpoints[src]
         receiver = self.endpoints[dst]
@@ -214,6 +230,10 @@ class Fabric:
 
         if not sender.alive or not receiver.alive:
             dead = dst if not receiver.alive else src
+            self._unreachable.inc()
+            self.tracer.instant(
+                "net:%s" % src, "unreachable:%s" % dead, category="transfer"
+            )
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
 
@@ -232,6 +252,17 @@ class Fabric:
         total = overhead + wire_delay + self.profile.link_latency
         sender.messages_sent += 1
         sender.bytes_sent += size
+        self._messages.inc()
+        self._bytes_sent.inc(size)
+        self.tracer.record(
+            "net:%s" % src,
+            "%s %s->%s" % (tag or "send", src, dst),
+            start=self.sim.now,
+            duration=total,
+            category="transfer",
+            parent=parent,
+            size=size,
+        )
 
         def _deliver(_event: Event) -> None:
             # A node that died in flight never sees the message land.
@@ -248,15 +279,17 @@ class Fabric:
         self.sim.timeout(total).callbacks.append(_deliver)
         return done
 
-    def rdma_write(self, src: str, dst: str, size: int) -> Event:
+    def rdma_write(self, src: str, dst: str, size: int, parent=None) -> Event:
         """One-sided RDMA write: remote CPU uninvolved; pure timing.
 
         Completes at the *sender* when the data is placed in remote
         memory: post overhead + wire + one latency.
         """
-        return self._one_sided(src, dst, size, round_trips=0)
+        return self._one_sided(
+            src, dst, size, round_trips=0, name="rdma_write", parent=parent
+        )
 
-    def rdma_read(self, src: str, dst: str, size: int) -> Event:
+    def rdma_read(self, src: str, dst: str, size: int, parent=None) -> Event:
         """One-sided RDMA read: request goes out, data comes back.
 
         Completes after a request latency plus the data transfer on the
@@ -267,6 +300,10 @@ class Fabric:
         done = self.sim.event()
         if not reader.alive or not target.alive:
             dead = dst if not target.alive else src
+            self._unreachable.inc()
+            self.tracer.instant(
+                "net:%s" % src, "unreachable:%s" % dead, category="transfer"
+            )
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
         p = self.profile
@@ -274,6 +311,17 @@ class Fabric:
         total = p.rdma_post_overhead + p.link_latency + wire_delay + p.link_latency
         target.bytes_sent += size
         reader.bytes_received += size
+        self._rdma_ops.inc()
+        self._bytes_sent.inc(size)
+        self.tracer.record(
+            "net:%s" % src,
+            "rdma_read %s->%s" % (dst, src),
+            start=self.sim.now,
+            duration=total,
+            category="transfer",
+            parent=parent,
+            size=size,
+        )
 
         def _complete(_event: Event) -> None:
             if not target.alive:
@@ -285,12 +333,24 @@ class Fabric:
         self.sim.timeout(total).callbacks.append(_complete)
         return done
 
-    def _one_sided(self, src: str, dst: str, size: int, round_trips: int) -> Event:
+    def _one_sided(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        round_trips: int,
+        name: str = "rdma_write",
+        parent=None,
+    ) -> Event:
         sender = self.endpoints[src]
         receiver = self.endpoints[dst]
         done = self.sim.event()
         if not sender.alive or not receiver.alive:
             dead = dst if not receiver.alive else src
+            self._unreachable.inc()
+            self.tracer.instant(
+                "net:%s" % src, "unreachable:%s" % dead, category="transfer"
+            )
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
         p = self.profile
@@ -303,6 +363,17 @@ class Fabric:
         )
         sender.bytes_sent += size
         receiver.bytes_received += size
+        self._rdma_ops.inc()
+        self._bytes_sent.inc(size)
+        self.tracer.record(
+            "net:%s" % src,
+            "%s %s->%s" % (name, src, dst),
+            start=self.sim.now,
+            duration=total,
+            category="transfer",
+            parent=parent,
+            size=size,
+        )
 
         def _complete(_event: Event) -> None:
             if not receiver.alive:

@@ -1,0 +1,178 @@
+"""Counters, gauges, and histograms for the simulated stack.
+
+One :class:`MetricsRegistry` is shared by every component of a cluster
+(fabric, servers, slab caches, clients, ARPEs).  Instruments are created
+lazily by name — ``registry.counter("fabric.bytes_sent")`` — so layers
+never need to agree on a schema upfront, and a component constructed
+stand-alone simply writes into its own private registry.
+
+Naming convention: dotted paths, ``<layer>.<what>`` (per-server instruments
+interpolate the server name: ``server.server-3.queue_depth``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.stats import Summary, percentile
+
+
+class Counter:
+    """Monotonically increasing count (ops, bytes, evictions...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level (queue depth, in-flight ops...) with peak."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current level."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the level by ``amount`` (may be negative)."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Full-fidelity sample distribution (waits, occupancies, sizes).
+
+    Samples are retained exactly — runs are finite and deterministic, so
+    the repro favours exact percentiles over bucketing error.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the observed samples."""
+        return percentile(self.samples, q)
+
+    def summary(self) -> Summary:
+        """Five-number summary (raises on an empty histogram)."""
+        return Summary.of(self.samples)
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, shared across one cluster."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories (get-or-create) --------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        self._check_free(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    "metric %r already registered with a different type" % name
+                )
+
+    # -- introspection -------------------------------------------------------
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def get(self, name: str) -> Optional[object]:
+        """Look up any instrument by name, or ``None`` if absent."""
+        for family in (self._counters, self._gauges, self._histograms):
+            if name in family:
+                return family[name]
+        return None
+
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        return sorted(
+            list(self._counters)
+            + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data dump of every instrument (JSON-serializable)."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = {"value": gauge.value, "peak": gauge.peak}
+        for name, hist in self._histograms.items():
+            out[name] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "min": hist.minimum,
+                "max": hist.maximum,
+                "p50": hist.percentile(50) if hist.count else 0.0,
+                "p99": hist.percentile(99) if hist.count else 0.0,
+            }
+        return out

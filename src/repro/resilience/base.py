@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List
 
 from repro.common.payload import Payload
 from repro.simulation import Event
 from repro.store.arpe import OpMetrics
 from repro.store.protocol import Response
+from repro.store.result import ErrorCode, OpResult
 
 #: Fixed cost of selecting/validating an alternate live server after a
 #: failure is observed — the paper's ``T_check`` (Equation 4).
@@ -24,7 +25,9 @@ class SchemeError(Exception):
     """A resilience scheme could not complete an operation."""
 
 
-SchemeResult = Tuple[bool, Optional[Payload], str]
+#: Schemes return typed results; kept as an alias so scheme signatures
+#: read the same as before the tuple -> OpResult migration.
+SchemeResult = OpResult
 
 
 class ResilienceScheme(ABC):
@@ -32,8 +35,9 @@ class ResilienceScheme(ABC):
 
     ``set``/``get`` are generator methods driven inside a client process
     (blocking API) or an ARPE runner (non-blocking API).  They return an
-    ``(ok, payload, error)`` triple and record phase times into the given
-    :class:`OpMetrics`.
+    :class:`OpResult` and record phase times into the given
+    :class:`OpMetrics` (whose ``span``, when tracing, parents the
+    scheme's ``post``/``wait``/``encode``/``decode`` phase spans).
     """
 
     name: str = ""
@@ -67,6 +71,15 @@ class ResilienceScheme(ABC):
         """Charge the issue cost for one post, attributing it to Request."""
         cost = ResilienceScheme.post_cost(size)
         metrics.request_time += cost
+        client.tracer.record(
+            client.name,
+            "post",
+            start=client.sim.now,
+            duration=cost,
+            category="post",
+            parent=metrics.span,
+            size=size,
+        )
         return client.compute(cost)
 
     @staticmethod
@@ -81,5 +94,66 @@ class ResilienceScheme(ABC):
         for event in events:
             response = yield event
             results.append(response)
-        metrics.wait_time += client.sim.now - start
+        elapsed = client.sim.now - start
+        metrics.wait_time += elapsed
+        client.tracer.record(
+            client.name,
+            "wait",
+            start=start,
+            duration=elapsed,
+            category="wait",
+            parent=metrics.span,
+            responses=len(results),
+        )
         return results
+
+    @staticmethod
+    def charge_encode(client, metrics: OpMetrics, seconds: float) -> Event:
+        """Charge client-side encode compute, with an ``encode`` span."""
+        metrics.encode_time += seconds
+        client.tracer.record(
+            client.name,
+            "encode",
+            start=client.sim.now,
+            duration=seconds,
+            category="encode",
+            parent=metrics.span,
+        )
+        return client.compute(seconds)
+
+    @staticmethod
+    def charge_decode(client, metrics: OpMetrics, seconds: float) -> Event:
+        """Charge client-side decode compute, with a ``decode`` span."""
+        metrics.decode_time += seconds
+        client.tracer.record(
+            client.name,
+            "decode",
+            start=client.sim.now,
+            duration=seconds,
+            category="decode",
+            parent=metrics.span,
+        )
+        return client.compute(seconds)
+
+    # -- result helpers ------------------------------------------------------
+    @staticmethod
+    def ok_result(value: Payload = None) -> OpResult:
+        """Shorthand for a successful :class:`OpResult`."""
+        return OpResult.success(value)
+
+    @staticmethod
+    def error_result(error, message: str = "") -> OpResult:
+        """Shorthand for a failed :class:`OpResult` (code or wire string)."""
+        return OpResult.failure(error, message)
+
+
+__all__ = [
+    "COPY_PER_BYTE",
+    "ErrorCode",
+    "OpResult",
+    "POST_OVERHEAD",
+    "ResilienceScheme",
+    "SchemeError",
+    "SchemeResult",
+    "T_CHECK",
+]

@@ -25,7 +25,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.common.payload import Payload
 from repro.ec.base import ErasureCodec
 from repro.ec.registry import make_codec
-from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.resilience.base import T_CHECK, OpResult, ResilienceScheme
 from repro.store import protocol
 from repro.store.arpe import OpMetrics
 from repro.store.protocol import Response
@@ -119,8 +119,7 @@ class ErasureScheme(ResilienceScheme):
         encode_time = client.cost_model.encode_time(
             self.codec.name, value.size, self.k, self.m
         )
-        metrics.encode_time += encode_time
-        yield client.compute(encode_time)
+        yield self.charge_encode(client, metrics, encode_time)
 
         self.clear_relocations(key)
         chunks = self.materialize_chunks(value)
@@ -136,14 +135,17 @@ class ErasureScheme(ResilienceScheme):
                     chunk_key(key, index),
                     value=chunk,
                     meta=dict(meta, chunk=index),
+                    span=metrics.span,
                 )
             )
         responses = yield from self.wait_each(client, metrics, events)
         stored = sum(1 for r in responses if r.ok)
         if stored < self.k:
             errors = {r.error for r in responses if not r.ok}
-            return False, None, ", ".join(sorted(errors)) or protocol.ERR_SERVER
-        return True, None, ""
+            return OpResult.failure(
+                ", ".join(sorted(errors)) or protocol.ERR_SERVER
+            )
+        return OpResult.success()
 
     # -- client-side get path (CD) -------------------------------------------
     def _client_decode_get(
@@ -152,11 +154,12 @@ class ErasureScheme(ResilienceScheme):
         servers = self.chunk_servers(client.ring, key)
         plan = self._gather_plan(client.fabric, servers)
         if plan is None:
-            return False, None, protocol.ERR_UNREACHABLE
+            return OpResult.failure(protocol.ERR_UNREACHABLE)
         candidates, dead_data = plan
         if dead_data:
             # Re-routing reads around dead chunk holders costs a server
             # selection check, like replication failover (T_check).
+            client.metrics.counter("reads.degraded").inc()
             cost = T_CHECK * dead_data
             metrics.wait_time += cost
             yield client.compute(cost)
@@ -169,12 +172,17 @@ class ErasureScheme(ResilienceScheme):
             batch = candidates[cursor : cursor + need]
             cursor += len(batch)
             if not batch:
-                return False, None, protocol.ERR_NOT_FOUND
+                return OpResult.failure(protocol.ERR_NOT_FOUND)
             events = []
             for index in batch:
                 yield self.charge_post(client, metrics, 0)
                 events.append(
-                    client.request(servers[index], "get", chunk_key(key, index))
+                    client.request(
+                        servers[index],
+                        "get",
+                        chunk_key(key, index),
+                        span=metrics.span,
+                    )
                 )
             responses = yield from self.wait_each(client, metrics, events)
             for index, response in zip(batch, responses):
@@ -184,14 +192,13 @@ class ErasureScheme(ResilienceScheme):
 
         erased = self.erased_data_count(retrieved)
         if data_len is None:
-            return False, None, protocol.ERR_NOT_FOUND
+            return OpResult.failure(protocol.ERR_NOT_FOUND)
         decode_time = client.cost_model.decode_time(
             self.codec.name, data_len, self.k, self.m, erased
         )
-        metrics.decode_time += decode_time
-        yield client.compute(decode_time)
+        yield self.charge_decode(client, metrics, decode_time)
         value = self.reconstruct(dict(retrieved), data_len)
-        return True, value, ""
+        return OpResult.success(value)
 
     def _gather_plan(
         self, fabric, servers: List[str]
@@ -234,15 +241,20 @@ class ErasureScheme(ResilienceScheme):
             size = value.size if value is not None else 0
             yield self.charge_post(client, metrics, size)
             event = client.request(
-                server, op, key, value=value, meta={"data_len": size}
+                server,
+                op,
+                key,
+                value=value,
+                meta={"data_len": size},
+                span=metrics.span,
             )
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
-                return True, response.value, ""
+                return OpResult.success(response.value)
             last_error = response.error
             if response.error != protocol.ERR_UNREACHABLE:
-                return False, None, response.error
-        return False, None, last_error
+                return OpResult.failure(response.error)
+        return OpResult.failure(last_error)
 
     # -- server-side handlers ---------------------------------------------------
     def install_server_handlers(self, cluster, ops: Tuple[str, ...]) -> None:
@@ -258,7 +270,10 @@ class ErasureScheme(ResilienceScheme):
         encode_time = server.cost_model.encode_time(
             self.codec.name, value.size, self.k, self.m
         )
-        yield from server.cpu(encode_time)
+        with server.tracer.span(
+            server.name, "encode", category="encode", key=request.key
+        ):
+            yield from server.cpu(encode_time)
 
         self.clear_relocations(request.key)
         chunks = self.materialize_chunks(value)
@@ -369,7 +384,10 @@ class ErasureScheme(ResilienceScheme):
         decode_time = server.cost_model.decode_time(
             self.codec.name, data_len, self.k, self.m, erased
         )
-        yield from server.cpu(decode_time)
+        with server.tracer.span(
+            server.name, "decode", category="decode", key=request.key
+        ):
+            yield from server.cpu(decode_time)
         value = self.reconstruct(dict(retrieved), data_len)
         return Response(
             req_id=request.req_id,
@@ -402,10 +420,9 @@ class EraSESD(ErasureScheme):
         self.install_server_handlers(cluster, ("se_set", "sd_get"))
 
     def set(self, client, key, value, metrics):
-        ok, _value, error = yield from self._server_offload(
-            client, key, "se_set", value, metrics
+        return (
+            yield from self._server_offload(client, key, "se_set", value, metrics)
         )
-        return ok, None, error
 
     def get(self, client, key, metrics):
         return (yield from self._server_offload(client, key, "sd_get", None, metrics))
@@ -421,10 +438,9 @@ class EraSECD(ErasureScheme):
         self.install_server_handlers(cluster, ("se_set",))
 
     def set(self, client, key, value, metrics):
-        ok, _value, error = yield from self._server_offload(
-            client, key, "se_set", value, metrics
+        return (
+            yield from self._server_offload(client, key, "se_set", value, metrics)
         )
-        return ok, None, error
 
     def get(self, client, key, metrics):
         return (yield from self._client_decode_get(client, key, metrics))

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.common.payload import Payload
-from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.resilience.base import T_CHECK, OpResult, ResilienceScheme
 from repro.resilience.erasure import EraCECD, ErasureScheme
 from repro.resilience.replication import AsyncReplication
 from repro.store import protocol
@@ -81,17 +81,15 @@ class HybridScheme(ResilienceScheme):
             return (yield from self.replication.set(client, key, value, metrics))
 
         self.large_sets += 1
-        ok, payload, error = yield from self.erasure.set(
-            client, key, value, metrics
-        )
-        if not ok:
-            return ok, payload, error
+        result = yield from self.erasure.set(client, key, value, metrics)
+        if not result.ok:
+            return result
         # Replicated one-byte stub under the main key routes future Gets
         # to the chunk gather (and replaces any stale small value).
         stub_ok = yield from self._set_stub(client, key, value.size, metrics)
         if not stub_ok:
-            return False, None, protocol.ERR_SERVER
-        return True, None, ""
+            return OpResult.failure(protocol.ERR_SERVER)
+        return OpResult.success()
 
     def _set_stub(
         self, client, key: str, data_len: int, metrics: OpMetrics
@@ -107,6 +105,7 @@ class HybridScheme(ResilienceScheme):
                     key,
                     value=Payload.sized(1),
                     meta={_LARGE_FLAG: True, "data_len": data_len},
+                    span=metrics.span,
                 )
             )
         responses = yield from self.wait_each(client, metrics, events)
@@ -122,13 +121,13 @@ class HybridScheme(ResilienceScheme):
                 metrics.wait_time += T_CHECK
                 yield client.compute(T_CHECK)
             yield self.charge_post(client, metrics, 0)
-            event = client.request(server, "get", key)
+            event = client.request(server, "get", key, span=metrics.span)
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
                 if response.meta.get(_LARGE_FLAG):
                     return (yield from self.erasure.get(client, key, metrics))
-                return True, response.value, ""
+                return OpResult.success(response.value)
             last_error = response.error
             if response.error == protocol.ERR_NOT_FOUND:
-                return False, None, protocol.ERR_NOT_FOUND
-        return False, None, last_error
+                return OpResult.failure(protocol.ERR_NOT_FOUND)
+        return OpResult.failure(last_error)

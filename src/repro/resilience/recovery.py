@@ -106,11 +106,10 @@ class RepairManager:
         from repro.store.arpe import OpMetrics
 
         metrics = OpMetrics(self.sim.now)
-        ok, value, _error = yield from scheme._client_decode_get(
-            client, key, metrics
-        )
-        if not ok:
+        result = yield from scheme._client_decode_get(client, key, metrics)
+        if not result.ok:
             return False
+        value = result.value
 
         # ... re-encode to obtain the lost chunk ...
         encode_time = client.cost_model.encode_time(

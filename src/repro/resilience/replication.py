@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.common.payload import Payload
-from repro.resilience.base import T_CHECK, ResilienceScheme
+from repro.resilience.base import T_CHECK, OpResult, ResilienceScheme
 from repro.store import protocol
 from repro.store.arpe import OpMetrics
 
@@ -27,16 +27,18 @@ class NoReplication(ResilienceScheme):
     def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
         server = client.ring.primary(key)
         yield self.charge_post(client, metrics, value.size)
-        event = client.request(server, "set", key, value=value)
+        event = client.request(server, "set", key, value=value, span=metrics.span)
         (response,) = yield from self.wait_each(client, metrics, [event])
-        return response.ok, None, response.error
+        if response.ok:
+            return OpResult.success()
+        return OpResult.failure(response.error)
 
     def get(self, client, key: str, metrics: OpMetrics) -> Generator:
         server = client.ring.primary(key)
         yield self.charge_post(client, metrics, 0)
-        event = client.request(server, "get", key)
+        event = client.request(server, "get", key, span=metrics.span)
         (response,) = yield from self.wait_each(client, metrics, [event])
-        return response.ok, response.value, response.error
+        return OpResult.from_response(response)
 
 
 class _ReplicatedGetMixin:
@@ -51,16 +53,16 @@ class _ReplicatedGetMixin:
                 metrics.wait_time += T_CHECK
                 yield client.compute(T_CHECK)
             yield self.charge_post(client, metrics, 0)
-            event = client.request(server, "get", key)
+            event = client.request(server, "get", key, span=metrics.span)
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
-                return True, response.value, ""
+                return OpResult.success(response.value)
             last_error = response.error
             if response.error == protocol.ERR_NOT_FOUND:
                 # The primary answered authoritatively: a miss is a miss.
-                return False, None, protocol.ERR_NOT_FOUND
+                return OpResult.failure(protocol.ERR_NOT_FOUND)
             # UNREACHABLE and CORRUPT both mean: try the next replica.
-        return False, None, last_error
+        return OpResult.failure(last_error)
 
 
 class SyncReplication(_ReplicatedGetMixin, ResilienceScheme):
@@ -81,15 +83,17 @@ class SyncReplication(_ReplicatedGetMixin, ResilienceScheme):
         last_error = ""
         for server in targets:
             yield self.charge_post(client, metrics, value.size)
-            event = client.request(server, "set", key, value=value)
+            event = client.request(
+                server, "set", key, value=value, span=metrics.span
+            )
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
                 stored += 1
             else:
                 last_error = response.error
         if stored == 0:
-            return False, None, last_error or protocol.ERR_SERVER
-        return True, None, ""
+            return OpResult.failure(last_error or protocol.ERR_SERVER)
+        return OpResult.success()
 
 
 class AsyncReplication(_ReplicatedGetMixin, ResilienceScheme):
@@ -114,10 +118,14 @@ class AsyncReplication(_ReplicatedGetMixin, ResilienceScheme):
         events: List = []
         for server in targets:
             yield self.charge_post(client, metrics, value.size)
-            events.append(client.request(server, "set", key, value=value))
+            events.append(
+                client.request(server, "set", key, value=value, span=metrics.span)
+            )
         responses = yield from self.wait_each(client, metrics, events)
         stored = sum(1 for r in responses if r.ok)
         if stored == 0:
             errors = {r.error for r in responses if not r.ok}
-            return False, None, ", ".join(sorted(errors)) or protocol.ERR_SERVER
-        return True, None, ""
+            return OpResult.failure(
+                ", ".join(sorted(errors)) or protocol.ERR_SERVER
+            )
+        return OpResult.success()

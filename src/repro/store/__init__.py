@@ -14,20 +14,27 @@ Reproduces the pieces of RDMA-Memcached/Libmemcached the paper builds on:
   (``iset``/``iget``/``test``/``wait``) client APIs.
 - :mod:`repro.store.arpe` — the Asynchronous Request Processing Engine:
   registered buffer pool, request queue, send window.
+- :mod:`repro.store.result` — typed operation outcomes
+  (:class:`OpResult` / :class:`ErrorCode`) carried by every completed
+  request handle.
 """
 
 from repro.store.arpe import AsyncRequestEngine, RequestHandle
-from repro.store.client import KVClient
+from repro.store.client import KVClient, KVStoreError
 from repro.store.hashring import HashRing
 from repro.store.protocol import Request, Response
+from repro.store.result import ErrorCode, OpResult
 from repro.store.server import MemcachedServer
 from repro.store.slab import SlabCache
 
 __all__ = [
     "AsyncRequestEngine",
+    "ErrorCode",
     "HashRing",
     "KVClient",
+    "KVStoreError",
     "MemcachedServer",
+    "OpResult",
     "Request",
     "RequestHandle",
     "Response",

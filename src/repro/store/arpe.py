@@ -10,6 +10,11 @@ with ``memcached_test``/``memcached_wait``.
 Overlap is the point: while operation *i* waits on the network, the engine
 starts operation *i+1* — including its encode/decode compute — which is
 how online erasure coding hides :math:`T_{encode}` (Section IV-A).
+
+Every completion carries a typed :class:`~repro.store.result.OpResult`;
+the engine populates per-operation :class:`OpMetrics` and, when a real
+tracer is attached, an ``op`` span that scheme-level ``encode``/``post``/
+``transfer``/``wait`` spans parent themselves under.
 """
 
 from __future__ import annotations
@@ -18,11 +23,18 @@ import itertools
 from typing import Callable, Generator, Iterable, List, Optional
 
 from repro.common.payload import Payload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.simulation import Event, Resource, Simulator
+from repro.store.result import ErrorCode, OpResult
 
 
 class OpMetrics:
-    """Per-operation phase breakdown (drives Figure 9)."""
+    """Per-operation phase breakdown (drives Figure 9).
+
+    ``span`` is the operation's trace span (``NULL_SPAN`` when untraced);
+    schemes parent their phase spans under it.
+    """
 
     __slots__ = (
         "enqueued_at",
@@ -32,6 +44,7 @@ class OpMetrics:
         "decode_time",
         "request_time",
         "wait_time",
+        "span",
     )
 
     def __init__(self, now: float):
@@ -42,6 +55,7 @@ class OpMetrics:
         self.decode_time = 0.0
         self.request_time = 0.0
         self.wait_time = 0.0
+        self.span = NULL_SPAN
 
     @property
     def latency(self) -> float:
@@ -55,7 +69,13 @@ class OpMetrics:
 
 
 class RequestHandle:
-    """A non-blocking operation in flight (``iset``/``iget`` return this)."""
+    """A non-blocking operation in flight (``iset``/``iget`` return this).
+
+    Once completed, the handle carries the operation's typed
+    :class:`OpResult` in :attr:`result`.  The legacy ``handle.ok`` /
+    ``handle.error`` / ``handle.value`` accessors remain as properties
+    delegating to it.
+    """
 
     _ids = itertools.count(1)
 
@@ -66,20 +86,49 @@ class RequestHandle:
         self.key = key
         self.done: Event = sim.event()
         self.metrics = OpMetrics(sim.now)
-        self.ok: bool = False
-        self.error: str = ""
-        self.result: Optional[Payload] = None
+        self.result: Optional[OpResult] = None
 
     @property
     def completed(self) -> bool:
         """Whether the operation has finished (ok or not)."""
         return self.done.triggered
 
-    def _finish(self, ok: bool, result: Optional[Payload], error: str) -> None:
-        self.ok = ok
+    # -- result delegation (deprecated direct accessors) ---------------------
+    @property
+    def ok(self) -> bool:
+        """Deprecated: use ``handle.result.ok``.  False while in flight."""
+        return self.result is not None and self.result.ok
+
+    @property
+    def error(self) -> str:
+        """Deprecated: use ``handle.result.error`` /
+        ``handle.result.error_text``.  Empty while in flight or on
+        success."""
+        if self.result is None:
+            return ""
+        return self.result.error_text
+
+    @property
+    def error_code(self) -> ErrorCode:
+        """Typed failure reason (``ErrorCode.NONE`` in flight / on
+        success)."""
+        if self.result is None:
+            return ErrorCode.NONE
+        return self.result.error
+
+    @property
+    def value(self) -> Optional[Payload]:
+        """The fetched payload, when completed successfully."""
+        if self.result is None:
+            return None
+        return self.result.value
+
+    def _finish(self, result: OpResult) -> None:
         self.result = result
-        self.error = error
         self.metrics.completed_at = self.sim.now
+        self.metrics.span.finish(
+            ok=result.ok, error=result.error.value
+        )
         self.done.succeed(self)
 
 
@@ -94,6 +143,8 @@ class AsyncRequestEngine:
         sim: Simulator,
         window: int = 32,
         buffer_pool: int = 64,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if window < 1 or buffer_pool < 1:
             raise ValueError("window and buffer_pool must be >= 1")
@@ -102,6 +153,15 @@ class AsyncRequestEngine:
         self.buffers = Resource(sim, buffer_pool)
         self.submitted = 0
         self.completed = 0
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or MetricsRegistry()
+        self._buffer_wait = self.metrics.histogram("arpe.buffer_wait")
+        self._window_wait = self.metrics.histogram("arpe.window_wait")
+        self._window_occupancy = self.metrics.histogram("arpe.window_occupancy")
+        self._submitted_counter = self.metrics.counter("arpe.submitted")
+        self._completed_counter = self.metrics.counter("arpe.completed")
+        self._failed_counter = self.metrics.counter("arpe.failed")
+        self._idle: Optional[Event] = None
 
     @property
     def in_flight(self) -> int:
@@ -111,26 +171,43 @@ class AsyncRequestEngine:
     def submit(self, handle: RequestHandle, runner: Runner) -> RequestHandle:
         """Queue the operation; returns immediately (non-blocking API)."""
         self.submitted += 1
+        self._submitted_counter.inc()
         self.sim.process(
             self._run(handle, runner), name="arpe.%s.%s" % (handle.op, handle.key)
         )
         return handle
 
     def _run(self, handle: RequestHandle, runner: Runner) -> Generator:
+        enqueued = self.sim.now
         buffer_req = self.buffers.request()
         yield buffer_req
+        self._buffer_wait.observe(self.sim.now - enqueued)
+        granted = self.sim.now
         window_req = self.window.request()
         yield window_req
+        self._window_wait.observe(self.sim.now - granted)
+        self._window_occupancy.observe(self.window.in_use)
         handle.metrics.started_at = self.sim.now
         try:
-            ok, result, error = yield from runner(handle)
+            result = yield from runner(handle)
+            if not isinstance(result, OpResult):
+                raise TypeError(
+                    "runner for %s %r returned %r; schemes must return OpResult"
+                    % (handle.op, handle.key, result)
+                )
         except Exception as exc:  # noqa: BLE001 - surfaced via the handle
-            ok, result, error = False, None, str(exc)
+            result = OpResult.failure(ErrorCode.INTERNAL, str(exc))
         finally:
             self.window.release(window_req)
             self.buffers.release(buffer_req)
         self.completed += 1
-        handle._finish(ok, result, error)
+        self._completed_counter.inc()
+        if not result.ok:
+            self._failed_counter.inc()
+        handle._finish(result)
+        if self.in_flight == 0 and self._idle is not None:
+            idle, self._idle = self._idle, None
+            idle.succeed(None)
 
     # -- completion APIs (memcached_test / memcached_wait) -------------------
     def test(self, handle: RequestHandle) -> bool:
@@ -142,10 +219,36 @@ class AsyncRequestEngine:
         return self.sim.all_of([h.done for h in handles])
 
     def wait_any(self, handles: List[RequestHandle]) -> Event:
-        """Event firing when the first of the handles completes."""
-        return self.sim.any_of([h.done for h in handles])
+        """Event firing with the *first completed handle* as its value.
+
+        Drive with ``first = yield engine.wait_any(handles)`` — the caller
+        gets the winning :class:`RequestHandle` directly instead of having
+        to dig through the raw ``any_of`` condition.
+        """
+        handles = list(handles)
+        if not handles:
+            raise ValueError("wait_any needs at least one handle")
+        winner = self.sim.event()
+        inner = self.sim.any_of([h.done for h in handles])
+
+        def _relay(event: Event) -> None:
+            if not event.ok:  # pragma: no cover - handles never fail
+                winner.fail(event.value)
+                return
+            _done_event, completed_handle = event.value
+            winner.succeed(completed_handle)
+
+        inner.callbacks.append(_relay)
+        return winner
 
     def drain(self) -> Generator:
-        """Process generator: wait until the engine is fully idle."""
+        """Process generator: wait until the engine is fully idle.
+
+        Event-driven: the engine triggers an idle event when ``in_flight``
+        reaches zero, so draining costs one wakeup instead of busy-polling
+        the simulator with micro-timeouts.
+        """
         while self.in_flight > 0:
-            yield self.sim.timeout(1e-6)
+            if self._idle is None:
+                self._idle = self.sim.event()
+            yield self._idle

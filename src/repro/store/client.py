@@ -13,6 +13,10 @@ Mirrors RDMA-Libmemcached's two API families:
 
 How an individual operation touches servers — one copy, F replicas, or
 K+M erasure-coded chunks — is delegated to the attached resilience scheme.
+Schemes return typed :class:`~repro.store.result.OpResult` values; the
+blocking API unwraps them into the historical return conventions
+(``True``/``False`` for Set, ``Payload``/``None`` for Get, exceptions for
+hard failures) so existing callers are unaffected.
 """
 
 from __future__ import annotations
@@ -24,15 +28,25 @@ from repro.common.payload import Payload
 from repro.common.stats import LatencyRecorder
 from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric, Message
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span
 from repro.simulation import Event, Simulator
 from repro.store import protocol
 from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
 from repro.store.hashring import HashRing
 from repro.store.protocol import PendingTable, Request, Response
+from repro.store.result import ErrorCode, OpResult
 
 
 class KVStoreError(Exception):
-    """A key-value operation failed (e.g. all replicas unreachable)."""
+    """A key-value operation failed (e.g. all replicas unreachable).
+
+    Carries the typed :class:`ErrorCode` in :attr:`code`.
+    """
+
+    def __init__(self, message: str, code: ErrorCode = ErrorCode.SERVER_ERROR):
+        super().__init__(message)
+        self.code = code
 
 
 class KVClient:
@@ -49,6 +63,8 @@ class KVClient:
         window: int = 32,
         buffer_pool: int = 64,
         host: Optional[str] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -58,9 +74,17 @@ class KVClient:
         self.cost_model = cost_model or CodingCostModel(
             cpu_speed_factor=fabric.profile.cpu_speed_factor
         )
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or MetricsRegistry()
         self.endpoint = fabric.add_node(name, host=host)
         self.pending = PendingTable(sim)
-        self.engine = AsyncRequestEngine(sim, window=window, buffer_pool=buffer_pool)
+        self.engine = AsyncRequestEngine(
+            sim,
+            window=window,
+            buffer_pool=buffer_pool,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.recorder = LatencyRecorder()
         self._req_seq = itertools.count(1)
         sim.process(self._dispatch_loop(), name="%s.dispatch" % name)
@@ -79,8 +103,13 @@ class KVClient:
         key: str,
         value: Optional[Payload] = None,
         meta: Optional[Dict[str, Any]] = None,
+        span: Optional[Span] = None,
     ) -> Event:
-        """Post one raw request; event fires with the :class:`Response`."""
+        """Post one raw request; event fires with the :class:`Response`.
+
+        ``span`` (usually the operation span) parents the fabric's
+        transfer span for the outgoing request.
+        """
         req = Request(
             op=op,
             key=key,
@@ -89,7 +118,7 @@ class KVClient:
             value=value,
             meta=dict(meta or {}),
         )
-        return protocol.issue_request(self.fabric, self.pending, req, dst)
+        return protocol.issue_request(self.fabric, self.pending, req, dst, span=span)
 
     def next_req_id(self) -> int:
         """Allocate a request id (shared by KV and Lustre traffic)."""
@@ -105,32 +134,43 @@ class KVClient:
         success.  Drive with ``ok = yield from client.set(...)``."""
         metrics = OpMetrics(self.sim.now)
         metrics.started_at = self.sim.now
-        ok, _result, error = yield from self.scheme.set(self, key, value, metrics)
+        with self.tracer.span(self.name, "set:%s" % key, category="op") as span:
+            metrics.span = span
+            result = yield from self.scheme.set(self, key, value, metrics)
         metrics.completed_at = self.sim.now
         self.recorder.record("set", metrics.latency)
-        if not ok and error == protocol.ERR_OUT_OF_MEMORY:
+        if result.ok:
+            return True
+        if result.error is ErrorCode.OUT_OF_MEMORY:
             return False
-        if not ok:
-            raise KVStoreError("set %r failed: %s" % (key, error))
-        return True
+        raise KVStoreError(
+            "set %r failed: %s" % (key, result.error_text), result.error
+        )
 
     def get(self, key: str) -> Generator:
         """Blocking Get; returns the :class:`Payload` or ``None`` on miss."""
         metrics = OpMetrics(self.sim.now)
         metrics.started_at = self.sim.now
-        ok, result, error = yield from self.scheme.get(self, key, metrics)
+        with self.tracer.span(self.name, "get:%s" % key, category="op") as span:
+            metrics.span = span
+            result = yield from self.scheme.get(self, key, metrics)
         metrics.completed_at = self.sim.now
         self.recorder.record("get", metrics.latency)
-        if ok:
-            return result
-        if error == protocol.ERR_NOT_FOUND:
+        if result.ok:
+            return result.value
+        if result.error is ErrorCode.NOT_FOUND:
             return None
-        raise KVStoreError("get %r failed: %s" % (key, error))
+        raise KVStoreError(
+            "get %r failed: %s" % (key, result.error_text), result.error
+        )
 
     # -- non-blocking API -----------------------------------------------------
     def iset(self, key: str, value: Payload) -> RequestHandle:
         """memcached_iset: enqueue a Set, return its handle immediately."""
         handle = RequestHandle(self.sim, "set", key)
+        handle.metrics.span = self.tracer.span(
+            self.name, "set:%s" % key, category="op"
+        )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
@@ -141,6 +181,9 @@ class KVClient:
     def iget(self, key: str) -> RequestHandle:
         """memcached_iget: enqueue a Get, return its handle immediately."""
         handle = RequestHandle(self.sim, "get", key)
+        handle.metrics.span = self.tracer.span(
+            self.name, "get:%s" % key, category="op"
+        )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
@@ -166,10 +209,7 @@ class KVClient:
         """
         handles = self.imget(list(keys))
         yield self.wait(handles)
-        return {
-            handle.key: handle.result if handle.ok else None
-            for handle in handles
-        }
+        return {handle.key: handle.value for handle in handles}
 
     def test(self, handle: RequestHandle) -> bool:
         """memcached_test: non-blocking completion check."""
@@ -178,6 +218,10 @@ class KVClient:
     def wait(self, handles: Iterable[RequestHandle]) -> Event:
         """memcached_wait: event that fires when all handles completed."""
         return self.engine.wait_all(list(handles))
+
+    def wait_any(self, handles: Iterable[RequestHandle]) -> Event:
+        """Event firing with the first completed :class:`RequestHandle`."""
+        return self.engine.wait_any(list(handles))
 
     def _record_on_done(self, handle: RequestHandle) -> None:
         def _record(_event: Event) -> None:

@@ -63,13 +63,15 @@ def issue_request(
     pending: "PendingTable",
     request: Request,
     dst: str,
+    span=None,
 ) -> Event:
     """Send ``request`` and return an event firing with its :class:`Response`.
 
     Used by both the client library and servers talking to peers.  If the
     fabric reports the destination unreachable, the waiter completes with
     an ``ok=False`` / ``ERR_UNREACHABLE`` response — failures are data,
-    so callers can fail over without exception plumbing.
+    so callers can fail over without exception plumbing.  ``span``
+    parents the fabric's transfer span under the caller's operation span.
     """
     waiter = pending.register(request.req_id)
     send_event = fabric.send(
@@ -78,6 +80,7 @@ def issue_request(
         size=request.wire_size(),
         payload=request,
         tag=TAG_REQUEST,
+        parent=span,
     )
 
     def _on_send(event: Event) -> None:

@@ -1,0 +1,108 @@
+"""Typed operation results: :class:`OpResult` and :class:`ErrorCode`.
+
+Replaces the stringly ``(ok, payload, error)`` tuples that used to thread
+through every resilience scheme, the client, and the ARPE.  Wire-level
+:class:`~repro.store.protocol.Response` objects still carry their error as
+a string (that is the protocol); :meth:`ErrorCode.from_wire` maps it back
+into the enum at the scheme boundary, so everything above the wire speaks
+types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Union
+
+from repro.common.payload import Payload
+
+
+class ErrorCode(Enum):
+    """Why an operation failed (``NONE`` for success)."""
+
+    NONE = ""
+    NOT_FOUND = "NOT_FOUND"
+    OUT_OF_MEMORY = "OUT_OF_MEMORY"
+    UNKNOWN_OP = "UNKNOWN_OP"
+    SERVER_ERROR = "SERVER_ERROR"
+    UNREACHABLE = "UNREACHABLE"
+    CORRUPT = "CORRUPT"
+    TIMEOUT = "TIMEOUT"
+    INTERNAL = "INTERNAL"
+
+    @classmethod
+    def from_wire(cls, error: str) -> "ErrorCode":
+        """Map a wire error string to a code.
+
+        Handles compound strings the schemes produce — comma-joined error
+        sets from fan-out writes ("OUT_OF_MEMORY, UNREACHABLE") and
+        annotated server errors ("SERVER_ERROR: boom") — by classifying on
+        the first token.  Unrecognized strings become ``SERVER_ERROR``.
+        """
+        if not error:
+            return cls.NONE
+        token = error.split(",")[0].split(":")[0].strip()
+        try:
+            return cls(token)
+        except ValueError:
+            return cls.SERVER_ERROR
+
+    def __str__(self) -> str:
+        return self.value or "OK"
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one Set/Get through a resilience scheme.
+
+    ``message`` preserves the full wire-level error text (which may be
+    richer than the code, e.g. a joined error set from a chunk fan-out);
+    ``error_text`` is the human-readable form callers should display.
+    """
+
+    ok: bool
+    value: Optional[Payload] = None
+    error: ErrorCode = ErrorCode.NONE
+    message: str = ""
+
+    @classmethod
+    def success(cls, value: Optional[Payload] = None) -> "OpResult":
+        """A successful outcome, optionally carrying the fetched payload."""
+        return cls(ok=True, value=value)
+
+    @classmethod
+    def failure(
+        cls, error: Union[ErrorCode, str], message: str = ""
+    ) -> "OpResult":
+        """A failed outcome.
+
+        ``error`` may be an :class:`ErrorCode` or a wire error string (the
+        string is classified via :meth:`ErrorCode.from_wire` and kept as
+        the message).
+        """
+        if isinstance(error, ErrorCode):
+            return cls(ok=False, error=error, message=message)
+        return cls(
+            ok=False, error=ErrorCode.from_wire(error), message=message or error
+        )
+
+    @classmethod
+    def from_response(cls, response) -> "OpResult":
+        """Lift a wire :class:`~repro.store.protocol.Response` to a result."""
+        if response.ok:
+            return cls.success(response.value)
+        return cls.failure(response.error)
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    @property
+    def error_text(self) -> str:
+        """Human-readable error ('' on success)."""
+        if self.ok:
+            return ""
+        return self.message or self.error.value
+
+    def __bool__(self) -> bool:
+        return self.ok

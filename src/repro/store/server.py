@@ -20,6 +20,8 @@ from typing import Any, Callable, Dict, Generator, Optional
 from repro.common.payload import Payload
 from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric, Message
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.simulation import Event, Resource, Simulator
 from repro.store import protocol
 from repro.store.protocol import PendingTable, Request, Response
@@ -47,12 +49,23 @@ class MemcachedServer:
         worker_threads: int = 8,
         cost_model: Optional[CodingCostModel] = None,
         verify_on_read: bool = True,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.fabric = fabric
         self.name = name
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or MetricsRegistry()
+        self._queue_depth = self.metrics.histogram(
+            "server.%s.queue_depth" % name
+        )
         self.endpoint = fabric.add_node(name)
-        self.cache = SlabCache(memory_limit)
+        self.cache = SlabCache(
+            memory_limit,
+            metrics=self.metrics,
+            metric_prefix="slab.%s" % name,
+        )
         #: verify stored checksums on every Get (detects bit rot; a
         #: corrupt item is reported so the resilience layer can recover
         #: it from replicas or parity chunks)
@@ -170,6 +183,13 @@ class MemcachedServer:
 
     def _handle_request(self, request: Request, message_size: int) -> Generator:
         self.requests_handled += 1
+        self._queue_depth.observe(self.workers.queued)
+        span = self.tracer.span(
+            self.name,
+            "service:%s" % request.op,
+            category="server-service",
+            key=request.key,
+        )
         base_cpu = REQUEST_PARSE_CPU / self.cpu_speed + self._receive_cpu_cost(
             message_size
         )
@@ -190,7 +210,9 @@ class MemcachedServer:
             response = yield from self._builtin(request)
 
         if response is None:
+            span.finish(replied="async")
             return  # handler replied on its own
+        span.finish(ok=response.ok)
 
         send_event = self.fabric.send(
             self.name,

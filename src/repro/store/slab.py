@@ -18,6 +18,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 #: Per-item metadata overhead (memcached's item header + CAS).
 ITEM_HEADER = 56
 
@@ -65,6 +67,8 @@ class SlabCache:
         min_chunk: int = DEFAULT_MIN_CHUNK,
         growth_factor: float = DEFAULT_GROWTH,
         item_max: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_prefix: str = "slab",
     ):
         if memory_limit < page_size:
             raise ValueError("memory_limit smaller than one page")
@@ -90,6 +94,16 @@ class SlabCache:
         self.total_sets = 0
         self.total_gets = 0
         self.hits = 0
+        registry = metrics or MetricsRegistry()
+        self._evictions_counter = registry.counter(
+            "%s.evictions" % metric_prefix
+        )
+        self._evicted_bytes_counter = registry.counter(
+            "%s.evicted_bytes" % metric_prefix
+        )
+        self._failed_stores_counter = registry.counter(
+            "%s.failed_stores" % metric_prefix
+        )
 
     # -- sizing --------------------------------------------------------------
     def item_footprint(self, key: str, value_len: int) -> int:
@@ -148,6 +162,7 @@ class SlabCache:
         if slab_class is None:
             self.failed_stores += 1
             self.failed_bytes += value_len
+            self._failed_stores_counter.inc()
             return False
 
         existing = self._index.pop(key, None)
@@ -159,6 +174,7 @@ class SlabCache:
         if not self._ensure_slot(slab_class):
             self.failed_stores += 1
             self.failed_bytes += value_len
+            self._failed_stores_counter.inc()
             return False
 
         item = StoredItem(
@@ -229,5 +245,7 @@ class SlabCache:
             slab_class.free_slots += 1
             self.evictions += 1
             self.evicted_bytes += victim.value_len
+            self._evictions_counter.inc()
+            self._evicted_bytes_counter.inc(victim.value_len)
             return True
         return False

@@ -1,0 +1,103 @@
+"""Chrome trace / plain-text exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_PID,
+    chrome_trace,
+    chrome_trace_events,
+    render_metrics,
+    render_timeline,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer(Simulator())
+    op = tracer.record("client-0", "set:k", start=0.0, duration=3e-3, category="op")
+    tracer.record(
+        "net:client-0",
+        "req client-0->server-1",
+        start=1e-3,
+        duration=1e-3,
+        category="transfer",
+        parent=op,
+        size=4096,
+    )
+    return tracer
+
+
+class TestChromeTrace:
+    def test_thread_metadata_per_track(self, tracer):
+        events = chrome_trace_events(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"client-0", "net:client-0"}
+        assert all(e["name"] == "thread_name" for e in meta)
+        assert all(e["pid"] == TRACE_PID for e in meta)
+
+    def test_complete_events_in_microseconds(self, tracer):
+        events = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert len(events) == 2
+        op = next(e for e in events if e["cat"] == "op")
+        xfer = next(e for e in events if e["cat"] == "transfer")
+        assert op["ts"] == pytest.approx(0.0)
+        assert op["dur"] == pytest.approx(3000.0)
+        assert xfer["ts"] == pytest.approx(1000.0)
+        assert xfer["dur"] == pytest.approx(1000.0)
+        assert xfer["args"]["parent_id"] == op["args"]["span_id"]
+        assert xfer["args"]["size"] == 4096
+
+    def test_distinct_tids_per_track(self, tracer):
+        events = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert len({e["tid"] for e in events}) == 2
+
+    def test_document_shape_and_metrics(self, tracer):
+        metrics = MetricsRegistry()
+        metrics.counter("fabric.bytes_sent").inc(4096)
+        doc = chrome_trace(tracer, metrics)
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["metrics"]["fabric.bytes_sent"] == 4096
+        json.dumps(doc)
+
+    def test_write_round_trips(self, tracer, tmp_path):
+        path = str(tmp_path / "run.trace.json")
+        assert write_chrome_trace(tracer, path) == path
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"} == {
+            "set:k",
+            "req client-0->server-1",
+        }
+
+
+class TestPlainText:
+    def test_timeline_ordered_by_start(self, tracer):
+        text = render_timeline(tracer)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "set:k" in lines[0]
+        assert "req client-0->server-1" in lines[1]
+
+    def test_timeline_limit(self, tracer):
+        assert len(render_timeline(tracer, limit=1).splitlines()) == 1
+
+    def test_metrics_rendering(self):
+        metrics = MetricsRegistry()
+        metrics.counter("ops").inc(7)
+        metrics.gauge("depth").set(3)
+        metrics.histogram("wait").observe(1.5)
+        metrics.histogram("empty")
+        text = render_metrics(metrics)
+        assert "counter    ops" in text
+        assert "7" in text
+        assert "gauge      depth" in text
+        assert "histogram  wait" in text
+        assert "n=0" in text

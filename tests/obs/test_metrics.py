@@ -1,0 +1,93 @@
+"""Counter/Gauge/Histogram/MetricsRegistry unit behaviour."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_peak(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+        assert g.peak == 3
+
+    def test_inc_dec(self):
+        g = Gauge("depth")
+        g.inc(2)
+        g.dec()
+        assert g.value == 1
+        assert g.peak == 2
+
+
+class TestHistogram:
+    def test_statistics(self):
+        h = Histogram("waits")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.percentile(50) == pytest.approx(2.5)
+
+    def test_empty_statistics(self):
+        h = Histogram("waits")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.minimum == 0.0 and h.maximum == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_lookup_and_names(self):
+        reg = MetricsRegistry()
+        c = reg.counter("b.ops")
+        h = reg.histogram("a.wait")
+        assert reg.get("b.ops") is c
+        assert reg.get("a.wait") is h
+        assert reg.get("missing") is None
+        assert reg.names() == ["a.wait", "b.ops"]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.gauge("depth").set(2)
+        hist = reg.histogram("wait")
+        hist.observe(1.0)
+        hist.observe(3.0)
+        snap = reg.snapshot()
+        assert snap["ops"] == 3
+        assert snap["depth"] == {"value": 2, "peak": 2}
+        assert snap["wait"]["count"] == 2
+        assert snap["wait"]["mean"] == pytest.approx(2.0)
+        json.dumps(snap)  # must be JSON-serializable

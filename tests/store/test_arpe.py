@@ -6,6 +6,7 @@ from repro.common.payload import Payload
 from repro.core.cluster import build_cluster
 from repro.simulation import Simulator
 from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
+from repro.store.result import ErrorCode, OpResult
 
 MIB = 1024 * 1024
 
@@ -45,9 +46,25 @@ class TestNonBlockingAPI:
             yield client.wait([client.iset("k", Payload.from_bytes(b"data"))])
             handle = client.iget("k")
             yield client.wait([handle])
-            return handle.result.data
+            return handle.value.data
 
         assert drive(cluster, body()) == b"data"
+
+    def test_handle_carries_typed_result(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            yield client.wait([client.iset("k", Payload.from_bytes(b"data"))])
+            hit = client.iget("k")
+            miss = client.iget("ghost")
+            yield client.wait([hit, miss])
+            return hit.result, miss.result
+
+        hit_result, miss_result = drive(cluster, body())
+        assert isinstance(hit_result, OpResult)
+        assert hit_result.ok and hit_result.value.data == b"data"
+        assert not miss_result.ok
+        assert miss_result.error is ErrorCode.NOT_FOUND
 
     def test_iget_miss_reports_not_ok(self, cluster):
         client = cluster.add_client()
@@ -133,10 +150,17 @@ class TestWindowing:
 
         def body():
             handles = [client.iset("k%d" % i, Payload.sized(1)) for i in range(3)]
-            yield client.engine.wait_any(handles)
-            return any(h.completed for h in handles)
+            first = yield client.engine.wait_any(handles)
+            return first, handles
 
-        assert drive(cluster, body()) is True
+        first, handles = drive(cluster, body())
+        assert isinstance(first, RequestHandle)
+        assert first in handles and first.completed
+
+    def test_wait_any_empty_raises(self, cluster):
+        client = cluster.add_client()
+        with pytest.raises(ValueError):
+            client.engine.wait_any([])
 
     def test_drain(self, cluster):
         client = cluster.add_client()
@@ -148,6 +172,29 @@ class TestWindowing:
             return client.engine.in_flight
 
         assert drive(cluster, body()) == 0
+
+    def test_drain_is_event_driven(self, cluster):
+        # The old drain busy-polled 1 microsecond timeouts; over a
+        # multi-millisecond transfer that is thousands of events.  The
+        # event-driven drain should add only a handful.
+        client = cluster.add_client()
+
+        def body():
+            for i in range(4):
+                client.iset("k%d" % i, Payload.sized(MIB))
+            yield from client.engine.drain()
+
+        drive(cluster, body())
+        assert cluster.sim.processed_events < 500
+
+    def test_drain_on_idle_engine_returns_immediately(self, cluster):
+        client = cluster.add_client()
+
+        def body():
+            yield from client.engine.drain()
+            return "done"
+
+        assert drive(cluster, body()) == "done"
 
     def test_runner_exception_surfaces_in_handle(self, cluster):
         client = cluster.add_client()

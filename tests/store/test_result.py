@@ -1,0 +1,75 @@
+"""OpResult / ErrorCode typed results."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.store.protocol import Response
+from repro.store.result import ErrorCode, OpResult
+
+
+class TestErrorCode:
+    def test_wire_round_trip(self):
+        for code in ErrorCode:
+            assert ErrorCode.from_wire(code.value) is code
+
+    def test_empty_string_is_none(self):
+        assert ErrorCode.from_wire("") is ErrorCode.NONE
+
+    def test_compound_error_set_classified_on_first_token(self):
+        assert (
+            ErrorCode.from_wire("OUT_OF_MEMORY, UNREACHABLE")
+            is ErrorCode.OUT_OF_MEMORY
+        )
+
+    def test_annotated_server_error(self):
+        assert ErrorCode.from_wire("SERVER_ERROR: boom") is ErrorCode.SERVER_ERROR
+
+    def test_unknown_string_maps_to_server_error(self):
+        assert ErrorCode.from_wire("EBADF") is ErrorCode.SERVER_ERROR
+
+    def test_str(self):
+        assert str(ErrorCode.NONE) == "OK"
+        assert str(ErrorCode.NOT_FOUND) == "NOT_FOUND"
+
+
+class TestOpResult:
+    def test_success(self):
+        payload = Payload.sized(10)
+        result = OpResult.success(payload)
+        assert result.ok and bool(result)
+        assert result.value is payload
+        assert result.error is ErrorCode.NONE
+        assert result.error_text == ""
+        assert not result.failed
+
+    def test_failure_from_code(self):
+        result = OpResult.failure(ErrorCode.NOT_FOUND)
+        assert not result.ok and not bool(result)
+        assert result.failed
+        assert result.error is ErrorCode.NOT_FOUND
+        assert result.error_text == "NOT_FOUND"
+
+    def test_failure_from_wire_string_keeps_message(self):
+        result = OpResult.failure("SERVER_ERROR: disk on fire")
+        assert result.error is ErrorCode.SERVER_ERROR
+        assert result.error_text == "SERVER_ERROR: disk on fire"
+
+    def test_failure_with_explicit_message(self):
+        result = OpResult.failure(ErrorCode.INTERNAL, "runner blew up")
+        assert result.error_text == "runner blew up"
+
+    def test_from_response(self):
+        payload = Payload.sized(5)
+        ok = OpResult.from_response(
+            Response(req_id=1, ok=True, server="s", value=payload)
+        )
+        assert ok.ok and ok.value is payload
+        bad = OpResult.from_response(
+            Response(req_id=2, ok=False, server="s", error="NOT_FOUND")
+        )
+        assert bad.error is ErrorCode.NOT_FOUND
+
+    def test_immutable(self):
+        result = OpResult.success()
+        with pytest.raises(Exception):
+            result.ok = False
