@@ -1,0 +1,22 @@
+"""Wall-clock perf-suite configuration.
+
+Unlike the figure benchmarks one directory up (which measure *virtual
+time* inside the simulation), this package measures the harness itself:
+real seconds, real bytes, real event-loop iterations.  The suite mirrors
+``python -m repro.harness bench`` so CI and local runs report the same
+metrics.
+
+``REPRO_BENCH_SCALE=full`` switches from the quick CI calibration to the
+longer measurement windows used for committed ``BENCH_perf.json`` runs.
+"""
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_SCALE", "").lower() != "full"
+
+
+@pytest.fixture(scope="session")
+def quick():
+    return QUICK

@@ -1,0 +1,52 @@
+"""Wall-clock throughput of the harness itself (pytest-benchmark view).
+
+Each test wraps one section of :mod:`repro.harness.perfbench` so the
+pytest-benchmark machinery records wall-clock cost, while the section's
+own higher-is-better metrics (MB/s, events/sec, ops/sec) are attached as
+``benchmark.extra_info`` for the JSON export.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+    REPRO_BENCH_SCALE=full PYTHONPATH=src python -m pytest benchmarks/perf
+
+The CLI twin — ``python -m repro.harness bench`` — runs the same suite
+without pytest and writes ``BENCH_perf.json``.
+"""
+
+import pytest
+
+from repro.harness import perfbench
+
+
+def _run_section(benchmark, fn, quick):
+    metrics = benchmark.pedantic(
+        fn, args=(quick,), rounds=1, iterations=1
+    )
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = round(value, 2)
+    return metrics
+
+
+def test_codec_kernels(benchmark, quick):
+    metrics = _run_section(benchmark, perfbench.bench_codecs, quick)
+    # the acceptance headline geometry must be present and non-trivial
+    assert metrics["encode_mbps/rs_van_k4_m2_1mib"] > 0
+    assert metrics["decode_mbps/rs_van_k4_m2_1mib"] > 0
+
+
+def test_simulation_engine(benchmark, quick):
+    metrics = _run_section(benchmark, perfbench.bench_engine, quick)
+    assert metrics["engine_events_per_sec"] > 0
+
+
+def test_fig8_harness(benchmark, quick):
+    metrics = _run_section(benchmark, perfbench.bench_fig8, quick)
+    assert metrics["fig8_ops_per_sec"] > 0
+
+
+def test_batched_client_ops(benchmark, quick):
+    metrics = _run_section(benchmark, perfbench.bench_batch_ops, quick)
+    if not metrics:
+        pytest.skip("tree predates multi_set/multi_get")
+    assert metrics["batch_ops_per_sec"] > 0

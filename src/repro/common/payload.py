@@ -19,7 +19,7 @@ from typing import Optional
 class Payload:
     """An immutable value of known size, with or without materialized bytes."""
 
-    __slots__ = ("size", "data")
+    __slots__ = ("size", "data", "_checksum")
 
     def __init__(self, size: int, data: Optional[bytes] = None):
         if size < 0:
@@ -31,6 +31,7 @@ class Payload:
             )
         self.size = size
         self.data = data
+        self._checksum: Optional[int] = None
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Payload":
@@ -48,10 +49,16 @@ class Payload:
         return self.data is not None
 
     def checksum(self) -> Optional[int]:
-        """CRC32 of the data, or ``None`` for size-only payloads."""
+        """CRC32 of the data, or ``None`` for size-only payloads.
+
+        Cached: payloads are immutable, and replicated Sets hand the same
+        object to several servers, each of which checksums it.
+        """
         if self.data is None:
             return None
-        return zlib.crc32(self.data)
+        if self._checksum is None:
+            self._checksum = zlib.crc32(self.data)
+        return self._checksum
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Payload):

@@ -11,6 +11,24 @@ import numpy as np
 from repro.ec import gf256
 
 
+def _prime_large_alloc_reuse() -> None:
+    """Teach glibc to serve MiB-scale coding buffers from the heap.
+
+    glibc only raises its dynamic mmap threshold when an mmap-backed
+    block is *freed*.  The zero-copy encode path never frees a large
+    block, so without this nudge every multi-MiB decode temporary is
+    mmapped and munmapped per call — ~500 minor page faults per 1 MiB
+    decode, a measured ~3x throughput loss.  Allocating and freeing one
+    big block at import makes all later coding temporaries reuse warm
+    heap pages.  Harmless (one transient allocation) on other mallocs.
+    """
+    buf = bytearray(8 << 20)
+    del buf
+
+
+_prime_large_alloc_reuse()
+
+
 class ErasureCodingError(Exception):
     """Raised on unrecoverable coding situations (e.g. fewer than K chunks)."""
 
@@ -21,8 +39,11 @@ class ChunkSet:
 
     ``chunks[i]`` for ``i < k`` are the data chunks (systematic codes pass
     data through unchanged); ``chunks[i]`` for ``i >= k`` are parity.
-    ``data_len`` records the unpadded original length so decode can strip
-    the zero padding of the last data chunk.
+    Chunks are bytes-like (``memoryview`` slices of the padded value and
+    of the parity block — encode never copies per chunk); call
+    ``bytes(chunk)`` if an owning copy is needed.  ``data_len`` records
+    the unpadded original length so decode can strip the zero padding of
+    the last data chunk.
     """
 
     k: int
@@ -45,21 +66,42 @@ class ChunkSet:
         return {i: self.chunks[i] for i in indices}
 
 
-def split_data(data: bytes, k: int, alignment: int = 1) -> List[np.ndarray]:
-    """Split ``data`` into K equal uint8 chunks, zero-padding the tail.
+def pad_data(data: bytes, k: int, alignment: int = 1) -> bytes:
+    """``data`` zero-padded to K equal chunks of the aligned chunk size.
 
-    ``alignment`` rounds the chunk size up to a multiple (bit-matrix codecs
-    need chunks divisible into ``w`` packets).  An empty value still
-    produces K minimal chunks so that the chunk bookkeeping (one fragment
-    per server) stays uniform.
+    Returns ``data`` itself (no copy) when it already divides evenly; a
+    single concatenation otherwise.  ``alignment`` rounds the chunk size
+    up to a multiple (bit-matrix codecs need chunks divisible into ``w``
+    packets).  An empty value still produces K minimal chunks so that the
+    chunk bookkeeping (one fragment per server) stays uniform.
     """
     chunk_size = max(1, -(-len(data) // k))  # ceil division, min 1 byte
     if chunk_size % alignment:
         chunk_size += alignment - (chunk_size % alignment)
-    padded = np.zeros(chunk_size * k, dtype=np.uint8)
-    if data:
-        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-    return [padded[i * chunk_size : (i + 1) * chunk_size] for i in range(k)]
+    total = chunk_size * k
+    if len(data) == total:
+        return data
+    return data + bytes(total - len(data))
+
+
+def split_matrix(data: bytes, k: int, alignment: int = 1) -> np.ndarray:
+    """View ``data`` as a zero-copy ``(k, chunk_size)`` uint8 matrix.
+
+    Pads first via :func:`pad_data` (itself a no-op when the value
+    already divides evenly); the returned rows are the K data chunks.
+    """
+    padded = pad_data(data, k, alignment)
+    return np.frombuffer(padded, dtype=np.uint8).reshape(k, -1)
+
+
+def split_data(data: bytes, k: int, alignment: int = 1) -> List[np.ndarray]:
+    """Split ``data`` into K equal uint8 chunks, zero-padding the tail.
+
+    Row views of :func:`split_matrix` — kept for callers that want a
+    list; the matrix form feeds the blocked GF kernels directly.
+    """
+    mat = split_matrix(data, k, alignment)
+    return [mat[i] for i in range(k)]
 
 
 class ErasureCodec(ABC):
@@ -134,17 +176,27 @@ class ErasureCodec(ABC):
         return size
 
     def encode(self, data: bytes) -> ChunkSet:
-        """Encode ``data`` into a :class:`ChunkSet` of K+M chunks."""
-        data_chunks = split_data(data, self.k, self.chunk_alignment)
-        parity_chunks = self._encode_parity(data_chunks)
-        if len(parity_chunks) != self.m:
+        """Encode ``data`` into a :class:`ChunkSet` of K+M chunks.
+
+        Zero-copy data plane: the value is padded at most once
+        (:func:`pad_data` is a no-op when it divides evenly), the K data
+        chunks are ``memoryview`` slices of that buffer, and parity rows
+        are views of the kernel's single output block.
+        """
+        padded = pad_data(data, self.k, self.chunk_alignment)
+        size = len(padded) // self.k
+        data_mat = np.frombuffer(padded, dtype=np.uint8).reshape(self.k, size)
+        parity = self._encode_parity_matrix(data_mat)
+        if len(parity) != self.m:
             raise ErasureCodingError(
                 "%s produced %d parity chunks, expected %d"
-                % (type(self).__name__, len(parity_chunks), self.m)
+                % (type(self).__name__, len(parity), self.m)
             )
-        chunks = [c.tobytes() for c in data_chunks] + [
-            p.tobytes() for p in parity_chunks
+        view = memoryview(padded)
+        chunks: List[bytes] = [
+            view[i * size : (i + 1) * size] for i in range(self.k)
         ]
+        chunks.extend(memoryview(np.ascontiguousarray(p)) for p in parity)
         return ChunkSet(k=self.k, m=self.m, data_len=len(data), chunks=chunks)
 
     def decode(self, available: Mapping[int, bytes], data_len: int) -> bytes:
@@ -169,18 +221,38 @@ class ErasureCodec(ABC):
             i: np.frombuffer(available[i], dtype=np.uint8) for i in indices
         }
         data_chunks = self._decode_data(arrays)
-        flat = np.concatenate(data_chunks)
+        if isinstance(data_chunks, np.ndarray):
+            flat = data_chunks.reshape(-1)
+        else:
+            flat = np.concatenate(data_chunks)
         if data_len > flat.size:
             raise ErasureCodingError(
                 "data_len %d exceeds decoded payload %d" % (data_len, flat.size)
             )
-        return flat.tobytes()[:data_len]
+        return flat[:data_len].tobytes()
 
     # -- subclass hooks ----------------------------------------------------
-    @abstractmethod
+    def _encode_parity_matrix(self, data_mat: np.ndarray):
+        """Produce the M parity chunks from the ``(k, size)`` data matrix.
+
+        Kernel-aware codecs override this with one blocked GF(2^8)
+        matrix apply; the default delegates to the legacy per-chunk
+        :meth:`_encode_parity` hook.  May return a ``(m, size)`` array or
+        a list of M row arrays.
+        """
+        return self._encode_parity([data_mat[i] for i in range(self.k)])
+
     def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
-        """Produce the M parity chunks for the given K data chunks."""
+        """Produce the M parity chunks for the given K data chunks.
+
+        Subclasses implement either this (row-at-a-time) or
+        :meth:`_encode_parity_matrix` (blocked kernel).
+        """
+        raise NotImplementedError
 
     @abstractmethod
-    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
-        """Rebuild the K data chunks from the surviving chunks (>= K)."""
+    def _decode_data(self, available: Dict[int, np.ndarray]):
+        """Rebuild the K data chunks from the surviving chunks (>= K).
+
+        May return a list of K row arrays or a ``(k, size)`` matrix.
+        """

@@ -36,47 +36,53 @@ class BitMatrixCodec(ErasureCodec):
                 "bit generator shape %s, expected %s"
                 % (self.bit_generator.shape, expected)
             )
-        self._decode_cache: Dict[tuple, np.ndarray] = {}
+        self._parity_selections = bitmatrix.compile_selections(
+            self.bit_generator[k * self.word_size :]
+        )
+        self._decode_cache: Dict[tuple, List[np.ndarray]] = {}
 
     def _build_bit_generator(self) -> np.ndarray:
         raise NotImplementedError
 
     # -- coding ------------------------------------------------------------
-    def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
-        w = self.word_size
-        packets: List[np.ndarray] = []
-        for chunk in data_chunks:
-            packets.extend(bitmatrix.chunk_to_packets(chunk, w))
-        parity_rows = self.bit_generator[self.k * w :]
-        parity_packets = bitmatrix.encode_packets(parity_rows, packets)
-        return [
-            bitmatrix.packets_to_chunk(parity_packets[i * w : (i + 1) * w])
-            for i in range(self.m)
-        ]
+    def _packetize(self, mat: np.ndarray) -> np.ndarray:
+        """Zero-copy reshape of a chunk matrix into its packet matrix.
 
-    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
+        Each ``(row, size)`` chunk splits into ``w`` consecutive packets,
+        so ``(rows, size) -> (rows * w, size // w)`` is exactly Jerasure's
+        packet layout with no data movement.
+        """
+        rows, size = mat.shape
+        w = self.word_size
+        return mat.reshape(rows * w, size // w)
+
+    def _encode_parity_matrix(self, data_mat: np.ndarray) -> np.ndarray:
+        parity_packets = bitmatrix.apply_selections(
+            self._parity_selections, self._packetize(data_mat)
+        )
+        return parity_packets.reshape(self.m, -1)
+
+    def _decode_data(self, available: Dict[int, np.ndarray]):
         # MDS: any K chunks work, so take the K lowest indices.
         indices = tuple(sorted(available)[: self.k])
-        w = self.word_size
         if indices == tuple(range(self.k)):
             return [available[i] for i in range(self.k)]
-        inverse = self._decode_matrix(indices)
-        packets: List[np.ndarray] = []
-        for idx in indices:
-            packets.extend(bitmatrix.chunk_to_packets(available[idx], w))
-        data_packets = bitmatrix.encode_packets(inverse, packets)
-        return [
-            bitmatrix.packets_to_chunk(data_packets[i * w : (i + 1) * w])
-            for i in range(self.k)
-        ]
+        selections = self._decode_matrix(indices)
+        src = np.stack([available[i] for i in indices])
+        data_packets = bitmatrix.apply_selections(
+            selections, self._packetize(src)
+        )
+        return data_packets.reshape(self.k, -1)
 
-    def _decode_matrix(self, indices: tuple) -> np.ndarray:
-        """Inverse of the surviving block-rows, cached per erasure pattern."""
+    def _decode_matrix(self, indices: tuple) -> List[np.ndarray]:
+        """Compiled inverse of the surviving block-rows, cached per pattern."""
         cached = self._decode_cache.get(indices)
         if cached is None:
             w = self.word_size
             row_ids = [i * w + b for i in indices for b in range(w)]
             survivor_rows = self.bit_generator[row_ids]
-            cached = bitmatrix.bitmatrix_invert(survivor_rows)
+            cached = bitmatrix.compile_selections(
+                bitmatrix.bitmatrix_invert(survivor_rows)
+            )
             self._decode_cache[indices] = cached
         return cached

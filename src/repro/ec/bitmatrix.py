@@ -115,6 +115,39 @@ def encode_packets(bit_rows: np.ndarray, packets: List[np.ndarray]) -> List[np.n
     return out
 
 
+def compile_selections(bit_rows: np.ndarray) -> List[np.ndarray]:
+    """Per output row, the input-packet indices with a set bit.
+
+    The blocked encode path XOR-reduces ``packets[selection]`` directly,
+    replacing :func:`encode_packets`' per-bit Python loop with one numpy
+    reduction per output packet.  Compile once per matrix and cache.
+    """
+    return [np.flatnonzero(row) for row in bit_rows]
+
+
+def apply_selections(
+    selections: List[np.ndarray], packets: np.ndarray
+) -> np.ndarray:
+    """XOR-combine rows of the ``(in_packets, size)`` packet matrix.
+
+    Output row ``i`` is the XOR of ``packets[selections[i]]`` — the
+    vectorized equivalent of :func:`encode_packets` for packets stacked
+    into one matrix (a zero-copy reshape of the chunk matrix).
+    """
+    out = np.empty((len(selections), packets.shape[1]), dtype=np.uint8)
+    for i, selection in enumerate(selections):
+        dest = out[i]
+        if selection.size == 0:
+            dest.fill(0)
+        elif selection.size == 1:
+            np.copyto(dest, packets[selection[0]])
+        else:
+            np.bitwise_xor(packets[selection[0]], packets[selection[1]], out=dest)
+            for j in selection[2:]:
+                np.bitwise_xor(dest, packets[j], out=dest)
+    return out
+
+
 def chunk_to_packets(chunk: np.ndarray, w: int) -> List[np.ndarray]:
     """Split one chunk into ``w`` equal packets (caller pads to multiple)."""
     if chunk.size % w:

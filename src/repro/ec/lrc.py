@@ -48,8 +48,9 @@ class LocalReconstructionCode(ErasureCodec):
         self.group_size = k // local_groups
         super().__init__(k, local_groups + global_parities)
         self.generator = self._build_generator()
+        self._parity_kernel = gf256.GFMatrix(self.generator[self.k :])
         self._tolerated: Optional[int] = None  # computed lazily (brute force)
-        self._decode_cache: Dict[tuple, matrix.Matrix] = {}
+        self._decode_cache: Dict[tuple, tuple] = {}
 
     @property
     def tolerated(self) -> int:
@@ -184,29 +185,16 @@ class LocalReconstructionCode(ErasureCodec):
         return _independent_subset(self.generator, sorted(set(available)), self.k)
 
     # -- coding ------------------------------------------------------------
-    def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
-        chunk_size = data_chunks[0].size
-        parity = []
-        for row in self.generator[self.k :]:
-            acc = np.zeros(chunk_size, dtype=np.uint8)
-            for coef, chunk in zip(row, data_chunks):
-                gf256.addmul_bytes(acc, coef, chunk)
-            parity.append(acc)
-        return parity
+    def _encode_parity_matrix(self, data_mat: np.ndarray) -> np.ndarray:
+        return self._parity_kernel.apply(data_mat)
 
-    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
+    def _decode_data(self, available: Dict[int, np.ndarray]):
         indices = tuple(sorted(available))
         if all(i in available for i in range(self.k)):
             return [available[i] for i in range(self.k)]
-        chosen, inverse = self._decode_plan(indices)
-        chunk_size = available[chosen[0]].size
-        out = []
-        for row in inverse:
-            acc = np.zeros(chunk_size, dtype=np.uint8)
-            for coef, idx in zip(row, chosen):
-                gf256.addmul_bytes(acc, coef, available[idx])
-            out.append(acc)
-        return out
+        chosen, kernel = self._decode_plan(indices)
+        src = np.stack([available[i] for i in chosen])
+        return kernel.apply(src)
 
     def _decode_plan(self, indices: tuple):
         """Pick K independent survivor rows and invert them (cached)."""
@@ -218,7 +206,7 @@ class LocalReconstructionCode(ErasureCodec):
                     "survivors %s cannot reconstruct the data" % (indices,)
                 )
             inverse = matrix.invert(matrix.submatrix(self.generator, chosen))
-            cached = (chosen, inverse)
+            cached = (chosen, gf256.GFMatrix(inverse))
             self._decode_cache[indices] = cached
         return cached
 

@@ -9,7 +9,7 @@ corresponding to the surviving chunks.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
@@ -25,44 +25,33 @@ class ReedSolomonVandermonde(ErasureCodec):
     def __init__(self, k: int, m: int):
         super().__init__(k, m)
         self.generator = matrix.systematic_rs_matrix(self.n, k)
-        self._decode_cache: Dict[tuple, matrix.Matrix] = {}
+        self._parity_kernel = gf256.GFMatrix(self.generator[self.k :])
+        self._decode_cache: Dict[tuple, gf256.GFMatrix] = {}
 
-    def _encode_parity(self, data_chunks: List[np.ndarray]) -> List[np.ndarray]:
-        chunk_size = data_chunks[0].size
-        parity = []
-        for row in self.generator[self.k :]:
-            acc = np.zeros(chunk_size, dtype=np.uint8)
-            for coef, chunk in zip(row, data_chunks):
-                gf256.addmul_bytes(acc, coef, chunk)
-            parity.append(acc)
-        return parity
+    def _encode_parity_matrix(self, data_mat: np.ndarray) -> np.ndarray:
+        return self._parity_kernel.apply(data_mat)
 
-    def _decode_data(self, available: Dict[int, np.ndarray]) -> List[np.ndarray]:
+    def _decode_data(self, available: Dict[int, np.ndarray]):
         # MDS: any K chunks work, so take the K lowest indices.
         indices = tuple(sorted(available)[: self.k])
         if indices == tuple(range(self.k)):
             # All data chunks survived: systematic fast path, no math.
             return [available[i] for i in range(self.k)]
-        decode_matrix = self._decode_matrix(indices)
-        chunk_size = available[indices[0]].size
-        out = []
-        for row in decode_matrix:
-            acc = np.zeros(chunk_size, dtype=np.uint8)
-            for coef, idx in zip(row, indices):
-                gf256.addmul_bytes(acc, coef, available[idx])
-            out.append(acc)
-        return out
+        kernel = self._decode_matrix(indices)
+        src = np.stack([available[i] for i in indices])
+        return kernel.apply(src)
 
-    def _decode_matrix(self, indices: tuple) -> matrix.Matrix:
-        """Inverse of the generator rows for the surviving chunk indices.
+    def _decode_matrix(self, indices: tuple) -> gf256.GFMatrix:
+        """Kernel for the inverse of the surviving chunks' generator rows.
 
         Cached per erasure pattern: a workload that repeatedly reads during
-        the same failure scenario (Figure 8(c)) pays the inversion once,
-        mirroring how Jerasure callers cache decoding matrices.
+        the same failure scenario (Figure 8(c)) pays the inversion (and the
+        kernel's table compilation) once, mirroring how Jerasure callers
+        cache decoding matrices.
         """
         cached = self._decode_cache.get(indices)
         if cached is None:
             rows = matrix.submatrix(self.generator, indices)
-            cached = matrix.invert(rows)
+            cached = gf256.GFMatrix(matrix.invert(rows))
             self._decode_cache[indices] = cached
         return cached

@@ -6,6 +6,14 @@ Run any of the paper's experiments by figure id and print its table::
     python -m repro.harness fig13 --full      # paper-scale TestDFSIO
     python -m repro.harness --list
 
+``bench`` is the odd one out: instead of a figure's virtual-time table it
+measures the harness's own wall-clock performance (codec MB/s, simulated
+events/sec, end-to-end ops/sec)::
+
+    python -m repro.harness bench --quick
+    python -m repro.harness bench --output BENCH_perf.json
+    python -m repro.harness bench --baseline BENCH_perf.json
+
 CI-scale parameters are the default (same shapes, minutes not hours);
 ``--full`` switches each experiment to the paper's published setup.
 """
@@ -63,6 +71,31 @@ def _rows_to_table(rows) -> str:
     )
 
 
+def _run_bench(args) -> int:
+    from repro.harness import perfbench
+
+    print(
+        "Running wall-clock bench suite (%s mode) ..."
+        % ("quick" if args.quick else "full"),
+        file=sys.stderr,
+    )
+    report = perfbench.run_suite(quick=args.quick)
+    baseline = perfbench.load_report(args.baseline) if args.baseline else None
+    if args.output:
+        payload = perfbench.write_report(args.output, report, baseline=baseline)
+        print("Wrote %s" % args.output, file=sys.stderr)
+    elif baseline is not None:
+        payload = {
+            "before": baseline,
+            "after": report,
+            "speedup": perfbench.compare(baseline, report),
+        }
+    else:
+        payload = report
+    print(perfbench.format_report(payload))
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point: parse arguments, run the experiment, print its table."""
     parser = argparse.ArgumentParser(
@@ -90,13 +123,36 @@ def main(argv=None) -> int:
             "Perfetto or chrome://tracing); fig8, fig9, fig11, fig12 only"
         ),
     )
+    bench_group = parser.add_argument_group("bench options")
+    bench_group.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench: short calibration windows (CI smoke runs)",
+    )
+    bench_group.add_argument(
+        "--output",
+        metavar="FILE",
+        help="bench: write the report (JSON) to FILE",
+    )
+    bench_group.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "bench: compare against a previous report; with --output, the "
+            "file gets a combined before/after/speedup document"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
         for name, runner in sorted(experiments.EXPERIMENTS.items()):
             doc = (runner.__doc__ or "").strip().splitlines()[0]
             print("%-7s %s" % (name, doc))
+        print("bench   wall-clock perf suite (codec MB/s, events/sec, ops/sec)")
         return 0
+
+    if args.figure.lower() == "bench":
+        return _run_bench(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

@@ -1,0 +1,285 @@
+"""Wall-clock performance benchmark suite (``python -m repro.harness bench``).
+
+The figure benchmarks under ``benchmarks/`` report *virtual-time* results;
+this module measures the *harness itself* in wall-clock terms:
+
+- **encode/decode MB/s** per erasure codec kernel (real bytes through
+  ``ErasureCodec.encode``/``decode``), headlined by RS-Vandermonde
+  (4, 2) at 1 MiB values — the paper's online-coding sweet spot;
+- **simulated events/sec** of the bare discrete-event engine (a pure
+  timeout workload, the dominant event shape in every experiment);
+- **end-to-end ops/sec** of the Figure 8 microbench harness (clients,
+  ARPE, fabric, servers — everything but real payload bytes).
+
+Every metric is *higher is better*, so trajectory comparison is a single
+ratio.  ``run_suite`` returns a report dict; ``compare`` computes
+speedups against a previous report; ``write_report`` serializes to JSON
+(the repo commits ``BENCH_perf.json`` so future PRs have a trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: codec geometries measured by the kernel benches.  The first entry is
+#: the acceptance headline: rs_van k=4, m=2 at 1 MiB values.
+CODEC_GEOMETRIES = (
+    ("rs_van", 4, 2),
+    ("rs_van", 3, 2),
+    ("crs", 3, 2),
+    ("r6_lib", 3, 2),
+    ("lrc", 4, 3),
+    ("lt", 4, 2),
+)
+
+
+def _test_bytes(size: int, seed: int = 7) -> bytes:
+    rng = np.random.RandomState(seed)
+    return rng.randint(0, 256, size, dtype=np.uint8).tobytes()
+
+
+def _measure(fn: Callable[[], object], min_time: float) -> float:
+    """Seconds per call of ``fn``, calibrated to run >= ``min_time``."""
+    fn()  # warm up (tables, decode-matrix caches, JIT-ish numpy paths)
+    t0 = time.perf_counter()
+    fn()
+    single = max(time.perf_counter() - t0, 1e-9)
+    reps = max(1, int(min_time / single) + 1)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+# ---------------------------------------------------------------------------
+# Codec kernels
+# ---------------------------------------------------------------------------
+
+
+def bench_codecs(quick: bool = False) -> Dict[str, float]:
+    """Encode and decode throughput (MB/s of user data) per codec."""
+    from repro.ec.registry import make_codec
+
+    min_time = 0.1 if quick else 0.4
+    size = MIB
+    data = _test_bytes(size)
+    metrics: Dict[str, float] = {}
+    for name, k, m in CODEC_GEOMETRIES:
+        codec = make_codec(name, k, m)
+        label = "%s_k%d_m%d_1mib" % (name, k, m)
+        per_call = _measure(lambda: codec.encode(data), min_time)
+        metrics["encode_mbps/%s" % label] = size / per_call / 1e6
+
+        # Decode with the worst tolerated erasure pattern: the first
+        # ``tolerated`` chunks (all data chunks where possible), forcing
+        # real reconstruction math rather than the systematic fast path.
+        chunk_set = codec.encode(data)
+        erased = min(codec.tolerated_failures, codec.m)
+        available = list(range(erased, codec.n))
+        plan = codec.decode_indices(available) or available[: codec.k]
+        subset = chunk_set.subset(plan)
+        per_call = _measure(lambda: codec.decode(subset, size), min_time)
+        metrics["decode_mbps/%s" % label] = size / per_call / 1e6
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine
+# ---------------------------------------------------------------------------
+
+
+def bench_engine(quick: bool = False) -> Dict[str, float]:
+    """Raw event-loop throughput: processes yielding timeouts."""
+    from repro.simulation import Simulator
+
+    num_procs = 50
+    events_per_proc = 400 if quick else 2000
+
+    def ticker(sim, n):
+        for i in range(n):
+            yield sim.timeout(1e-6 * (1 + (i & 7)))
+
+    def run() -> int:
+        sim = Simulator()
+        for _ in range(num_procs):
+            sim.process(ticker(sim, events_per_proc))
+        sim.run()
+        return sim.processed_events
+
+    run()  # warm up
+    t0 = time.perf_counter()
+    events = run()
+    elapsed = time.perf_counter() - t0
+    return {"engine_events_per_sec": events / elapsed}
+
+
+# ---------------------------------------------------------------------------
+# End-to-end harness (Figure 8 microbench)
+# ---------------------------------------------------------------------------
+
+
+def bench_fig8(quick: bool = False) -> Dict[str, float]:
+    """Wall-clock ops/sec of the Figure 8 microbench harness run."""
+    from repro.harness.experiments import fig8_microbench
+
+    num_ops = 100 if quick else 300
+    sizes = (4 * KIB, 64 * KIB)
+    schemes = ("async-rep", "era-ce-cd", "era-se-cd")
+    t0 = time.perf_counter()
+    fig8_microbench(sizes=sizes, schemes=schemes, num_ops=num_ops)
+    elapsed = time.perf_counter() - t0
+    # per (scheme, size): one Set run (num_ops) plus a Get run with its
+    # load prologue (2 * num_ops).
+    total_ops = 3 * num_ops * len(sizes) * len(schemes)
+    return {
+        "fig8_ops_per_sec": total_ops / elapsed,
+        "fig8_wall_seconds_info": elapsed,
+    }
+
+
+def bench_batch_ops(quick: bool = False) -> Dict[str, float]:
+    """Batched multi_get/multi_set throughput (absent on older trees)."""
+    from repro.core.cluster import build_cluster
+
+    cluster = build_cluster(
+        profile="ri-qdr", scheme="era-ce-cd", servers=5,
+        memory_per_server=4 * 1024 * MIB,
+    )
+    client = cluster.add_client()
+    if not hasattr(client, "multi_get"):
+        return {}
+    num_keys = 400 if quick else 1500
+    batch = 50
+    keys = ["bk-%d" % i for i in range(num_keys)]
+
+    def run_batches() -> None:
+        def body():
+            for start in range(0, num_keys, batch):
+                chunk = keys[start : start + batch]
+                handle = client.multi_set(
+                    [(key, _sized_payload(4 * KIB)) for key in chunk]
+                )
+                yield handle.done
+            for start in range(0, num_keys, batch):
+                handle = client.multi_get(keys[start : start + batch])
+                yield handle.done
+
+        done = cluster.sim.process(body())
+        cluster.sim.run(done)
+
+    t0 = time.perf_counter()
+    run_batches()
+    elapsed = time.perf_counter() - t0
+    return {"batch_ops_per_sec": 2 * num_keys / elapsed}
+
+
+def _sized_payload(size: int):
+    from repro.common.payload import Payload
+
+    return Payload.sized(size)
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> Dict[str, object]:
+    """Run every bench; returns ``{"meta": ..., "metrics": ...}``."""
+    metrics: Dict[str, float] = {}
+    metrics.update(bench_codecs(quick))
+    metrics.update(bench_engine(quick))
+    metrics.update(bench_fig8(quick))
+    metrics.update(bench_batch_ops(quick))
+    return {
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "metrics": metrics,
+    }
+
+
+def compare(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, float]:
+    """Speedup ratios (after / before) for metrics present in both runs.
+
+    Keys ending in ``_info`` are context (e.g. raw wall seconds), not
+    higher-is-better throughputs, and are skipped.
+    """
+    b = before.get("metrics", {})
+    a = after.get("metrics", {})
+    return {
+        key: a[key] / b[key]
+        for key in sorted(set(a) & set(b))
+        if not key.endswith("_info") and b[key]
+    }
+
+
+def write_report(
+    path: str,
+    report: Dict[str, object],
+    baseline: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Serialize the report (plus optional before/speedup block) to JSON."""
+    if baseline is not None:
+        payload = {
+            "before": baseline,
+            "after": report,
+            "speedup": compare(baseline, report),
+        }
+    else:
+        payload = report
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a previously written report (either bare or before/after)."""
+    with open(path) as fh:
+        report = json.load(fh)
+    # A combined before/after file's "after" block is the comparison base.
+    return report.get("after", report)
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Human-readable table of metrics (and speedups when present)."""
+    lines = []
+    if "speedup" in payload:
+        after = payload["after"]["metrics"]
+        before = payload["before"]["metrics"]
+        speedup = payload["speedup"]
+        lines.append("%-40s %12s %12s %8s" % ("metric", "before", "after", "x"))
+        for key in sorted(after):
+            if key.endswith("_info"):
+                continue
+            prev = before.get(key)
+            lines.append(
+                "%-40s %12s %12.1f %8s"
+                % (
+                    key,
+                    "%.1f" % prev if prev is not None else "-",
+                    after[key],
+                    "%.2fx" % speedup[key] if key in speedup else "-",
+                )
+            )
+    else:
+        metrics = payload["metrics"]
+        lines.append("%-40s %12s" % ("metric", "value"))
+        for key in sorted(metrics):
+            if key.endswith("_info"):
+                continue
+            lines.append("%-40s %12.1f" % (key, metrics[key]))
+    return "\n".join(lines)

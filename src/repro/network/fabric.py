@@ -38,6 +38,7 @@ from repro.network.profiles import ClusterProfile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 from repro.simulation import Event, Simulator, Store
+from repro.simulation.engine import TRIGGERED
 
 
 class NetworkError(Exception):
@@ -131,6 +132,11 @@ class Endpoint:
             self.egress = Link(sim, profile.bandwidth)
             self.ingress = Link(sim, profile.bandwidth)
         self.inbox: Store = Store(sim)
+        #: optional direct-dispatch hook: when set, delivered messages are
+        #: handed to this callable at delivery time instead of queueing in
+        #: the inbox — saving a heap event and a dispatcher wakeup per
+        #: message on the KV request path.
+        self.on_message = None
         self.alive = True
         self.messages_sent = 0
         self.messages_received = 0
@@ -167,6 +173,15 @@ class Fabric:
         self.endpoints: Dict[str, Endpoint] = {}
         self._hosts: Dict[str, tuple] = {}
         self._seq = itertools.count(1)
+        # Per-profile protocol constants, precomputed off the send path.
+        p = profile
+        self._control_trip_cost = p.link_latency + p.control_message_size / p.bandwidth
+        self._eager_overhead = p.eager_overhead
+        self._rendezvous_total = (
+            p.rendezvous_overhead + 2 * self._control_trip_cost
+        )
+        self._rendezvous_threshold = p.eager_threshold if p.is_rdma else None
+        self._link_latency = p.link_latency
 
     def add_node(self, name: str, host: Optional[str] = None) -> Endpoint:
         """Attach an endpoint.
@@ -196,15 +211,14 @@ class Fabric:
     # -- protocol timing ---------------------------------------------------
     def _control_trip(self) -> float:
         """One control message (RTS/CTS/ACK): latency + negligible wire."""
-        p = self.profile
-        return p.link_latency + p.control_message_size / p.bandwidth
+        return self._control_trip_cost
 
     def _software_overhead(self, size: int) -> float:
-        p = self.profile
-        if p.is_rdma and size > p.eager_threshold:
+        threshold = self._rendezvous_threshold
+        if threshold is not None and size > threshold:
             # Rendezvous: RTS/CTS round trip before the payload moves.
-            return p.rendezvous_overhead + 2 * self._control_trip()
-        return p.eager_overhead
+            return self._rendezvous_total
+        return self._eager_overhead
 
     # -- operations ----------------------------------------------------------
     def send(
@@ -254,29 +268,44 @@ class Fabric:
         sender.bytes_sent += size
         self._messages.inc()
         self._bytes_sent.inc(size)
-        self.tracer.record(
-            "net:%s" % src,
-            "%s %s->%s" % (tag or "send", src, dst),
-            start=self.sim.now,
-            duration=total,
-            category="transfer",
-            parent=parent,
-            size=size,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "net:%s" % src,
+                "%s %s->%s" % (tag or "send", src, dst),
+                start=self.sim.now,
+                duration=total,
+                category="transfer",
+                parent=parent,
+                size=size,
+            )
 
-        def _deliver(_event: Event) -> None:
-            # A node that died in flight never sees the message land.
+        def _deliver(event: Event) -> None:
+            # First callback on the completion event, run at delivery time
+            # and before any waiter.  A node that died in flight never sees
+            # the message land: flip the pre-scheduled success into a
+            # defused failure so waiters observe NodeUnreachableError.
             if not receiver.alive:
-                done.fail(NodeUnreachableError(dst))
-                done.defuse()
+                event._ok = False
+                event._value = NodeUnreachableError(dst)
+                event._defused = True
                 return
             message.delivered_at = self.sim.now
             receiver.messages_received += 1
             receiver.bytes_received += size
-            receiver.inbox.put(message)
-            done.succeed(message)
+            handler = receiver.on_message
+            if handler is None:
+                receiver.inbox.put(message)
+            else:
+                handler(message)
 
-        self.sim.timeout(total).callbacks.append(_deliver)
+        # The completion event is scheduled directly at delivery time
+        # (not via a separate timeout that then triggers it): one heap
+        # event per message instead of two on the simulator's hottest path.
+        done._ok = True
+        done._value = message
+        done._state = TRIGGERED
+        done.callbacks.append(_deliver)
+        self.sim._schedule(done, total)
         return done
 
     def rdma_write(self, src: str, dst: str, size: int, parent=None) -> Event:
@@ -313,24 +342,29 @@ class Fabric:
         reader.bytes_received += size
         self._rdma_ops.inc()
         self._bytes_sent.inc(size)
-        self.tracer.record(
-            "net:%s" % src,
-            "rdma_read %s->%s" % (dst, src),
-            start=self.sim.now,
-            duration=total,
-            category="transfer",
-            parent=parent,
-            size=size,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "net:%s" % src,
+                "rdma_read %s->%s" % (dst, src),
+                start=self.sim.now,
+                duration=total,
+                category="transfer",
+                parent=parent,
+                size=size,
+            )
 
-        def _complete(_event: Event) -> None:
-            if not target.alive:
-                done.fail(NodeUnreachableError(dst))
-                done.defuse()
-                return
-            done.succeed(size)
+        def _complete(event: Event) -> None:
+            if not target.alive:  # target died mid-read
+                event._ok = False
+                event._value = NodeUnreachableError(dst)
+                event._defused = True
 
-        self.sim.timeout(total).callbacks.append(_complete)
+        # Scheduled directly (see send()): one heap event, not two.
+        done._ok = True
+        done._value = size
+        done._state = TRIGGERED
+        done.callbacks.append(_complete)
+        self.sim._schedule(done, total)
         return done
 
     def _one_sided(
@@ -365,22 +399,27 @@ class Fabric:
         receiver.bytes_received += size
         self._rdma_ops.inc()
         self._bytes_sent.inc(size)
-        self.tracer.record(
-            "net:%s" % src,
-            "%s %s->%s" % (name, src, dst),
-            start=self.sim.now,
-            duration=total,
-            category="transfer",
-            parent=parent,
-            size=size,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "net:%s" % src,
+                "%s %s->%s" % (name, src, dst),
+                start=self.sim.now,
+                duration=total,
+                category="transfer",
+                parent=parent,
+                size=size,
+            )
 
-        def _complete(_event: Event) -> None:
-            if not receiver.alive:
-                done.fail(NodeUnreachableError(dst))
-                done.defuse()
-                return
-            done.succeed(size)
+        def _complete(event: Event) -> None:
+            if not receiver.alive:  # receiver died mid-transfer
+                event._ok = False
+                event._value = NodeUnreachableError(dst)
+                event._defused = True
 
-        self.sim.timeout(total).callbacks.append(_complete)
+        # Scheduled directly (see send()): one heap event, not two.
+        done._ok = True
+        done._value = size
+        done._state = TRIGGERED
+        done.callbacks.append(_complete)
+        self.sim._schedule(done, total)
         return done

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generator, List
+from typing import Dict, Generator, List, Sequence, Tuple
 
 from repro.common.payload import Payload
 from repro.simulation import Event
@@ -60,6 +60,37 @@ class ResilienceScheme(ABC):
     def get(self, client, key: str, metrics: OpMetrics) -> Generator:
         """Fetch the value for ``key``; yields sim events, returns a result."""
 
+    # -- batched ops ---------------------------------------------------------
+    def multi_set(
+        self,
+        client,
+        items: Sequence[Tuple[str, Payload]],
+        metrics: OpMetrics,
+    ) -> Generator:
+        """Store a batch of (key, value) pairs; returns ``{key: OpResult}``.
+
+        Default: drive each key sequentially through :meth:`set` inside
+        the one ARPE window slot the batch occupies.  Schemes with
+        client-side coding override this with a pipelined fan-out that
+        posts every key's requests before waiting on any of them.
+        """
+        results: Dict[str, OpResult] = {}
+        for key, value in items:
+            results[key] = yield from self.set(client, key, value, metrics)
+        return results
+
+    def multi_get(
+        self, client, keys: Sequence[str], metrics: OpMetrics
+    ) -> Generator:
+        """Fetch a batch of keys; returns ``{key: OpResult}``.
+
+        Default sequential fallback, as for :meth:`multi_set`.
+        """
+        results: Dict[str, OpResult] = {}
+        for key in keys:
+            results[key] = yield from self.get(client, key, metrics)
+        return results
+
     # -- shared helpers ------------------------------------------------------
     @staticmethod
     def post_cost(size: int) -> float:
@@ -71,15 +102,16 @@ class ResilienceScheme(ABC):
         """Charge the issue cost for one post, attributing it to Request."""
         cost = ResilienceScheme.post_cost(size)
         metrics.request_time += cost
-        client.tracer.record(
-            client.name,
-            "post",
-            start=client.sim.now,
-            duration=cost,
-            category="post",
-            parent=metrics.span,
-            size=size,
-        )
+        if client.tracer.enabled:
+            client.tracer.record(
+                client.name,
+                "post",
+                start=client.sim.now,
+                duration=cost,
+                category="post",
+                parent=metrics.span,
+                size=size,
+            )
         return client.compute(cost)
 
     @staticmethod
@@ -96,43 +128,46 @@ class ResilienceScheme(ABC):
             results.append(response)
         elapsed = client.sim.now - start
         metrics.wait_time += elapsed
-        client.tracer.record(
-            client.name,
-            "wait",
-            start=start,
-            duration=elapsed,
-            category="wait",
-            parent=metrics.span,
-            responses=len(results),
-        )
+        if client.tracer.enabled:
+            client.tracer.record(
+                client.name,
+                "wait",
+                start=start,
+                duration=elapsed,
+                category="wait",
+                parent=metrics.span,
+                responses=len(results),
+            )
         return results
 
     @staticmethod
     def charge_encode(client, metrics: OpMetrics, seconds: float) -> Event:
         """Charge client-side encode compute, with an ``encode`` span."""
         metrics.encode_time += seconds
-        client.tracer.record(
-            client.name,
-            "encode",
-            start=client.sim.now,
-            duration=seconds,
-            category="encode",
-            parent=metrics.span,
-        )
+        if client.tracer.enabled:
+            client.tracer.record(
+                client.name,
+                "encode",
+                start=client.sim.now,
+                duration=seconds,
+                category="encode",
+                parent=metrics.span,
+            )
         return client.compute(seconds)
 
     @staticmethod
     def charge_decode(client, metrics: OpMetrics, seconds: float) -> Event:
         """Charge client-side decode compute, with a ``decode`` span."""
         metrics.decode_time += seconds
-        client.tracer.record(
-            client.name,
-            "decode",
-            start=client.sim.now,
-            duration=seconds,
-            category="decode",
-            parent=metrics.span,
-        )
+        if client.tracer.enabled:
+            client.tracer.record(
+                client.name,
+                "decode",
+                start=client.sim.now,
+                duration=seconds,
+                category="decode",
+                parent=metrics.span,
+            )
         return client.compute(seconds)
 
     # -- result helpers ------------------------------------------------------

@@ -200,6 +200,141 @@ class ErasureScheme(ResilienceScheme):
         value = self.reconstruct(dict(retrieved), data_len)
         return OpResult.success(value)
 
+    # -- pipelined batch paths (client-side coding) ---------------------------
+    def _pipelined_multi_set(
+        self, client, items, metrics: OpMetrics
+    ) -> Generator:
+        """Batched client-encode Set: post every key's chunks, then wait.
+
+        All encode charges and chunk posts for the whole batch go out
+        before the first wait, so every key's fan-out is on the wire
+        simultaneously — the batch pays one round-trip, not one per key.
+        """
+        staged: List[Tuple[str, List]] = []
+        for key, value in items:
+            encode_time = client.cost_model.encode_time(
+                self.codec.name, value.size, self.k, self.m
+            )
+            yield self.charge_encode(client, metrics, encode_time)
+            self.clear_relocations(key)
+            chunks = self.materialize_chunks(value)
+            servers = self.placement(client.ring, key)
+            meta = {"data_len": value.size}
+            events = []
+            for index, chunk in enumerate(chunks):
+                yield self.charge_post(client, metrics, chunk.size)
+                events.append(
+                    client.request(
+                        servers[index],
+                        "set",
+                        chunk_key(key, index),
+                        value=chunk,
+                        meta=dict(meta, chunk=index),
+                        span=metrics.span,
+                    )
+                )
+            staged.append((key, events))
+
+        results: Dict[str, OpResult] = {}
+        for key, events in staged:
+            responses = yield from self.wait_each(client, metrics, events)
+            stored = sum(1 for r in responses if r.ok)
+            if stored < self.k:
+                errors = {r.error for r in responses if not r.ok}
+                results[key] = OpResult.failure(
+                    ", ".join(sorted(errors)) or protocol.ERR_SERVER
+                )
+            else:
+                results[key] = OpResult.success()
+        return results
+
+    def _pipelined_multi_get(
+        self, client, keys, metrics: OpMetrics
+    ) -> Generator:
+        """Batched client-decode Get: primary fetches for every key first.
+
+        The optimistic K-chunk fetch for each key is posted before any
+        wait; degraded keys then fall back to the per-key retry loop.
+        """
+        results: Dict[str, OpResult] = {}
+        staged: List[Tuple[str, List[str], List[int], List[int], List]] = []
+        for key in keys:
+            servers = self.chunk_servers(client.ring, key)
+            plan = self._gather_plan(client.fabric, servers)
+            if plan is None:
+                results[key] = OpResult.failure(protocol.ERR_UNREACHABLE)
+                continue
+            candidates, dead_data = plan
+            if dead_data:
+                client.metrics.counter("reads.degraded").inc()
+                cost = T_CHECK * dead_data
+                metrics.wait_time += cost
+                yield client.compute(cost)
+            first = candidates[: self.k]
+            events = []
+            for index in first:
+                yield self.charge_post(client, metrics, 0)
+                events.append(
+                    client.request(
+                        servers[index],
+                        "get",
+                        chunk_key(key, index),
+                        span=metrics.span,
+                    )
+                )
+            staged.append((key, servers, candidates, first, events))
+
+        for key, servers, candidates, first, events in staged:
+            responses = yield from self.wait_each(client, metrics, events)
+            retrieved: Dict[int, Payload] = {}
+            data_len: Optional[int] = None
+            for index, response in zip(first, responses):
+                if response.ok:
+                    retrieved[index] = response.value
+                    data_len = response.meta.get("data_len", data_len)
+            cursor = len(first)
+            failed = False
+            while not self.codec.can_decode(retrieved):
+                need = max(1, self.k - len(retrieved))
+                batch = candidates[cursor : cursor + need]
+                cursor += len(batch)
+                if not batch:
+                    results[key] = OpResult.failure(protocol.ERR_NOT_FOUND)
+                    failed = True
+                    break
+                retry = []
+                for index in batch:
+                    yield self.charge_post(client, metrics, 0)
+                    retry.append(
+                        client.request(
+                            servers[index],
+                            "get",
+                            chunk_key(key, index),
+                            span=metrics.span,
+                        )
+                    )
+                retry_responses = yield from self.wait_each(
+                    client, metrics, retry
+                )
+                for index, response in zip(batch, retry_responses):
+                    if response.ok:
+                        retrieved[index] = response.value
+                        data_len = response.meta.get("data_len", data_len)
+            if failed:
+                continue
+            if data_len is None:
+                results[key] = OpResult.failure(protocol.ERR_NOT_FOUND)
+                continue
+            erased = self.erased_data_count(retrieved)
+            decode_time = client.cost_model.decode_time(
+                self.codec.name, data_len, self.k, self.m, erased
+            )
+            yield self.charge_decode(client, metrics, decode_time)
+            results[key] = OpResult.success(
+                self.reconstruct(dict(retrieved), data_len)
+            )
+        return results
+
     def _gather_plan(
         self, fabric, servers: List[str]
     ) -> Optional[Tuple[List[int], int]]:
@@ -409,6 +544,12 @@ class EraCECD(ErasureScheme):
     def get(self, client, key, metrics):
         return (yield from self._client_decode_get(client, key, metrics))
 
+    def multi_set(self, client, items, metrics):
+        return (yield from self._pipelined_multi_set(client, items, metrics))
+
+    def multi_get(self, client, keys, metrics):
+        return (yield from self._pipelined_multi_get(client, keys, metrics))
+
 
 class EraSESD(ErasureScheme):
     """Server-side encode and decode: all coding burden on the servers."""
@@ -445,6 +586,11 @@ class EraSECD(ErasureScheme):
     def get(self, client, key, metrics):
         return (yield from self._client_decode_get(client, key, metrics))
 
+    def multi_get(self, client, keys, metrics):
+        # decode is client-side: Gets batch-pipeline even though Sets
+        # are offloaded one at a time to the coordinating server
+        return (yield from self._pipelined_multi_get(client, keys, metrics))
+
 
 class EraCESD(ErasureScheme):
     """Client-side encode, server-side decode (evaluated as inferior in
@@ -458,6 +604,10 @@ class EraCESD(ErasureScheme):
 
     def set(self, client, key, value, metrics):
         return (yield from self._client_encode_set(client, key, value, metrics))
+
+    def multi_set(self, client, items, metrics):
+        # encode is client-side: Sets batch-pipeline; Gets stay offloaded
+        return (yield from self._pipelined_multi_set(client, items, metrics))
 
     def get(self, client, key, metrics):
         return (yield from self._server_offload(client, key, "sd_get", None, metrics))

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.simulation.engine import Event, SimulationError, Simulator
+from repro.simulation.engine import PROCESSED, Event, SimulationError, Simulator
 
 
 class Request(Event):
@@ -64,11 +64,18 @@ class Resource:
         return len(self._queue)
 
     def request(self) -> Request:
-        """Claim a slot; the returned event fires when the slot is granted."""
+        """Claim a slot; the returned event fires when the slot is granted.
+
+        An uncontended claim is granted on the spot: the request comes
+        back already *processed*, costing no heap event.  Yielding it
+        still works (the engine resumes at the current instant), and hot
+        paths can skip the yield entirely when ``req.processed``.
+        """
         req = Request(self.sim, self)
         if self._users < self.capacity:
             self._users += 1
-            req.succeed(req)
+            req._value = req
+            req._state = PROCESSED
         else:
             self._queue.append(req)
         return req
@@ -120,24 +127,29 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
+        # Puts that complete immediately come back already processed:
+        # no heap event for an outcome nobody needs to wait for.
         event = Event(self.sim)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             getter = self._getters.popleft()
             getter.succeed(item)
-            event.succeed(None)
+            event._state = PROCESSED
         elif self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed(None)
+            event._state = PROCESSED
         else:
             self._putters.append(event)
             self._putter_items.append(item)
         return event
 
     def get(self) -> Event:
+        # Like put(): a get satisfied from queued items is returned
+        # already processed, so non-yielding consumers cost nothing.
         event = Event(self.sim)
         if self._items:
-            event.succeed(self._items.popleft())
+            event._value = self._items.popleft()
+            event._state = PROCESSED
             # Space freed: admit the oldest blocked putter.
             if self._putters:
                 putter = self._putters.popleft()
@@ -146,7 +158,8 @@ class Store:
         elif self._putters:
             # Zero-capacity style direct handoff.
             putter = self._putters.popleft()
-            event.succeed(self._putter_items.popleft())
+            event._value = self._putter_items.popleft()
+            event._state = PROCESSED
             putter.succeed(None)
         else:
             self._getters.append(event)
@@ -185,7 +198,7 @@ class Gate:
     def wait(self) -> Event:
         event = Event(self.sim)
         if self._opened:
-            event.succeed(None)
+            event._state = PROCESSED  # pass straight through, no heap event
         else:
             self._waiters.append(event)
         return event

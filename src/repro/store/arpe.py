@@ -87,6 +87,9 @@ class RequestHandle:
         self.done: Event = sim.event()
         self.metrics = OpMetrics(sim.now)
         self.result: Optional[OpResult] = None
+        #: per-key results for batched ops (``multi_set``/``multi_get``):
+        #: ``{key: OpResult}`` once completed, ``None`` for single ops.
+        self.results = None
 
     @property
     def completed(self) -> bool:
@@ -180,11 +183,13 @@ class AsyncRequestEngine:
     def _run(self, handle: RequestHandle, runner: Runner) -> Generator:
         enqueued = self.sim.now
         buffer_req = self.buffers.request()
-        yield buffer_req
+        if not buffer_req.processed:  # uncontended grants skip the yield
+            yield buffer_req
         self._buffer_wait.observe(self.sim.now - enqueued)
         granted = self.sim.now
         window_req = self.window.request()
-        yield window_req
+        if not window_req.processed:
+            yield window_req
         self._window_wait.observe(self.sim.now - granted)
         self._window_occupancy.observe(self.window.in_use)
         handle.metrics.started_at = self.sim.now

@@ -49,6 +49,23 @@ class KVStoreError(Exception):
         self.code = code
 
 
+def _batch_result(results: Dict[str, OpResult]) -> OpResult:
+    """Summarize per-key outcomes into the batch handle's result.
+
+    The batch is ``ok`` when every key succeeded; otherwise it carries
+    the first failure's code and names the failed keys.
+    """
+    failed = {key: r for key, r in results.items() if not r.ok}
+    if not failed:
+        return OpResult.success()
+    first = next(iter(failed.values()))
+    return OpResult.failure(
+        first.error,
+        "%d/%d keys failed: %s"
+        % (len(failed), len(results), ", ".join(sorted(failed))),
+    )
+
+
 class KVClient:
     """One application client attached to the server cluster."""
 
@@ -87,14 +104,13 @@ class KVClient:
         )
         self.recorder = LatencyRecorder()
         self._req_seq = itertools.count(1)
-        sim.process(self._dispatch_loop(), name="%s.dispatch" % name)
+        self.endpoint.on_message = self._on_message
 
     # -- plumbing ---------------------------------------------------------
-    def _dispatch_loop(self) -> Generator:
-        while True:
-            message: Message = yield self.endpoint.inbox.get()
-            if isinstance(message.payload, Response):
-                self.pending.complete(message.payload)
+    def _on_message(self, message: Message) -> None:
+        # Direct dispatch at delivery time (no inbox/dispatcher process).
+        if isinstance(message.payload, Response):
+            self.pending.complete(message.payload)
 
     def request(
         self,
@@ -188,6 +204,50 @@ class KVClient:
 
         def runner(h: RequestHandle) -> Generator:
             return (yield from self.scheme.get(self, key, h.metrics))
+
+        return self.engine.submit(handle, runner)
+
+    def multi_set(self, items: Iterable) -> RequestHandle:
+        """Batched Set: store many (key, value) pairs as ONE ARPE operation.
+
+        The whole batch occupies a single window slot and registered
+        buffer, amortizing per-op setup; schemes with client-side encode
+        pipeline every key's chunk fan-out before the first wait.  The
+        returned handle completes when the entire batch has; per-key
+        outcomes land in ``handle.results`` (``{key: OpResult}``).
+        """
+        items = [(key, value) for key, value in items]
+        handle = RequestHandle(self.sim, "multi_set", "[%d keys]" % len(items))
+        handle.metrics.span = self.tracer.span(
+            self.name, "multi_set[%d]" % len(items), category="op"
+        )
+        self._record_on_done(handle)
+
+        def runner(h: RequestHandle) -> Generator:
+            results = yield from self.scheme.multi_set(self, items, h.metrics)
+            h.results = results
+            return _batch_result(results)
+
+        return self.engine.submit(handle, runner)
+
+    def multi_get(self, keys: Iterable[str]) -> RequestHandle:
+        """Batched Get: fetch many keys as ONE ARPE operation.
+
+        Like :meth:`multi_set`: one window slot for the batch, per-key
+        :class:`OpResult` values in ``handle.results`` on completion
+        (``handle.results[key].value`` is the fetched payload).
+        """
+        keys = list(keys)
+        handle = RequestHandle(self.sim, "multi_get", "[%d keys]" % len(keys))
+        handle.metrics.span = self.tracer.span(
+            self.name, "multi_get[%d]" % len(keys), category="op"
+        )
+        self._record_on_done(handle)
+
+        def runner(h: RequestHandle) -> Generator:
+            results = yield from self.scheme.multi_get(self, keys, h.metrics)
+            h.results = results
+            return _batch_result(results)
 
         return self.engine.submit(handle, runner)
 

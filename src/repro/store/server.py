@@ -83,7 +83,7 @@ class MemcachedServer:
         #: optional callback(key, value_len) invoked after a successful
         #: store — the Boldio burst buffer hooks its async flusher here.
         self.on_store = None
-        sim.process(self._dispatch_loop(), name="%s.dispatch" % name)
+        self.endpoint.on_message = self._on_message
 
     # -- lifecycle ----------------------------------------------------------
     def fail(self) -> None:
@@ -125,7 +125,8 @@ class MemcachedServer:
         if seconds <= 0:
             return
         req = self.workers.request()
-        yield req
+        if not req.processed:  # uncontended grants need no suspension
+            yield req
         try:
             yield self.sim.timeout(seconds)
         finally:
@@ -169,17 +170,16 @@ class MemcachedServer:
         return protocol.issue_request(self.fabric, self.pending, request, dst)
 
     # -- dispatch ---------------------------------------------------------
-    def _dispatch_loop(self) -> Generator:
-        while True:
-            message: Message = yield self.endpoint.inbox.get()
-            payload = message.payload
-            if isinstance(payload, Response):
-                self.pending.complete(payload)
-            elif isinstance(payload, Request):
-                self.sim.process(
-                    self._handle_request(payload, message.size),
-                    name="%s.%s" % (self.name, payload.op),
-                )
+    def _on_message(self, message: Message) -> None:
+        # Direct dispatch at delivery time (no inbox/dispatcher process).
+        payload = message.payload
+        if isinstance(payload, Response):
+            self.pending.complete(payload)
+        elif isinstance(payload, Request):
+            self.sim.process(
+                self._handle_request(payload, message.size),
+                name="%s.%s" % (self.name, payload.op),
+            )
 
     def _handle_request(self, request: Request, message_size: int) -> Generator:
         self.requests_handled += 1
@@ -193,10 +193,10 @@ class MemcachedServer:
         base_cpu = REQUEST_PARSE_CPU / self.cpu_speed + self._receive_cpu_cost(
             message_size
         )
-        yield from self.cpu(base_cpu)
 
         handler = self.handlers.get(request.op)
         if handler is not None:
+            yield from self.cpu(base_cpu)
             try:
                 response = yield from handler(self, request)
             except Exception as exc:  # noqa: BLE001 - convert to wire error
@@ -207,7 +207,9 @@ class MemcachedServer:
                     error="%s: %s" % (protocol.ERR_SERVER, exc),
                 )
         else:
-            response = yield from self._builtin(request)
+            # Built-in ops fold the parse cost into their own CPU charge:
+            # one worker-thread hold (and one timeout) per request.
+            response = yield from self._builtin(request, base_cpu)
 
         if response is None:
             span.finish(replied="async")
@@ -231,13 +233,14 @@ class MemcachedServer:
         return stored
 
     # -- built-in ops ---------------------------------------------------------
-    def _builtin(self, request: Request) -> Generator:
+    def _builtin(self, request: Request, base_cpu: float = 0.0) -> Generator:
         if request.op == "set":
-            return (yield from self._op_set(request))
+            return (yield from self._op_set(request, base_cpu))
         if request.op == "get":
-            return (yield from self._op_get(request))
+            return (yield from self._op_get(request, base_cpu))
         if request.op == "delete":
-            return (yield from self._op_delete(request))
+            return (yield from self._op_delete(request, base_cpu))
+        yield from self.cpu(base_cpu)
         return Response(
             req_id=request.req_id,
             ok=False,
@@ -245,18 +248,19 @@ class MemcachedServer:
             error=protocol.ERR_UNKNOWN_OP,
         )
 
-    def _op_set(self, request: Request) -> Generator:
+    def _op_set(self, request: Request, base_cpu: float = 0.0) -> Generator:
         value = request.value
         if value is None:
             value = Payload.sized(0)
-        yield from self.cpu(value.size * COPY_CPU_PER_BYTE / self.cpu_speed)
+        cpu_cost = base_cpu + value.size * COPY_CPU_PER_BYTE / self.cpu_speed
         meta = dict(request.meta)
         if value.has_data:
             # end-to-end integrity: checksum computed at ingest
-            yield from self.cpu(
-                value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
-            )
-            meta["crc"] = zlib.crc32(value.data)
+            cpu_cost += value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
+            # Cached on the Payload: a replicated Set hands the same object
+            # to every replica server, so only the first one pays the CRC.
+            meta["crc"] = value.checksum()
+        yield from self.cpu(cpu_cost)
         stored = self.store_item(
             request.key, value.size, data=value.data, meta=meta
         )
@@ -267,9 +271,10 @@ class MemcachedServer:
             error="" if stored else protocol.ERR_OUT_OF_MEMORY,
         )
 
-    def _op_get(self, request: Request) -> Generator:
+    def _op_get(self, request: Request, base_cpu: float = 0.0) -> Generator:
         item = self.cache.get(request.key)
         if item is None:
+            yield from self.cpu(base_cpu)
             return Response(
                 req_id=request.req_id,
                 ok=False,
@@ -282,8 +287,10 @@ class MemcachedServer:
             and "crc" in item.meta
         ):
             yield from self.cpu(
-                item.value_len * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
+                base_cpu
+                + item.value_len * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
             )
+            base_cpu = 0.0
             if zlib.crc32(item.data) != item.meta["crc"]:
                 # bit rot: drop the poisoned item and tell the client,
                 # which recovers from a replica or parity chunk
@@ -295,7 +302,9 @@ class MemcachedServer:
                     server=self.name,
                     error=protocol.ERR_CORRUPT,
                 )
-        yield from self.cpu(item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed)
+        yield from self.cpu(
+            base_cpu + item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed
+        )
         return Response(
             req_id=request.req_id,
             ok=True,
@@ -304,8 +313,8 @@ class MemcachedServer:
             meta=dict(item.meta),
         )
 
-    def _op_delete(self, request: Request) -> Generator:
-        yield from self.cpu(0)  # hash probe already charged in base cost
+    def _op_delete(self, request: Request, base_cpu: float = 0.0) -> Generator:
+        yield from self.cpu(base_cpu)  # hash probe is in the base cost
         removed = self.cache.delete(request.key)
         return Response(
             req_id=request.req_id,

@@ -123,7 +123,7 @@ class TestErrors:
     def test_mismatched_chunk_sizes(self, codec):
         chunk_set = codec.encode(b"abc" * 50)
         chunks = chunk_set.subset(range(codec.k))
-        chunks[0] = chunks[0] + b"extra!!!"
+        chunks[0] = bytes(chunks[0]) + b"extra!!!"
         with pytest.raises(ErasureCodingError):
             codec.decode(chunks, 150)
 

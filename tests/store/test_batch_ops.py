@@ -1,0 +1,143 @@
+"""Batched multi_set/multi_get: one ARPE submission for a whole key-batch.
+
+The batch occupies a single window slot and registered buffer; schemes
+with client-side coding pipeline every key's chunk fan-out before the
+first wait (the paper's H-Series batching argument in API form).
+"""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.store.result import ErrorCode
+
+MIB = 1024 * 1024
+
+
+def fresh(scheme="era-ce-cd", servers=5):
+    return build_cluster(scheme=scheme, servers=servers, memory_per_server=64 * MIB)
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+SCHEMES = ["no-rep", "async-rep", "era-ce-cd", "era-se-cd", "era-ce-sd", "era-se-sd"]
+
+
+class TestBatchRoundTrip:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_multi_set_then_multi_get(self, scheme):
+        cluster = fresh(scheme)
+        client = cluster.add_client()
+        items = [("bk%d" % i, Payload.from_bytes(b"value-%d" % i)) for i in range(8)]
+
+        def body():
+            set_handle = client.multi_set(items)
+            yield set_handle.done
+            assert set_handle.result.ok, set_handle.result.error_text
+            assert set(set_handle.results) == {k for k, _ in items}
+            assert all(r.ok for r in set_handle.results.values())
+
+            get_handle = client.multi_get([k for k, _ in items])
+            yield get_handle.done
+            assert get_handle.result.ok
+            return {k: r.value for k, r in get_handle.results.items()}
+
+        values = drive(cluster, body())
+        for key, value in items:
+            assert values[key].data == value.data
+
+    def test_batch_is_one_arpe_submission(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        items = [("k%d" % i, Payload.sized(4096)) for i in range(10)]
+
+        def body():
+            handle = client.multi_set(items)
+            yield handle.done
+            handle = client.multi_get([k for k, _ in items])
+            yield handle.done
+
+        drive(cluster, body())
+        # 10 keys set + 10 keys fetched, but only 2 engine submissions
+        assert client.engine.submitted == 2
+        assert client.engine.completed == 2
+
+    def test_missing_keys_reported_per_key(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield client.multi_set([("present", Payload.sized(64))]).done
+            handle = client.multi_get(["present", "absent"])
+            yield handle.done
+            return handle
+
+        handle = drive(cluster, body())
+        assert not handle.result.ok
+        assert handle.result.error is ErrorCode.NOT_FOUND
+        assert "absent" in handle.result.message
+        assert handle.results["present"].ok
+        assert not handle.results["absent"].ok
+
+    def test_empty_batch_completes(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            handle = client.multi_set([])
+            yield handle.done
+            assert handle.result.ok
+            handle = client.multi_get([])
+            yield handle.done
+            assert handle.result.ok and handle.results == {}
+
+        drive(cluster, body())
+
+
+class TestBatchPipelining:
+    def test_batch_beats_sequential_blocking_ops(self):
+        """A multi_get batch must beat the same keys fetched one-by-one."""
+        times = {}
+        for mode in ("batch", "sequential"):
+            cluster = fresh("era-ce-cd")
+            client = cluster.add_client()
+            keys = ["k%02d" % i for i in range(16)]
+
+            def load():
+                yield client.multi_set(
+                    [(key, Payload.sized(64 * 1024)) for key in keys]
+                ).done
+
+            drive(cluster, load())
+            start = cluster.sim.now
+
+            def batch():
+                yield client.multi_get(keys).done
+
+            def sequential():
+                for key in keys:
+                    yield from client.get(key)
+
+            drive(cluster, batch() if mode == "batch" else sequential())
+            times[mode] = cluster.sim.now - start
+        assert times["batch"] < times["sequential"] * 0.75
+
+    def test_batch_survives_failures_within_tolerance(self):
+        cluster = fresh("era-ce-cd")
+        client = cluster.add_client()
+        data = bytes(range(256)) * 16
+        keys = ["fk%d" % i for i in range(4)]
+
+        def body():
+            yield client.multi_set(
+                [(key, Payload.from_bytes(data)) for key in keys]
+            ).done
+            cluster.fail_servers(cluster.ring.placement(keys[0], 5)[:2])
+            handle = client.multi_get(keys)
+            yield handle.done
+            assert handle.result.ok, handle.result.error_text
+            assert all(r.value.data == data for r in handle.results.values())
+
+        drive(cluster, body())
