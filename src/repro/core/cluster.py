@@ -32,6 +32,7 @@ from repro.resilience.registry import make_scheme
 from repro.simulation import Simulator
 from repro.store.client import KVClient
 from repro.store.hashring import HashRing
+from repro.store.policy import RetryPolicy
 from repro.store.server import MemcachedServer
 
 GIB = 1024 ** 3
@@ -84,6 +85,8 @@ class KVCluster:
         scheme.install(self)
         self.clients: List[KVClient] = []
         self._client_seq = itertools.count()
+        #: hardening policy new clients inherit (None = legacy defaults)
+        self.default_policy: Optional[RetryPolicy] = None
 
     # -- clients ------------------------------------------------------------
     def add_client(
@@ -92,8 +95,13 @@ class KVCluster:
         window: int = 32,
         buffer_pool: int = 64,
         host: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> KVClient:
-        """Attach a client; ``host`` makes several clients share one NIC."""
+        """Attach a client; ``host`` makes several clients share one NIC.
+
+        ``policy`` hardens this client's request path (falling back to
+        :attr:`default_policy` when unset).
+        """
         name = "%s-%d" % (name_hint, next(self._client_seq))
         client = KVClient(
             self.sim,
@@ -107,6 +115,7 @@ class KVCluster:
             host=host,
             tracer=self.tracer,
             metrics=self.metrics,
+            policy=policy or self.default_policy,
         )
         self.clients.append(client)
         return client

@@ -1,0 +1,376 @@
+"""The chaos engine: seeded, deterministic fault injection for a cluster.
+
+:class:`ChaosEngine` plugs into two seams the rest of the stack already
+exposes:
+
+- it installs itself as ``fabric.interceptor``, so every transfer asks it
+  for a :class:`~repro.network.fabric.FaultAction` (drop, duplicate,
+  corrupt, delay, partition-block);
+- it runs scheduler processes on the virtual clock for node-level events:
+  crash/restart schedules, partitions + heals, gray "slow node" CPU
+  throttling, and bit rot in stored memory.
+
+Determinism: all randomness comes from two ``random.Random`` streams
+derived from one seed (one for per-message draws, one for the
+schedulers), and every draw happens at a deterministic point of the
+simulation — the same seed replays the identical fault log byte for
+byte.  Corrupted payloads are *copies*: the victim bytes are flipped in
+a fresh :class:`~repro.common.payload.Payload` inside a fresh wire
+record, never in the sender's shared objects.
+
+Safety budget: the engine never degrades more than ``max_degraded``
+servers at once (default: the scheme's tolerated failures ``m``).
+"Degraded" counts partitioned servers plus crashed servers whose data
+has not been re-materialized — a restarted-but-empty node still counts
+against the budget until :meth:`mark_repaired` is called (e.g. by a
+repair process hooked via :attr:`on_crash`).  This is what makes the
+durability invariant *testable*: any loss under this budget is a bug,
+not bad luck.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.common.payload import Payload
+from repro.faults.profiles import FaultProfile
+from repro.network.fabric import FaultAction
+from repro.resilience.recovery import FailureInjector
+
+
+class ChaosEngine:
+    """Injects one :class:`FaultProfile` into a live cluster, seeded."""
+
+    def __init__(
+        self,
+        cluster,
+        profile: FaultProfile,
+        seed: int = 0,
+        max_degraded: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.profile = profile
+        self.seed = seed
+        base = random.Random(seed)
+        #: per-message draws (interceptor) and scheduler draws come from
+        #: separate streams so adding a message fault does not reshuffle
+        #: the crash schedule of the same seed.
+        self.msg_rng = random.Random(base.getrandbits(64))
+        self.sched_rng = random.Random(base.getrandbits(64))
+        self.injector = FailureInjector(cluster)
+        self.tracer = cluster.tracer
+        self.max_degraded = (
+            max_degraded
+            if max_degraded is not None
+            else cluster.scheme.tolerated_failures
+        )
+        #: servers currently isolated from all traffic
+        self.partitioned: Set[str] = set()
+        #: servers that crashed and whose data was not rebuilt yet; they
+        #: stay budget-degraded even after restarting with empty memory
+        self.unrepaired: Set[str] = set()
+        #: servers currently in a slow (CPU-throttled) episode
+        self.slowed: Set[str] = set()
+        #: optional callback(server_name) fired on each crash, the hook
+        #: a repair manager uses to rebuild and then mark_repaired()
+        self.on_crash: Optional[Callable[[str], None]] = None
+        #: engine-side fault log; merge with the injector's crash log via
+        #: :attr:`fault_log`
+        self.log: List[Tuple[float, str, str]] = []
+
+        metrics = cluster.metrics
+        self._dropped = metrics.counter("faults.dropped")
+        self._duplicated = metrics.counter("faults.duplicated")
+        self._corrupted = metrics.counter("faults.corrupted")
+        self._delayed = metrics.counter("faults.delayed")
+        self._blocked = metrics.counter("faults.partition_blocks")
+        self._crashes = metrics.counter("faults.crashes")
+        self._restarts = metrics.counter("faults.restarts")
+        self._repairs = metrics.counter("faults.repairs")
+        self._partitions = metrics.counter("faults.partitions")
+        self._heals = metrics.counter("faults.heals")
+        self._slow_episodes = metrics.counter("faults.slow_episodes")
+        self._bitrot = metrics.counter("faults.bitrot")
+
+        cluster.fabric.interceptor = self
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def degraded(self) -> Set[str]:
+        """Servers currently counting against the fault budget."""
+        return self.partitioned | self.unrepaired
+
+    @property
+    def fault_log(self) -> List[Tuple[float, str, str]]:
+        """Every injected fault, merged and time-ordered."""
+        return sorted(self.log + self.injector.log)
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.log.append((self.sim.now, kind, detail))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "chaos", "%s %s" % (kind, detail), category="fault"
+            )
+
+    def mark_repaired(self, name: str) -> None:
+        """Declare a crashed server's data rebuilt: frees budget."""
+        if name in self.unrepaired:
+            self.unrepaired.discard(name)
+            self._repairs.inc()
+            self._note("repaired", name)
+
+    def uninstall(self) -> None:
+        """Detach from the fabric (scheduler loops stop at their horizon)."""
+        if self.cluster.fabric.interceptor is self:
+            self.cluster.fabric.interceptor = None
+
+    # -- per-message interceptor ---------------------------------------------
+    def on_message(
+        self,
+        src: str,
+        dst: str,
+        size: int = 0,
+        payload=None,
+        tag: str = "",
+        one_sided: bool = False,
+    ) -> Optional[FaultAction]:
+        """Fabric hook: decide this transfer's fate.  All draws happen
+        here, at send time, so replay order is the simulator's event
+        order — deterministic for a given seed."""
+        if src in self.partitioned or dst in self.partitioned:
+            self._blocked.inc()
+            return FaultAction(block=True)
+
+        profile = self.profile
+        if not profile.has_message_faults:
+            return None
+        rng = self.msg_rng
+        action = None
+
+        if not one_sided:
+            if profile.drop_rate and rng.random() < profile.drop_rate:
+                self._dropped.inc()
+                self._note("drop", "%s->%s %s" % (src, dst, tag))
+                return FaultAction(drop=True)
+            if profile.duplicate_rate and rng.random() < profile.duplicate_rate:
+                action = action or FaultAction()
+                action.duplicate = profile.duplicate_lag
+                self._duplicated.inc()
+                self._note("duplicate", "%s->%s %s" % (src, dst, tag))
+            if profile.corrupt_rate:
+                value = getattr(payload, "value", None)
+                if value is not None and value.has_data and value.size > 0:
+                    if rng.random() < profile.corrupt_rate:
+                        action = action or FaultAction()
+                        action.mutate = self._corrupter(
+                            rng.randrange(len(value.data)), rng.randrange(8)
+                        )
+                        self._corrupted.inc()
+                        self._note("corrupt", "%s->%s %s" % (src, dst, tag))
+
+        delay = 0.0
+        if profile.jitter_rate and rng.random() < profile.jitter_rate:
+            delay += rng.expovariate(1.0 / profile.jitter)
+        if profile.spike_rate and rng.random() < profile.spike_rate:
+            spike = rng.expovariate(1.0 / profile.spike)
+            delay += spike
+            self._note("spike", "%s->%s +%.0fus" % (src, dst, spike * 1e6))
+        if delay > 0.0:
+            action = action or FaultAction()
+            action.delay = delay
+            self._delayed.inc()
+        return action
+
+    @staticmethod
+    def _corrupter(pos: int, bit: int):
+        """Build a mutate hook flipping one pre-drawn bit of the payload.
+
+        The hook runs at delivery time and must not touch shared state:
+        it returns a *new* wire record wrapping a *new* Payload, leaving
+        the sender's copy (kept for retries) pristine.
+        """
+
+        def mutate(wire):
+            value = getattr(wire, "value", None)
+            if value is None or not value.has_data or not value.data:
+                return wire
+            data = bytearray(value.data)
+            data[pos % len(data)] ^= 1 << bit
+            return dataclasses.replace(
+                wire, value=Payload.from_bytes(bytes(data))
+            )
+
+        return mutate
+
+    # -- scheduled node-level faults -------------------------------------------
+    def start(self, horizon: float) -> None:
+        """Launch the scheduler loops; they stop injecting at ``horizon``."""
+        profile = self.profile
+        if profile.crash_rate > 0:
+            self.sim.process(self._crash_loop(horizon), name="chaos-crash")
+        if profile.partition_rate > 0:
+            self.sim.process(
+                self._partition_loop(horizon), name="chaos-partition"
+            )
+        if profile.slow_rate > 0:
+            self.sim.process(self._slow_loop(horizon), name="chaos-slow")
+        if profile.bitrot_rate > 0:
+            self.sim.process(self._bitrot_loop(horizon), name="chaos-bitrot")
+
+    def _pick_degradable(self) -> Optional[str]:
+        """A server the budget allows taking down, or ``None``."""
+        if len(self.degraded) >= self.max_degraded:
+            return None
+        degraded = self.degraded
+        candidates = sorted(
+            name
+            for name, server in self.cluster.servers.items()
+            if name not in degraded and server.alive
+        )
+        if not candidates:
+            return None
+        return self.sched_rng.choice(candidates)
+
+    def _crash_loop(self, horizon: float):
+        profile = self.profile
+        rng = self.sched_rng
+        while True:
+            yield self.sim.timeout(rng.expovariate(profile.crash_rate))
+            if self.sim.now >= horizon:
+                return
+            target = self._pick_degradable()
+            downtime = rng.expovariate(1.0 / profile.crash_downtime)
+            if target is None:
+                continue  # budget exhausted; draw stays (determinism)
+            self.unrepaired.add(target)
+            self.injector.fail_now([target])  # logs (t, "fail", name)
+            self._crashes.inc()
+            if self.tracer.enabled:
+                self.tracer.instant("chaos", "crash %s" % target, category="fault")
+            if self.on_crash is not None:
+                self.on_crash(target)
+            self.sim.process(
+                self._restart_later(target, downtime),
+                name="chaos-restart-%s" % target,
+            )
+
+    def _restart_later(self, name: str, downtime: float):
+        yield self.sim.timeout(downtime)
+        server = self.cluster.servers[name]
+        if server.alive:  # already healed (e.g. heal_all)
+            return
+        self.injector.recover_now([name])  # logs (t, "recover", name)
+        self._restarts.inc()
+        # stays in self.unrepaired until mark_repaired(): the node is up
+        # but empty, so its chunks are still lost.
+
+    def _partition_loop(self, horizon: float):
+        profile = self.profile
+        rng = self.sched_rng
+        while True:
+            yield self.sim.timeout(rng.expovariate(profile.partition_rate))
+            if self.sim.now >= horizon:
+                return
+            target = self._pick_degradable()
+            duration = rng.expovariate(1.0 / profile.partition_duration)
+            if target is None:
+                continue
+            self.partitioned.add(target)
+            self._partitions.inc()
+            self._note("partition", target)
+            self.sim.process(
+                self._heal_later(target, duration),
+                name="chaos-heal-%s" % target,
+            )
+
+    def _heal_later(self, name: str, duration: float):
+        yield self.sim.timeout(duration)
+        if name in self.partitioned:
+            self.partitioned.discard(name)
+            self._heals.inc()
+            self._note("heal", name)
+
+    def _slow_loop(self, horizon: float):
+        profile = self.profile
+        rng = self.sched_rng
+        while True:
+            yield self.sim.timeout(rng.expovariate(profile.slow_rate))
+            if self.sim.now >= horizon:
+                return
+            duration = rng.expovariate(1.0 / profile.slow_duration)
+            candidates = sorted(
+                name
+                for name, server in self.cluster.servers.items()
+                if server.alive and name not in self.slowed
+            )
+            if not candidates:
+                continue
+            target = rng.choice(candidates)
+            self.slowed.add(target)
+            self.cluster.servers[target].cpu_throttle = profile.slow_factor
+            self._slow_episodes.inc()
+            self._note("slow", "%s x%g" % (target, profile.slow_factor))
+            self.sim.process(
+                self._unslow_later(target, duration),
+                name="chaos-unslow-%s" % target,
+            )
+
+    def _unslow_later(self, name: str, duration: float):
+        yield self.sim.timeout(duration)
+        if name in self.slowed:
+            self.slowed.discard(name)
+            self.cluster.servers[name].cpu_throttle = 1.0
+            self._note("slow_end", name)
+
+    def _bitrot_loop(self, horizon: float):
+        profile = self.profile
+        rng = self.sched_rng
+        while True:
+            yield self.sim.timeout(rng.expovariate(profile.bitrot_rate))
+            if self.sim.now >= horizon:
+                return
+            victims = sorted(
+                name
+                for name, server in self.cluster.servers.items()
+                if server.alive
+            )
+            if not victims:
+                continue
+            name = rng.choice(victims)
+            server = self.cluster.servers[name]
+            keys = sorted(server.cache.keys())
+            if not keys:
+                continue
+            key = rng.choice(keys)
+            if server.corrupt_item(key, byte_offset=rng.randrange(1 << 16)):
+                self._bitrot.inc()
+                self._note("bitrot", "%s %s" % (name, key))
+
+    # -- teardown --------------------------------------------------------------
+    def heal_all(self) -> None:
+        """Stop hurting: recover crashed nodes, drop partitions, unthrottle.
+
+        Crashed-and-unrepaired servers stay in :attr:`unrepaired` (their
+        data is still gone until something rebuilds it); they are merely
+        reachable and empty again.
+        """
+        dead = sorted(
+            name
+            for name, server in self.cluster.servers.items()
+            if not server.alive
+        )
+        if dead:
+            self.injector.recover_now(dead)
+            self._restarts.inc(len(dead))
+        for name in sorted(self.partitioned):
+            self._heals.inc()
+            self._note("heal", name)
+        self.partitioned.clear()
+        for name in sorted(self.slowed):
+            self.cluster.servers[name].cpu_throttle = 1.0
+            self._note("slow_end", name)
+        self.slowed.clear()
+        self._note("heal_all", "")

@@ -1,0 +1,146 @@
+"""Declarative fault mixes the chaos engine can inject.
+
+A :class:`FaultProfile` is pure data: per-message fault probabilities and
+per-second schedules for node-level events.  Message probabilities apply
+to two-sided sends (drops/duplicates/corruption make no sense for
+one-sided RDMA verbs, which would simply hang their poster); node events
+(crashes, partitions, slow episodes, bit rot) are Poisson arrivals on the
+virtual clock.
+
+The named profiles bundle the paper-relevant failure classes:
+
+``none``
+    No faults — a control run.
+``network``
+    Lossy wire: drops, duplicates, in-flight corruption, jitter and
+    latency spikes.  No node ever dies.
+``crash``
+    Fail-stop only: crash/restart schedules plus partitions + heals.
+``gray``
+    Gray failures: slow nodes (CPU throttling), latency spikes, bit rot
+    in stored memory — the faults that don't trip failure detectors.
+``all``
+    Everything at once, rates tuned so a short soak sees every fault
+    class multiple times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One chaos mix.  All times in virtual seconds, rates per second."""
+
+    name: str
+    description: str = ""
+
+    # -- per-message network faults (probability per two-sided send) -----
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    #: delay of the duplicate copy behind the original
+    duplicate_lag: float = 5e-6
+    corrupt_rate: float = 0.0
+    #: probability of adding small random latency, and its mean
+    jitter_rate: float = 0.0
+    jitter: float = 0.0
+    #: probability of adding a large latency spike, and its mean
+    spike_rate: float = 0.0
+    spike: float = 0.0
+
+    # -- scheduled node-level events (Poisson rates, cluster-wide) -------
+    crash_rate: float = 0.0
+    #: mean downtime before the crashed node restarts (empty memory)
+    crash_downtime: float = 0.2
+    partition_rate: float = 0.0
+    #: mean duration until the partition heals
+    partition_duration: float = 0.15
+    slow_rate: float = 0.0
+    slow_duration: float = 0.2
+    #: CPU-time multiplier applied to a gray node during its episode
+    slow_factor: float = 4.0
+    #: stored-item corruptions (bit rot) per second, cluster-wide
+    bitrot_rate: float = 0.0
+
+    @property
+    def has_message_faults(self) -> bool:
+        """Whether any per-message probability is non-zero."""
+        return any(
+            rate > 0.0
+            for rate in (
+                self.drop_rate,
+                self.duplicate_rate,
+                self.corrupt_rate,
+                self.jitter_rate,
+                self.spike_rate,
+            )
+        )
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(name="none", description="control run, no faults"),
+        FaultProfile(
+            name="network",
+            description="lossy wire: drop/dup/corrupt/jitter/spikes",
+            drop_rate=0.01,
+            duplicate_rate=0.005,
+            corrupt_rate=0.005,
+            jitter_rate=0.05,
+            jitter=100e-6,
+            spike_rate=0.003,
+            spike=2e-3,
+        ),
+        FaultProfile(
+            name="crash",
+            description="fail-stop: crashes/restarts and partitions/heals",
+            crash_rate=1.0,
+            crash_downtime=0.2,
+            partition_rate=1.0,
+            partition_duration=0.15,
+        ),
+        FaultProfile(
+            name="gray",
+            description="gray failures: slow nodes, spikes, bit rot",
+            spike_rate=0.003,
+            spike=2e-3,
+            slow_rate=1.5,
+            slow_duration=0.2,
+            slow_factor=4.0,
+            bitrot_rate=5.0,
+        ),
+        FaultProfile(
+            name="all",
+            description="every fault class at once",
+            drop_rate=0.008,
+            duplicate_rate=0.004,
+            corrupt_rate=0.004,
+            jitter_rate=0.05,
+            jitter=100e-6,
+            spike_rate=0.002,
+            spike=2e-3,
+            crash_rate=0.8,
+            crash_downtime=0.2,
+            partition_rate=0.8,
+            partition_duration=0.15,
+            slow_rate=1.0,
+            slow_duration=0.2,
+            slow_factor=4.0,
+            bitrot_rate=4.0,
+        ),
+    )
+}
+
+
+def profile_by_name(name: str) -> FaultProfile:
+    """Look up a named profile (raises ``KeyError`` with choices)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown fault profile %r (choices: %s)"
+            % (name, ", ".join(sorted(PROFILES)))
+        )

@@ -1,0 +1,370 @@
+"""The chaos soak: drive a workload through faults, assert durability.
+
+The invariant under test: **every acknowledged Set remains readable with
+the exact acknowledged bytes, as long as concurrent failures stay within
+the scheme's tolerance** (the chaos engine's budget enforces the
+"within tolerance" side; see :class:`~repro.faults.engine.ChaosEngine`).
+
+Model-based checking: each workload client owns a disjoint key range and
+records, per key, the bytes of the last *acknowledged* Set.  A key whose
+most recent Set failed or errored is *uncertain* — a failed durable
+overwrite legitimately leaves either the old or the new value readable —
+so uncertain keys are checked against both candidates and excluded from
+lost-write accounting.  Reads that fail transiently while faults are
+active count as *unavailability*, not durability violations; after the
+chaos horizon the cluster is healed, crashed nodes are repaired, and a
+final clean-room sweep re-reads every acknowledged key — any miss or
+byte mismatch there is a violation.
+
+Determinism: the whole run (workload, fault schedule, byte flips) derives
+from one seed, and the report carries a SHA-256 digest over the fault
+log, operation counts and metrics snapshot — two runs with the same seed
+must produce identical digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.payload import Payload
+from repro.common.stats import Summary
+from repro.faults.engine import ChaosEngine
+from repro.faults.profiles import FaultProfile, profile_by_name
+from repro.store.client import KVStoreError
+from repro.store.policy import HARDENED_POLICY
+
+
+@dataclass
+class SoakConfig:
+    """One soak run's shape.  Times are virtual seconds."""
+
+    seed: int = 0
+    duration: float = 2.0
+    net_profile: str = "ri-qdr"
+    scheme: str = "era-ce-cd"
+    servers: int = 6
+    k: int = 3
+    m: int = 2
+    fault_profile: str = "all"
+    num_clients: int = 2
+    key_space: int = 40
+    value_size: int = 16 * 1024
+    set_fraction: float = 0.5
+    #: mean think time between a client's operations
+    op_gap: float = 2e-3
+    #: rebuild crashed servers' chunks while the run is still going
+    repair: bool = True
+
+
+class _ClientModel:
+    """What one single-writer client believes about its keys."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: key -> bytes of the last acknowledged Set
+        self.acked: Dict[str, bytes] = {}
+        #: bytes of the most recent Set attempt (acked or not)
+        self.last_attempt: Dict[str, bytes] = {}
+        #: keys whose most recent Set failed: old or new value is legal
+        self.uncertain: set = set()
+        self.seq = 0
+        self.set_attempts = 0
+        self.set_acks = 0
+        self.set_failures = 0
+        self.get_attempts = 0
+        self.get_ok = 0
+        self.unavailable = 0
+
+
+def _value_bytes(key: str, seq: int, size: int) -> bytes:
+    """Deterministic, per-write-unique payload bytes."""
+    stamp = ("%s#%d|" % (key, seq)).encode()
+    reps = size // len(stamp) + 1
+    return (stamp * reps)[:size]
+
+
+def _latency_summary(samples: List[float]) -> Optional[dict]:
+    if not samples:
+        return None
+    summary = Summary.of(samples).scaled(1e6)  # microseconds
+    return {
+        "count": summary.count,
+        "mean_us": round(summary.mean, 3),
+        "p50_us": round(summary.p50, 3),
+        "p95_us": round(summary.p95, 3),
+        "p99_us": round(summary.p99, 3),
+        "max_us": round(summary.maximum, 3),
+    }
+
+
+def run_soak(config: SoakConfig) -> dict:
+    """Execute one seeded soak; returns the JSON-able chaos report."""
+    from repro.core.cluster import build_cluster
+    from repro.resilience.recovery import RepairManager
+
+    profile: FaultProfile = profile_by_name(config.fault_profile)
+    cluster = build_cluster(
+        profile=config.net_profile,
+        scheme=config.scheme,
+        servers=config.servers,
+        k=config.k,
+        m=config.m,
+    )
+    cluster.default_policy = HARDENED_POLICY
+    for server in cluster.servers.values():
+        server.peer_timeout = HARDENED_POLICY.request_timeout
+    sim = cluster.sim
+    tolerated = cluster.scheme.tolerated_failures
+
+    # One master seed fans out to independent streams (chaos, one per
+    # workload client) so the run is reproducible from `seed` alone.
+    master = random.Random(config.seed)
+    # Bit rot erases chunks outside the crash/partition budget; when the
+    # profile includes it, reserve one tolerated failure as slack so rot
+    # plus node failures cannot legally exceed the code's tolerance.
+    max_degraded = tolerated
+    if profile.bitrot_rate > 0 and tolerated > 1:
+        max_degraded = tolerated - 1
+    chaos = ChaosEngine(
+        cluster,
+        profile,
+        seed=master.getrandbits(64),
+        max_degraded=max_degraded,
+    )
+
+    violations = {"lost_writes": [], "wrong_bytes": []}
+    models: List[_ClientModel] = []
+    clients = []
+    rngs = []
+    for index in range(config.num_clients):
+        client = cluster.add_client(name_hint="soak")
+        clients.append(client)
+        models.append(_ClientModel(client.name))
+        rngs.append(random.Random(master.getrandbits(64)))
+
+    def _tracked_keys() -> List[str]:
+        keys = set()
+        for model in models:
+            keys.update(model.acked)
+            keys.update(model.last_attempt)
+        return sorted(keys)
+
+    # -- in-run repair: rebuild a crashed server's chunks, free budget ----
+    def _on_crash(name: str) -> None:
+        if not config.repair:
+            return
+        sim.process(_repair_proc(name), name="soak-repair-%s" % name)
+
+    def _repair_proc(name):
+        manager = RepairManager(cluster, cluster.scheme)
+        for attempt in range(3):
+            yield sim.timeout(0.01)
+            yield from manager.repair_server(name, _tracked_keys())
+            holes = _holes_on(name)
+            if not holes:
+                break
+        chaos.mark_repaired(name)
+
+    def _holes_on(name: str) -> List[str]:
+        """Acked keys still mapping a chunk onto ``name`` that it lacks."""
+        from repro.resilience.erasure import chunk_key
+
+        scheme = cluster.scheme
+        if not hasattr(scheme, "chunk_servers"):
+            return []
+        server = cluster.servers[name]
+        holes = []
+        for model in models:
+            for key in model.acked:
+                placed = scheme.chunk_servers(cluster.ring, key)
+                for index, holder in enumerate(placed):
+                    if holder != name:
+                        continue
+                    if not server.alive or server.cache.peek(
+                        chunk_key(key, index)
+                    ) is None:
+                        holes.append(key)
+                        break
+        return holes
+
+    chaos.on_crash = _on_crash
+    chaos.start(config.duration)
+
+    # -- the workload ------------------------------------------------------
+    def _check_read(model: _ClientModel, key: str, value, stage: str) -> None:
+        expected = model.acked.get(key)
+        if value is None or not value.has_data:
+            if expected is not None and key not in model.uncertain:
+                violations["lost_writes"].append(
+                    {"key": key, "stage": stage, "reason": "miss"}
+                )
+            return
+        if stage == "run":
+            model.get_ok += 1
+        data = value.data
+        if key in model.uncertain:
+            legal = {expected, model.last_attempt.get(key)}
+            legal.discard(None)
+            if legal and data not in legal:
+                violations["wrong_bytes"].append(
+                    {"key": key, "stage": stage, "reason": "uncertain-mismatch"}
+                )
+        elif expected is not None and data != expected:
+            violations["wrong_bytes"].append(
+                {"key": key, "stage": stage, "reason": "mismatch"}
+            )
+
+    def _worker(client, rng, model):
+        while sim.now < config.duration:
+            yield sim.timeout(rng.expovariate(1.0 / config.op_gap))
+            key = "%s:k%03d" % (model.name, rng.randrange(config.key_space))
+            if rng.random() < config.set_fraction:
+                model.seq += 1
+                model.set_attempts += 1
+                data = _value_bytes(key, model.seq, config.value_size)
+                model.last_attempt[key] = data
+                try:
+                    acked = yield from client.set(key, Payload.from_bytes(data))
+                except KVStoreError:
+                    acked = False
+                if acked:
+                    model.acked[key] = data
+                    model.uncertain.discard(key)
+                    model.set_acks += 1
+                else:
+                    model.uncertain.add(key)
+                    model.set_failures += 1
+            else:
+                model.get_attempts += 1
+                try:
+                    value = yield from client.get(key)
+                except KVStoreError:
+                    model.unavailable += 1
+                    continue
+                _check_read(model, key, value, stage="run")
+
+    for client, rng, model in zip(clients, rngs, models):
+        sim.process(_worker(client, rng, model), name="%s-load" % client.name)
+    cluster.run()  # to quiescence: workload + chaos + repairs all drain
+
+    # -- heal, final repair, clean-room sweep ------------------------------
+    chaos.heal_all()
+    chaos.uninstall()
+    leftovers = sorted(chaos.unrepaired)
+    if leftovers:
+
+        def _final_repairs():
+            manager = RepairManager(cluster, cluster.scheme)
+            for name in leftovers:
+                yield from manager.repair_server(name, _tracked_keys())
+                chaos.mark_repaired(name)
+
+        sim.process(_final_repairs(), name="soak-final-repair")
+        cluster.run()
+
+    def _sweep():
+        client = cluster.add_client(name_hint="sweep")
+        for model in models:
+            for key in sorted(set(model.acked) | model.uncertain):
+                try:
+                    value = yield from client.get(key)
+                except KVStoreError as exc:
+                    if key in model.acked and key not in model.uncertain:
+                        violations["lost_writes"].append(
+                            {"key": key, "stage": "sweep", "reason": str(exc)}
+                        )
+                    continue
+                _check_read(model, key, value, stage="sweep")
+
+    sim.process(_sweep(), name="soak-sweep")
+    cluster.run()
+
+    # -- report ------------------------------------------------------------
+    ops = {
+        "set_attempts": sum(m.set_attempts for m in models),
+        "set_acks": sum(m.set_acks for m in models),
+        "set_failures": sum(m.set_failures for m in models),
+        "get_attempts": sum(m.get_attempts for m in models),
+        "get_ok": sum(m.get_ok for m in models),
+        "unavailable": sum(m.unavailable for m in models),
+    }
+    snapshot = cluster.metrics.snapshot()
+    interesting = {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name.split(".")[0]
+        in ("faults", "client", "reads", "writes", "fabric")
+    }
+    fault_log = [[t, kind, detail] for t, kind, detail in chaos.fault_log]
+    digest_input = {
+        "config": {
+            "seed": config.seed,
+            "duration": config.duration,
+            "scheme": config.scheme,
+            "fault_profile": config.fault_profile,
+            "servers": config.servers,
+            "k": config.k,
+            "m": config.m,
+        },
+        "ops": ops,
+        "fault_log": fault_log,
+        "metrics": interesting,
+        "violations": violations,
+    }
+    digest = hashlib.sha256(
+        json.dumps(digest_input, sort_keys=True).encode()
+    ).hexdigest()
+    set_samples: List[float] = []
+    get_samples: List[float] = []
+    for client in clients:
+        set_samples.extend(client.latencies("set"))
+        get_samples.extend(client.latencies("get"))
+    corruption_detected = sum(
+        server.corruption_detected for server in cluster.servers.values()
+    )
+    report = {
+        "config": digest_input["config"],
+        "ok": not violations["lost_writes"] and not violations["wrong_bytes"],
+        "ops": ops,
+        "violations": violations,
+        "faults_injected": {
+            name: value
+            for name, value in interesting.items()
+            if name.startswith("faults.")
+        },
+        "degraded_paths": {
+            name: value
+            for name, value in interesting.items()
+            if name.startswith(("client.", "reads.", "writes."))
+        },
+        "corruption_detected": corruption_detected,
+        "latency": {
+            "set": _latency_summary(set_samples),
+            "get": _latency_summary(get_samples),
+        },
+        "fault_log_entries": len(fault_log),
+        "virtual_time": sim.now,
+        "digest": digest,
+    }
+    return report
+
+
+def run_soak_suite(
+    seeds: List[int], config: Optional[SoakConfig] = None
+) -> dict:
+    """Run the soak across several seeds; aggregate verdict + reports."""
+    import dataclasses
+
+    base = config or SoakConfig()
+    reports = []
+    for seed in seeds:
+        reports.append(run_soak(dataclasses.replace(base, seed=seed)))
+    return {
+        "ok": all(r["ok"] for r in reports),
+        "seeds": list(seeds),
+        "reports": reports,
+    }

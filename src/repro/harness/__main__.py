@@ -14,6 +14,15 @@ events/sec, end-to-end ops/sec)::
     python -m repro.harness bench --output BENCH_perf.json
     python -m repro.harness bench --baseline BENCH_perf.json
 
+``chaos`` runs the seeded fault-injection soak and asserts the
+durability invariant — every acknowledged Set stays readable with the
+acknowledged bytes while concurrent failures stay within the scheme's
+tolerance.  It exits non-zero on any violation::
+
+    python -m repro.harness chaos --seeds 1,2,3
+    python -m repro.harness chaos --seed 7 --fault-profile gray --check-determinism
+    python -m repro.harness chaos --scheme era-se-sd --report chaos.json
+
 CI-scale parameters are the default (same shapes, minutes not hours);
 ``--full`` switches each experiment to the paper's published setup.
 """
@@ -96,6 +105,119 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    import json
+
+    from repro.faults import SoakConfig, run_soak_suite
+    from repro.faults.profiles import PROFILES
+
+    if args.fault_profile not in PROFILES:
+        print(
+            "unknown fault profile %r (choices: %s)"
+            % (args.fault_profile, ", ".join(sorted(PROFILES))),
+            file=sys.stderr,
+        )
+        return 2
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = SoakConfig(
+        duration=args.duration,
+        scheme=args.scheme,
+        servers=args.servers,
+        k=args.k,
+        m=args.m,
+        fault_profile=args.fault_profile,
+    )
+    print(
+        "Chaos soak: scheme=%s profile=%s servers=%d k=%d m=%d "
+        "duration=%.2fs seeds=%s"
+        % (
+            config.scheme,
+            config.fault_profile,
+            config.servers,
+            config.k,
+            config.m,
+            config.duration,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_soak_suite(seeds, config)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_soak_suite(seeds, config)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        ops = report["ops"]
+        violations = report["violations"]
+        print(
+            "seed %-6d %s  sets %d/%d acked, gets %d ok / %d unavailable, "
+            "faults %d, lost %d, wrong-bytes %d"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                ops["set_acks"],
+                ops["set_attempts"],
+                ops["get_ok"],
+                ops["unavailable"],
+                report["fault_log_entries"],
+                len(violations["lost_writes"]),
+                len(violations["wrong_bytes"]),
+            )
+        )
+        for kind in ("lost_writes", "wrong_bytes"):
+            for violation in violations[kind]:
+                print("  %s: %s" % (kind, violation))
+        latency = report["latency"]
+        for op in ("set", "get"):
+            summary = latency.get(op)
+            if summary:
+                print(
+                    "  %s latency (degraded run): p50 %.1fus  p95 %.1fus  "
+                    "p99 %.1fus  max %.1fus  (n=%d)"
+                    % (
+                        op,
+                        summary["p50_us"],
+                        summary["p95_us"],
+                        summary["p99_us"],
+                        summary["max_us"],
+                        summary["count"],
+                    )
+                )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Durability invariant %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """Entry point: parse arguments, run the experiment, print its table."""
     parser = argparse.ArgumentParser(
@@ -142,6 +264,50 @@ def main(argv=None) -> int:
             "file gets a combined before/after/speedup document"
         ),
     )
+    chaos_group = parser.add_argument_group("chaos options")
+    chaos_group.add_argument(
+        "--seed", type=int, default=0, help="chaos: soak seed (default 0)"
+    )
+    chaos_group.add_argument(
+        "--seeds",
+        metavar="N,N,...",
+        help="chaos: comma-separated seed list (overrides --seed)",
+    )
+    chaos_group.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="chaos: virtual seconds of faulted load (default 1.0)",
+    )
+    chaos_group.add_argument(
+        "--scheme",
+        default="era-ce-cd",
+        help="chaos: resilience scheme under test (default era-ce-cd)",
+    )
+    chaos_group.add_argument(
+        "--servers", type=int, default=6, help="chaos: cluster size"
+    )
+    chaos_group.add_argument(
+        "--k", type=int, default=3, help="chaos: data chunks per stripe"
+    )
+    chaos_group.add_argument(
+        "--m", type=int, default=2, help="chaos: parity chunks per stripe"
+    )
+    chaos_group.add_argument(
+        "--fault-profile",
+        default="all",
+        help="chaos: fault profile (none, network, crash, gray, all)",
+    )
+    chaos_group.add_argument(
+        "--report",
+        metavar="FILE",
+        help="chaos: write the full JSON report to FILE",
+    )
+    chaos_group.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="chaos: run every seed twice and require identical digests",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
@@ -149,10 +315,14 @@ def main(argv=None) -> int:
             doc = (runner.__doc__ or "").strip().splitlines()[0]
             print("%-7s %s" % (name, doc))
         print("bench   wall-clock perf suite (codec MB/s, events/sec, ops/sec)")
+        print("chaos   seeded fault-injection soak (durability invariant)")
         return 0
 
     if args.figure.lower() == "bench":
         return _run_bench(args)
+
+    if args.figure.lower() == "chaos":
+        return _run_chaos(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

@@ -57,6 +57,44 @@ class NodeUnreachableError(NetworkError):
 FAILURE_DETECT_DELAY = 20e-6
 
 
+class FaultAction:
+    """What a fault interceptor wants done to one transfer.
+
+    Returned by ``Fabric.interceptor.on_message(...)``; ``None`` (the
+    overwhelmingly common case) means "deliver normally".  The fabric
+    applies the fields it understands for the path in question:
+
+    - ``block``: the destination behaves partitioned — the operation
+      fails with :class:`NodeUnreachableError` after the detection delay
+      (all paths).
+    - ``delay``: extra one-way latency (jitter/spike) added to the
+      transfer time (all paths).
+    - ``drop``: the message consumes wire time but never lands in the
+      receiver's inbox/handler (two-sided sends only; one-sided verbs
+      would hang their poster).
+    - ``duplicate``: deliver the message a second time, ``duplicate``
+      seconds after the first copy (two-sided sends only).
+    - ``mutate``: callable applied to the payload at delivery time —
+      bit-flip corruption injects here (two-sided sends only).
+    """
+
+    __slots__ = ("block", "drop", "delay", "duplicate", "mutate")
+
+    def __init__(
+        self,
+        block: bool = False,
+        drop: bool = False,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        mutate=None,
+    ):
+        self.block = block
+        self.drop = drop
+        self.delay = delay
+        self.duplicate = duplicate
+        self.mutate = mutate
+
+
 @dataclass
 class Message:
     """A delivered unit of communication."""
@@ -170,6 +208,10 @@ class Fabric:
         self._messages = self.metrics.counter("fabric.messages")
         self._rdma_ops = self.metrics.counter("fabric.rdma_ops")
         self._unreachable = self.metrics.counter("fabric.unreachable")
+        #: optional chaos hook: an object with
+        #: ``on_message(src, dst, size, payload, tag, one_sided)``
+        #: returning a :class:`FaultAction` or ``None`` per transfer.
+        self.interceptor = None
         self.endpoints: Dict[str, Endpoint] = {}
         self._hosts: Dict[str, tuple] = {}
         self._seq = itertools.count(1)
@@ -220,6 +262,32 @@ class Fabric:
             return self._rendezvous_total
         return self._eager_overhead
 
+    def _intercept_one_sided(
+        self, src: str, dst: str, size: int, name: str, done: Event
+    ):
+        """Consult the chaos interceptor for a one-sided verb.
+
+        One-sided verbs have no receive-side software, so only partition
+        (``block``) and latency (``delay``) faults apply; drops would hang
+        the poster forever.  Returns the extra delay to add, or ``None``
+        when the verb was failed as partitioned (``done`` already failed).
+        """
+        if self.interceptor is None:
+            return 0.0
+        action = self.interceptor.on_message(
+            src, dst, size=size, payload=None, tag=name, one_sided=True
+        )
+        if action is None:
+            return 0.0
+        if action.block:
+            self._unreachable.inc()
+            self.tracer.instant(
+                "net:%s" % src, "partitioned:%s" % dst, category="transfer"
+            )
+            done.fail(NodeUnreachableError(dst), delay=FAILURE_DETECT_DELAY)
+            return None
+        return action.delay
+
     # -- operations ----------------------------------------------------------
     def send(
         self,
@@ -251,6 +319,19 @@ class Fabric:
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
 
+        action = None
+        if self.interceptor is not None:
+            action = self.interceptor.on_message(
+                src, dst, size=size, payload=payload, tag=tag, one_sided=one_sided
+            )
+            if action is not None and action.block:
+                self._unreachable.inc()
+                self.tracer.instant(
+                    "net:%s" % src, "partitioned:%s" % dst, category="transfer"
+                )
+                done.fail(NodeUnreachableError(dst), delay=FAILURE_DETECT_DELAY)
+                return done
+
         message = Message(
             src=src,
             dst=dst,
@@ -264,6 +345,8 @@ class Fabric:
         overhead = self._software_overhead(size)
         wire_delay = _reserve_pair(sender.egress, receiver.ingress, size)
         total = overhead + wire_delay + self.profile.link_latency
+        if action is not None:
+            total += action.delay
         sender.messages_sent += 1
         sender.bytes_sent += size
         self._messages.inc()
@@ -289,6 +372,13 @@ class Fabric:
                 event._value = NodeUnreachableError(dst)
                 event._defused = True
                 return
+            if action is not None and action.drop:
+                # The NIC sent it; the wire ate it.  The sender's local
+                # completion still fires — reliable delivery is the upper
+                # layers' (timeout/retry) problem.
+                return
+            if action is not None and action.mutate is not None:
+                message.payload = action.mutate(message.payload)
             message.delivered_at = self.sim.now
             receiver.messages_received += 1
             receiver.bytes_received += size
@@ -306,6 +396,24 @@ class Fabric:
         done._state = TRIGGERED
         done.callbacks.append(_deliver)
         self.sim._schedule(done, total)
+
+        if action is not None and action.duplicate > 0.0 and not action.drop:
+            def _deliver_dup(_event: Event) -> None:
+                if not receiver.alive:
+                    return
+                receiver.messages_received += 1
+                receiver.bytes_received += size
+                handler = receiver.on_message
+                if handler is None:
+                    receiver.inbox.put(message)
+                else:
+                    handler(message)
+
+            dup = Event(self.sim)
+            dup._ok = True
+            dup._state = TRIGGERED
+            dup.callbacks.append(_deliver_dup)
+            self.sim._schedule(dup, total + action.duplicate)
         return done
 
     def rdma_write(self, src: str, dst: str, size: int, parent=None) -> Event:
@@ -335,9 +443,14 @@ class Fabric:
             )
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
+        extra = self._intercept_one_sided(src, dst, size, "rdma_read", done)
+        if extra is None:
+            return done
         p = self.profile
         wire_delay = _reserve_pair(target.egress, reader.ingress, size)
-        total = p.rdma_post_overhead + p.link_latency + wire_delay + p.link_latency
+        total = (
+            p.rdma_post_overhead + p.link_latency + wire_delay + p.link_latency + extra
+        )
         target.bytes_sent += size
         reader.bytes_received += size
         self._rdma_ops.inc()
@@ -387,6 +500,9 @@ class Fabric:
             )
             done.fail(NodeUnreachableError(dead), delay=FAILURE_DETECT_DELAY)
             return done
+        extra = self._intercept_one_sided(src, dst, size, name, done)
+        if extra is None:
+            return done
         p = self.profile
         wire_delay = _reserve_pair(sender.egress, receiver.ingress, size)
         total = (
@@ -394,6 +510,7 @@ class Fabric:
             + wire_delay
             + p.link_latency
             + round_trips * 2 * p.link_latency
+            + extra
         )
         sender.bytes_sent += size
         receiver.bytes_received += size

@@ -20,18 +20,23 @@ the server's worker-thread parallelism but adds server-to-server hops.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.common.payload import Payload
 from repro.ec.base import ErasureCodec
 from repro.ec.registry import make_codec
-from repro.resilience.base import T_CHECK, OpResult, ResilienceScheme
+from repro.resilience.base import T_CHECK, ErrorCode, OpResult, ResilienceScheme
 from repro.store import protocol
 from repro.store.arpe import OpMetrics
 from repro.store.protocol import Response
 
 #: separator for per-chunk keys — NUL cannot appear in user keys.
 _CHUNK_SEP = "\x00c"
+
+#: how often one chunk index is re-fetched (timeouts, in-flight
+#: corruption) before the gather moves on to other candidates.
+MAX_CHUNK_ATTEMPTS = 3
 
 
 def chunk_key(key: str, index: int) -> str:
@@ -61,6 +66,39 @@ class ErasureScheme(ResilienceScheme):
         #: substitute node (a real deployment keeps this in the cluster
         #: metadata the clients already consult for placement).
         self.relocations = {}
+        #: monotonically increasing write version, stamped into every
+        #: chunk's meta.  A Get only decodes chunks that agree on the
+        #: version, so a partially applied overwrite can never be mixed
+        #: with the previous value into plausible-looking garbage.
+        self._ver_seq = itertools.count(1)
+        #: newest write version seen per key — the ghost guard: only a
+        #: write at least this new may clear relocation state.
+        self._latest_ver: Dict[str, int] = {}
+
+    def _begin_write(self, key: str, ver: int) -> bool:
+        """Start a versioned overwrite; returns False for a ghost.
+
+        A ghost is a delayed replay of an *older* write (its version is
+        below the newest this key has seen).  Ghosts may still store
+        their chunks — the servers' stale-write guard no-ops them — but
+        they must not reset the relocation map a newer write populated.
+        """
+        if ver < self._latest_ver.get(key, 0):
+            return False
+        self._latest_ver[key] = ver
+        self.clear_relocations(key)
+        return True
+
+    def _chunk_meta(self, base_meta: dict, index: int, chunk: Payload) -> dict:
+        """Per-chunk set meta: placement index plus an integrity CRC.
+
+        The CRC lets the receiving server reject a chunk that was mangled
+        in flight *before* acknowledging it (see ``_op_set``).
+        """
+        meta = dict(base_meta, chunk=index)
+        if chunk.has_data:
+            meta["crc"] = chunk.checksum()
+        return meta
 
     # -- chunk materialization ------------------------------------------------
     def materialize_chunks(self, value: Payload) -> List[Payload]:
@@ -121,10 +159,11 @@ class ErasureScheme(ResilienceScheme):
         )
         yield self.charge_encode(client, metrics, encode_time)
 
-        self.clear_relocations(key)
         chunks = self.materialize_chunks(value)
         servers = self.placement(client.ring, key)
-        meta = {"data_len": value.size}
+        meta = {"data_len": value.size, "ver": next(self._ver_seq)}
+        self._begin_write(key, meta["ver"])
+        metrics.info["ver"] = meta["ver"]
         events = []
         for index, chunk in enumerate(chunks):
             yield self.charge_post(client, metrics, chunk.size)
@@ -134,11 +173,46 @@ class ErasureScheme(ResilienceScheme):
                     "set",
                     chunk_key(key, index),
                     value=chunk,
-                    meta=dict(meta, chunk=index),
+                    meta=self._chunk_meta(meta, index, chunk),
                     span=metrics.span,
                 )
             )
         responses = yield from self.wait_each(client, metrics, events)
+        return (
+            yield from self._finish_set(
+                client, key, chunks, servers, list(responses), meta, metrics
+            )
+        )
+
+    def _finish_set(
+        self,
+        client,
+        key: str,
+        chunks: List[Payload],
+        servers: List[str],
+        responses: List[Response],
+        meta: dict,
+        metrics: OpMetrics,
+    ) -> Generator:
+        """Turn the chunk fan-out's responses into the Set's result.
+
+        Default mode acknowledges once K of N chunks stored (the paper's
+        fast path).  ``durable_writes`` acknowledges only when *all* N
+        chunks landed, retrying transient failures in place and
+        relocating chunks off dead or full nodes — the strict mode the
+        chaos soak's durability invariant needs (an ack-at-K write can be
+        killed by M *later* failures if the M unstored chunks overlapped
+        the survivors).
+        """
+        if client.policy.durable_writes:
+            all_ok, errors = yield from self._repair_failed_chunks(
+                client, key, chunks, servers, responses, meta, metrics
+            )
+            if all_ok:
+                return OpResult.success()
+            return OpResult.failure(
+                ", ".join(sorted(errors)) or protocol.ERR_SERVER
+            )
         stored = sum(1 for r in responses if r.ok)
         if stored < self.k:
             errors = {r.error for r in responses if not r.ok}
@@ -146,6 +220,93 @@ class ErasureScheme(ResilienceScheme):
                 ", ".join(sorted(errors)) or protocol.ERR_SERVER
             )
         return OpResult.success()
+
+    def _repair_failed_chunks(
+        self,
+        client,
+        key: str,
+        chunks: List[Payload],
+        servers: List[str],
+        responses: List[Response],
+        meta: dict,
+        metrics: OpMetrics,
+    ) -> Generator:
+        """Durable-write cleanup: land every failed chunk somewhere.
+
+        Transient failures (timeout, corruption-in-flight) are retried
+        against the original holder with the policy's backoff; chunks
+        whose holder stays unusable are relocated to substitute nodes
+        outside the placement, recorded in :attr:`relocations` so Gets
+        and repair find them.  Returns ``(all_stored, error_set)``.
+        """
+        policy = client.policy
+        errors = set()
+        used = set(servers)
+        all_ok = True
+        for index, response in enumerate(responses):
+            if response.ok:
+                continue
+            chunk = chunks[index]
+            cmeta = self._chunk_meta(meta, index, chunk)
+            code = ErrorCode.from_wire(response.error)
+            errors.add(response.error)
+            stored = False
+            attempts = 0
+            while (
+                not stored
+                and code.retryable
+                and attempts < policy.max_retries
+                and self._alive(client.fabric, servers[index])
+            ):
+                attempts += 1
+                client.metrics.counter("writes.chunk_retries").inc()
+                delay = policy.backoff(attempts)
+                if delay > 0:
+                    yield client.sim.timeout(delay)
+                yield self.charge_post(client, metrics, chunk.size)
+                event = client.request(
+                    servers[index],
+                    "set",
+                    chunk_key(key, index),
+                    value=chunk,
+                    meta=cmeta,
+                    span=metrics.span,
+                )
+                (retry,) = yield from self.wait_each(client, metrics, [event])
+                if retry.ok:
+                    stored = True
+                else:
+                    code = ErrorCode.from_wire(retry.error)
+                    errors.add(retry.error)
+            if not stored:
+                for substitute in sorted(self.cluster.servers):
+                    if substitute in used:
+                        continue
+                    if not self._alive(client.fabric, substitute):
+                        continue
+                    used.add(substitute)
+                    yield self.charge_post(client, metrics, chunk.size)
+                    event = client.request(
+                        substitute,
+                        "set",
+                        chunk_key(key, index),
+                        value=chunk,
+                        meta=cmeta,
+                        span=metrics.span,
+                    )
+                    (sub,) = yield from self.wait_each(
+                        client, metrics, [event]
+                    )
+                    if sub.ok:
+                        if not sub.meta.get("stale"):
+                            self.record_relocation(key, index, substitute)
+                            client.metrics.counter("writes.relocated").inc()
+                        stored = True
+                        break
+                    errors.add(sub.error)
+            if not stored:
+                all_ok = False
+        return all_ok, errors
 
     # -- client-side get path (CD) -------------------------------------------
     def _client_decode_get(
@@ -164,41 +325,203 @@ class ErasureScheme(ResilienceScheme):
             metrics.wait_time += cost
             yield client.compute(cost)
 
-        retrieved: Dict[int, Payload] = {}
-        data_len: Optional[int] = None
-        cursor = 0
-        while not self.codec.can_decode(retrieved):
-            need = max(1, self.k - len(retrieved))
-            batch = candidates[cursor : cursor + need]
-            cursor += len(batch)
-            if not batch:
-                return OpResult.failure(protocol.ERR_NOT_FOUND)
-            events = []
-            for index in batch:
-                yield self.charge_post(client, metrics, 0)
-                events.append(
-                    client.request(
-                        servers[index],
-                        "get",
-                        chunk_key(key, index),
-                        span=metrics.span,
-                    )
-                )
-            responses = yield from self.wait_each(client, metrics, events)
-            for index, response in zip(batch, responses):
-                if response.ok:
-                    retrieved[index] = response.value
-                    data_len = response.meta.get("data_len", data_len)
+        gathered = yield from self._gather_chunks(
+            client, key, servers, candidates, metrics
+        )
+        return (
+            yield from self._decode_gathered(
+                client, key, servers, gathered, metrics
+            )
+        )
 
-        erased = self.erased_data_count(retrieved)
+    def _decode_gathered(
+        self, client, key, servers, gathered, metrics
+    ) -> Generator:
+        """Charge the decode and reconstruct from a gather's outcome."""
+        retrieved, data_len, ver, error, corrupt = gathered
+        if error is not None:
+            return OpResult.failure(error)
         if data_len is None:
             return OpResult.failure(protocol.ERR_NOT_FOUND)
+        erased = self.erased_data_count(retrieved)
         decode_time = client.cost_model.decode_time(
             self.codec.name, data_len, self.k, self.m, erased
         )
         yield self.charge_decode(client, metrics, decode_time)
         value = self.reconstruct(dict(retrieved), data_len)
+        if corrupt and value.has_data:
+            self._read_repair(
+                client, key, servers, value, ver or 0, corrupt, metrics
+            )
         return OpResult.success(value)
+
+    def _read_repair(
+        self, client, key, servers, value, ver, corrupt, metrics
+    ) -> None:
+        """Restore chunks lost to detected corruption (bit rot).
+
+        A ``CORRUPT`` chunk response means the holder's copy is mangled
+        (and was dropped on read).  The decode just succeeded from the
+        surviving chunks, so re-derive the damaged ones and write them
+        back now — otherwise silent rot accumulates until the key
+        exceeds the code's tolerance.  Fire-and-forget: a real store
+        hands this to a background scrubber, so the Get being served
+        does not wait on (or get charged for) the write-back.
+        """
+        chunks = self.materialize_chunks(value)
+        meta = {"data_len": value.size, "ver": ver}
+        for index in sorted(corrupt):
+            if index >= len(chunks):
+                continue
+            chunk = chunks[index]
+            client.metrics.counter("reads.read_repair").inc()
+            event = client.request(
+                servers[index],
+                "set",
+                chunk_key(key, index),
+                value=chunk,
+                meta=self._chunk_meta(meta, index, chunk),
+                span=metrics.span,
+            )
+            event.defuse()
+
+    def _gather_chunks(
+        self,
+        client,
+        key: str,
+        servers: List[str],
+        queue: List[int],
+        metrics: OpMetrics,
+        outstanding: Optional[Dict] = None,
+    ) -> Generator:
+        """Event-driven chunk gather; the heart of the degraded read path.
+
+        Keeps up to ``K - collected`` fetches in flight and reacts to
+        whichever completes first:
+
+        - Responses are bucketed by write version; the gather finishes as
+          soon as the *newest* version seen can decode, and falls back to
+          the newest decodable older version if the newest cannot (a
+          failed overwrite must not hide the previous value).
+        - ``CORRUPT`` / ``TIMEOUT`` responses re-queue the chunk for
+          another attempt (bounded by :data:`MAX_CHUNK_ATTEMPTS`).
+        - With hedging enabled, a fetch that outlives the client's
+          adaptive latency cutoff triggers one redundant fetch of a
+          *different* chunk (chunks live on distinct servers, so this
+          routes around a slow node).
+
+        ``outstanding`` maps already-posted waiter events to
+        ``(index, sent_at)`` — the batched Get path primes the gather
+        with its optimistic fan-out.  Returns
+        ``(chunks, data_len, ver, error, corrupt_indices)`` with
+        ``error=None`` on success; ``corrupt_indices`` are chunks whose
+        holder served a mangled copy (read-repair candidates).
+        """
+        policy = client.policy
+        queue = list(queue)
+        outstanding = dict(outstanding or {})
+        queue = [
+            i
+            for i in queue
+            if i not in {idx for idx, _ in outstanding.values()}
+        ]
+        attempts: Dict[int, int] = {}
+        buckets: Dict[int, Dict] = {}
+        corrupt: set = set()
+        max_ver: Optional[int] = None
+        last_error = protocol.ERR_NOT_FOUND
+
+        def current():
+            if max_ver is None:
+                return {}
+            return buckets[max_ver]["chunks"]
+
+        while not self.codec.can_decode(current()):
+            want = max(1, self.k - len(current()))
+            while queue and len(outstanding) < want:
+                index = queue.pop(0)
+                attempts[index] = attempts.get(index, 0) + 1
+                yield self.charge_post(client, metrics, 0)
+                event = client.request(
+                    servers[index],
+                    "get",
+                    chunk_key(key, index),
+                    span=metrics.span,
+                )
+                outstanding[event] = (index, client.sim.now)
+            if not outstanding:
+                break
+            events = list(outstanding)
+            cutoff = None
+            if policy.hedge and queue:
+                cutoff = client.hedge_cutoff.cutoff()
+            wait_start = client.sim.now
+            if cutoff is not None:
+                timer = client.sim.timeout(cutoff)
+                fired, value = yield client.sim.any_of(events + [timer])
+            else:
+                fired, value = yield client.sim.any_of(events)
+            metrics.wait_time += client.sim.now - wait_start
+            if fired not in outstanding:
+                # The hedge timer won: fire one redundant fetch against a
+                # chunk we have not asked for yet.
+                client.metrics.counter("reads.hedged").inc()
+                metrics.info["hedged"] = metrics.info.get("hedged", 0) + 1
+                index = queue.pop(0)
+                attempts[index] = attempts.get(index, 0) + 1
+                yield self.charge_post(client, metrics, 0)
+                event = client.request(
+                    servers[index],
+                    "get",
+                    chunk_key(key, index),
+                    span=metrics.span,
+                )
+                outstanding[event] = (index, client.sim.now)
+                continue
+            index, sent_at = outstanding.pop(fired)
+            response = value
+            if response.ok:
+                client.hedge_cutoff.observe(client.sim.now - sent_at)
+                ver = response.meta.get("ver", 0)
+                bucket = buckets.setdefault(
+                    ver, {"chunks": {}, "data_len": None}
+                )
+                bucket["chunks"][index] = response.value
+                data_len = response.meta.get("data_len")
+                if data_len is not None:
+                    bucket["data_len"] = data_len
+                if max_ver is None or ver > max_ver:
+                    max_ver = ver
+                elif ver < max_ver:
+                    client.metrics.counter("reads.stale_chunks").inc()
+            else:
+                last_error = response.error
+                code = ErrorCode.from_wire(response.error)
+                if code is ErrorCode.CORRUPT:
+                    client.metrics.counter("reads.corrupt_refetch").inc()
+                    corrupt.add(index)
+                if (
+                    code.retryable
+                    and code is not ErrorCode.UNREACHABLE
+                    and attempts.get(index, 0) < MAX_CHUNK_ATTEMPTS
+                ):
+                    queue.append(index)
+
+        # Newest version first; an undecodable newest falls back to the
+        # most recent version we *can* decode.
+        for ver in sorted(buckets, reverse=True):
+            bucket = buckets[ver]
+            if self.codec.can_decode(bucket["chunks"]):
+                metrics.info["ver"] = ver
+                # chunks that eventually came back clean need no repair
+                return (
+                    bucket["chunks"],
+                    bucket["data_len"],
+                    ver,
+                    None,
+                    corrupt - set(bucket["chunks"]),
+                )
+        return {}, None, None, last_error, set()
 
     # -- pipelined batch paths (client-side coding) ---------------------------
     def _pipelined_multi_set(
@@ -210,16 +533,16 @@ class ErasureScheme(ResilienceScheme):
         before the first wait, so every key's fan-out is on the wire
         simultaneously — the batch pays one round-trip, not one per key.
         """
-        staged: List[Tuple[str, List]] = []
+        staged: List[Tuple[str, List, List, List, dict]] = []
         for key, value in items:
             encode_time = client.cost_model.encode_time(
                 self.codec.name, value.size, self.k, self.m
             )
             yield self.charge_encode(client, metrics, encode_time)
-            self.clear_relocations(key)
             chunks = self.materialize_chunks(value)
             servers = self.placement(client.ring, key)
-            meta = {"data_len": value.size}
+            meta = {"data_len": value.size, "ver": next(self._ver_seq)}
+            self._begin_write(key, meta["ver"])
             events = []
             for index, chunk in enumerate(chunks):
                 yield self.charge_post(client, metrics, chunk.size)
@@ -229,23 +552,18 @@ class ErasureScheme(ResilienceScheme):
                         "set",
                         chunk_key(key, index),
                         value=chunk,
-                        meta=dict(meta, chunk=index),
+                        meta=self._chunk_meta(meta, index, chunk),
                         span=metrics.span,
                     )
                 )
-            staged.append((key, events))
+            staged.append((key, chunks, servers, events, meta))
 
         results: Dict[str, OpResult] = {}
-        for key, events in staged:
+        for key, chunks, servers, events, meta in staged:
             responses = yield from self.wait_each(client, metrics, events)
-            stored = sum(1 for r in responses if r.ok)
-            if stored < self.k:
-                errors = {r.error for r in responses if not r.ok}
-                results[key] = OpResult.failure(
-                    ", ".join(sorted(errors)) or protocol.ERR_SERVER
-                )
-            else:
-                results[key] = OpResult.success()
+            results[key] = yield from self._finish_set(
+                client, key, chunks, servers, list(responses), meta, metrics
+            )
         return results
 
     def _pipelined_multi_get(
@@ -271,67 +589,24 @@ class ErasureScheme(ResilienceScheme):
                 metrics.wait_time += cost
                 yield client.compute(cost)
             first = candidates[: self.k]
-            events = []
+            posted = {}
             for index in first:
                 yield self.charge_post(client, metrics, 0)
-                events.append(
-                    client.request(
-                        servers[index],
-                        "get",
-                        chunk_key(key, index),
-                        span=metrics.span,
-                    )
+                event = client.request(
+                    servers[index],
+                    "get",
+                    chunk_key(key, index),
+                    span=metrics.span,
                 )
-            staged.append((key, servers, candidates, first, events))
+                posted[event] = (index, client.sim.now)
+            staged.append((key, servers, candidates[self.k :], posted))
 
-        for key, servers, candidates, first, events in staged:
-            responses = yield from self.wait_each(client, metrics, events)
-            retrieved: Dict[int, Payload] = {}
-            data_len: Optional[int] = None
-            for index, response in zip(first, responses):
-                if response.ok:
-                    retrieved[index] = response.value
-                    data_len = response.meta.get("data_len", data_len)
-            cursor = len(first)
-            failed = False
-            while not self.codec.can_decode(retrieved):
-                need = max(1, self.k - len(retrieved))
-                batch = candidates[cursor : cursor + need]
-                cursor += len(batch)
-                if not batch:
-                    results[key] = OpResult.failure(protocol.ERR_NOT_FOUND)
-                    failed = True
-                    break
-                retry = []
-                for index in batch:
-                    yield self.charge_post(client, metrics, 0)
-                    retry.append(
-                        client.request(
-                            servers[index],
-                            "get",
-                            chunk_key(key, index),
-                            span=metrics.span,
-                        )
-                    )
-                retry_responses = yield from self.wait_each(
-                    client, metrics, retry
-                )
-                for index, response in zip(batch, retry_responses):
-                    if response.ok:
-                        retrieved[index] = response.value
-                        data_len = response.meta.get("data_len", data_len)
-            if failed:
-                continue
-            if data_len is None:
-                results[key] = OpResult.failure(protocol.ERR_NOT_FOUND)
-                continue
-            erased = self.erased_data_count(retrieved)
-            decode_time = client.cost_model.decode_time(
-                self.codec.name, data_len, self.k, self.m, erased
+        for key, servers, backups, posted in staged:
+            gathered = yield from self._gather_chunks(
+                client, key, servers, backups, metrics, outstanding=posted
             )
-            yield self.charge_decode(client, metrics, decode_time)
-            results[key] = OpResult.success(
-                self.reconstruct(dict(retrieved), data_len)
+            results[key] = yield from self._decode_gathered(
+                client, key, servers, gathered, metrics
             )
         return results
 
@@ -365,9 +640,19 @@ class ErasureScheme(ResilienceScheme):
         value: Optional[Payload],
         metrics: OpMetrics,
     ) -> Generator:
-        """Send one request to the first live placement server, failing over."""
+        """Send one request to the first live placement server, failing over.
+
+        Fails over on ``UNREACHABLE`` *and* ``TIMEOUT`` — a coordinator
+        that crashed mid-operation never answers, and the next placement
+        server can coordinate just as well.
+        """
         servers = self.placement(client.ring, key)
         last_error = protocol.ERR_UNREACHABLE
+        # The *client* stamps the write version, once per logical op: a
+        # slow coordinator finishing after a newer overwrite must carry
+        # an older version, not draw a newer one at the server, or its
+        # ghost chunks would shadow the acknowledged value.
+        op_ver = next(self._ver_seq) if op == "se_set" else None
         for attempt, server in enumerate(servers):
             if not self._alive(client.fabric, server):
                 metrics.wait_time += T_CHECK
@@ -375,19 +660,30 @@ class ErasureScheme(ResilienceScheme):
                 continue
             size = value.size if value is not None else 0
             yield self.charge_post(client, metrics, size)
+            meta = {"data_len": size}
+            if op_ver is not None:
+                meta["ver"] = op_ver
+                if value is not None and value.has_data:
+                    # end-to-end: the coordinator must reject a value
+                    # mangled on the client->coordinator hop *before*
+                    # encoding it into validly-checksummed chunks
+                    meta["crc"] = value.checksum()
+                if client.policy.durable_writes:
+                    meta["durable"] = True
             event = client.request(
                 server,
                 op,
                 key,
                 value=value,
-                meta={"data_len": size},
+                meta=meta,
                 span=metrics.span,
             )
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
                 return OpResult.success(response.value)
             last_error = response.error
-            if response.error != protocol.ERR_UNREACHABLE:
+            code = ErrorCode.from_wire(response.error)
+            if code not in (ErrorCode.UNREACHABLE, ErrorCode.TIMEOUT):
                 return OpResult.failure(response.error)
         return OpResult.failure(last_error)
 
@@ -402,6 +698,18 @@ class ErasureScheme(ResilienceScheme):
     def _handle_se_set(self, server, request) -> Generator:
         """Server-side encode: code locally, fan chunks out to peers."""
         value = request.value or Payload.sized(0)
+        if value.has_data:
+            expected = request.meta.get("crc")
+            if expected is not None and value.checksum() != expected:
+                # In-flight corruption on the way in: refuse before the
+                # mangled bytes get encoded into valid-looking chunks.
+                server.corruption_detected += 1
+                return Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=server.name,
+                    error=protocol.ERR_CORRUPT,
+                )
         encode_time = server.cost_model.encode_time(
             self.codec.name, value.size, self.k, self.m
         )
@@ -410,42 +718,96 @@ class ErasureScheme(ResilienceScheme):
         ):
             yield from server.cpu(encode_time)
 
-        self.clear_relocations(request.key)
         chunks = self.materialize_chunks(value)
         servers = self.placement(self.cluster.ring, request.key)
-        meta = {"data_len": value.size}
-        local_stored = 0
-        events = []
-        fanned_out: List[int] = []
+        # Honor the requester's version stamp (see _server_offload); only
+        # server-local callers without one draw a fresh version here.
+        ver = request.meta.get("ver")
+        if ver is None:
+            ver = next(self._ver_seq)
+        meta = {"data_len": value.size, "ver": ver}
+        is_ghost = not self._begin_write(request.key, ver)
+        stored_indices = set()
+        failed: List[int] = []
+        events: List[Tuple[int, object]] = []
         for index, chunk in enumerate(chunks):
             target = servers[index]
             if target == server.name:
-                # The coordinating server keeps its own chunk locally.
+                # The coordinating server keeps its own chunk locally
+                # (same stale-version guard the remote set path applies).
                 yield from server.cpu(chunk.size * 2.0e-11 / server.cpu_speed)
-                if server.store_item(
+                cmeta = self._chunk_meta(meta, index, chunk)
+                if server.is_stale_write(chunk_key(request.key, index), cmeta):
+                    server.metrics.counter("writes.stale_dropped").inc()
+                    stored_indices.add(index)
+                elif server.store_item(
                     chunk_key(request.key, index),
                     chunk.size,
                     data=chunk.data,
-                    meta=dict(meta, chunk=index),
+                    meta=cmeta,
                 ):
-                    local_stored += 1
+                    stored_indices.add(index)
+                else:
+                    failed.append(index)
             else:
                 events.append(
-                    server.send_request(
-                        target,
+                    (
+                        index,
+                        server.send_request(
+                            target,
+                            "set",
+                            chunk_key(request.key, index),
+                            value=chunk,
+                            meta=self._chunk_meta(meta, index, chunk),
+                        ),
+                    )
+                )
+        for index, event in events:
+            response = yield event
+            if response.ok:
+                stored_indices.add(index)
+            else:
+                failed.append(index)
+
+        durable = bool(request.meta.get("durable"))
+        if durable and failed:
+            # Strict-ack mode: relocate every unstored chunk to a live
+            # substitute outside the placement before acknowledging.
+            used = set(servers)
+            for index in sorted(failed):
+                chunk = chunks[index]
+                placed = False
+                for substitute in sorted(self.cluster.servers):
+                    if substitute in used:
+                        continue
+                    if not self._alive(server.fabric, substitute):
+                        continue
+                    used.add(substitute)
+                    event = server.send_request(
+                        substitute,
                         "set",
                         chunk_key(request.key, index),
                         value=chunk,
-                        meta=dict(meta, chunk=index),
+                        meta=self._chunk_meta(meta, index, chunk),
                     )
-                )
-                fanned_out.append(index)
-        stored = local_stored
-        for event in events:
-            response = yield event
-            if response.ok:
-                stored += 1
-        ok = stored >= self.k
+                    response = yield event
+                    if response.ok:
+                        if not is_ghost and not response.meta.get("stale"):
+                            self.record_relocation(
+                                request.key, index, substitute
+                            )
+                            server.metrics.counter("writes.relocated").inc()
+                        stored_indices.add(index)
+                        placed = True
+                        break
+                if not placed:
+                    break
+
+        ok = (
+            len(stored_indices) == self.n
+            if durable
+            else len(stored_indices) >= self.k
+        )
         return Response(
             req_id=request.req_id,
             ok=ok,
@@ -466,49 +828,78 @@ class ErasureScheme(ResilienceScheme):
             )
         candidates, _dead_data = plan
 
-        retrieved: Dict[int, Payload] = {}
-        data_len: Optional[int] = None
+        # Version-bucketed gather, mirroring the client-side path: only
+        # chunks that agree on the write version decode together, and an
+        # undecodable newest version falls back to the newest decodable
+        # older one.
+        buckets: Dict[int, Dict] = {}
+        max_ver: Optional[int] = None
+
+        def _accept(index: int, payload: Payload, meta: dict) -> None:
+            nonlocal max_ver
+            ver = meta.get("ver", 0)
+            bucket = buckets.setdefault(ver, {"chunks": {}, "data_len": None})
+            bucket["chunks"][index] = payload
+            dlen = meta.get("data_len")
+            if dlen is not None:
+                bucket["data_len"] = dlen
+            if max_ver is None or ver > max_ver:
+                max_ver = ver
+
+        def _current() -> Dict[int, Payload]:
+            if max_ver is None:
+                return {}
+            return buckets[max_ver]["chunks"]
+
         cursor = 0
-        while not self.codec.can_decode(retrieved):
-            need = max(1, self.k - len(retrieved))
+        while not self.codec.can_decode(_current()):
+            need = max(1, self.k - len(_current()))
             batch = candidates[cursor : cursor + need]
             cursor += len(batch)
             if not batch:
-                return Response(
-                    req_id=request.req_id,
-                    ok=False,
-                    server=server.name,
-                    error=protocol.ERR_NOT_FOUND,
-                )
+                break
             events = []
-            local: List[Tuple[int, Payload, int]] = []
             for index in batch:
                 target = servers[index]
                 ckey = chunk_key(request.key, index)
                 if target == server.name:
                     item = server.cache.get(ckey)
                     if item is not None:
-                        local.append(
-                            (
-                                index,
-                                Payload(item.value_len, item.data),
-                                item.meta.get("data_len", 0),
-                            )
-                        )
+                        payload = Payload(item.value_len, item.data)
+                        expected = item.meta.get("crc")
+                        if (
+                            item.data is not None
+                            and expected is not None
+                            and payload.checksum() != expected
+                        ):
+                            # The coordinator's own chunk rotted in DRAM.
+                            # Remote fetches catch this via the response
+                            # CRC check; the local read must too — treat
+                            # it as missing so parity covers the decode.
+                            server.corruption_detected += 1
+                            server.metrics.counter(
+                                "reads.local_corrupt"
+                            ).inc()
+                        else:
+                            _accept(index, payload, item.meta)
                 else:
                     events.append(
                         (index, server.send_request(target, "get", ckey))
                     )
-            for index, payload, dlen in local:
-                retrieved[index] = payload
-                data_len = dlen or data_len
             for index, event in events:
                 response = yield event
                 if response.ok:
-                    retrieved[index] = response.value
-                    data_len = response.meta.get("data_len", data_len)
+                    _accept(index, response.value, response.meta)
 
-        if data_len is None:
+        retrieved: Dict[int, Payload] = {}
+        data_len: Optional[int] = None
+        for ver in sorted(buckets, reverse=True):
+            bucket = buckets[ver]
+            if self.codec.can_decode(bucket["chunks"]):
+                retrieved = bucket["chunks"]
+                data_len = bucket["data_len"]
+                break
+        if not retrieved or data_len is None:
             return Response(
                 req_id=request.req_id,
                 ok=False,
@@ -524,12 +915,17 @@ class ErasureScheme(ResilienceScheme):
         ):
             yield from server.cpu(decode_time)
         value = self.reconstruct(dict(retrieved), data_len)
+        meta = {"data_len": data_len}
+        if value.has_data:
+            # lets the requester detect in-flight corruption of the
+            # decoded value (client._on_message verifies response CRCs)
+            meta["crc"] = value.checksum()
         return Response(
             req_id=request.req_id,
             ok=True,
             server=server.name,
             value=value,
-            meta={"data_len": data_len},
+            meta=meta,
         )
 
 

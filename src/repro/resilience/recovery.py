@@ -55,6 +55,12 @@ class FailureInjector:
             self.cluster.servers[name].fail()
             self.log.append((self.sim.now, "fail", name))
 
+    def recover_now(self, server_names: Iterable[str]) -> None:
+        """Immediately restart the given servers (empty memory)."""
+        for name in server_names:
+            self.cluster.servers[name].recover()
+            self.log.append((self.sim.now, "recover", name))
+
 
 class RepairManager:
     """Extension: rebuild the chunks a failed server held.
@@ -120,21 +126,32 @@ class RepairManager:
         lost_chunk = chunks[missing_index]
 
         # ... and place it on the first live node outside the placement.
+        # The rebuilt chunk keeps the surviving chunks' write version
+        # (stamped by the gather into metrics.info) so it decodes with
+        # them, and carries a CRC for ingest verification.
         substitute = self._substitute_node(servers)
         if substitute is None:
             return False
+        meta = {"data_len": value.size, "chunk": missing_index}
+        if "ver" in metrics.info:
+            meta["ver"] = metrics.info["ver"]
+        if lost_chunk.has_data:
+            meta["crc"] = lost_chunk.checksum()
         event = client.request(
             substitute,
             "set",
             chunk_key(key, missing_index),
             value=lost_chunk,
-            meta={"data_len": value.size, "chunk": missing_index},
+            meta=meta,
         )
         response = yield event
         if response.ok:
             self.repaired_bytes += lost_chunk.size
             self.bytes_read_for_repair += value.size
-            scheme.record_relocation(key, missing_index, substitute)
+            if not response.meta.get("stale"):
+                # a concurrent overwrite superseded the rebuilt version;
+                # its own placement is authoritative, not this relocation
+                scheme.record_relocation(key, missing_index, substitute)
         return response.ok
 
     def _try_local_repair(
@@ -168,12 +185,18 @@ class RepairManager:
         ]
         fetched = {}
         data_len = 0
+        vers = set()
         for index, event in events:
             response = yield event
             if not response.ok:
                 return None  # chunk missing: fall back to global decode
             fetched[index] = response.value
             data_len = response.meta.get("data_len", data_len)
+            vers.add(response.meta.get("ver", 0))
+        if len(vers) > 1:
+            # the group spans a partially applied overwrite — XORing
+            # mixed versions would fabricate garbage; use global decode
+            return None
 
         chunk_size = fetched[sources[0]].size
         # XOR of the group: charge it as coding work over the bytes read.
@@ -194,18 +217,24 @@ class RepairManager:
         substitute = self._substitute_node(servers)
         if substitute is None:
             return False
+        meta = {"data_len": data_len, "chunk": missing_index}
+        if vers:
+            meta["ver"] = vers.pop()
+        if rebuilt.has_data:
+            meta["crc"] = rebuilt.checksum()
         event = client.request(
             substitute,
             "set",
             chunk_key(key, missing_index),
             value=rebuilt,
-            meta={"data_len": data_len, "chunk": missing_index},
+            meta=meta,
         )
         response = yield event
         if response.ok:
             self.repaired_bytes += rebuilt.size
             self.bytes_read_for_repair += chunk_size * len(sources)
-            scheme.record_relocation(key, missing_index, substitute)
+            if not response.meta.get("stale"):
+                scheme.record_relocation(key, missing_index, substitute)
         return response.ok
 
     def _substitute_node(self, exclude: List[str]) -> Optional[str]:

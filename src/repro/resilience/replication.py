@@ -17,6 +17,17 @@ from repro.store import protocol
 from repro.store.arpe import OpMetrics
 
 
+def _set_meta(value: Payload) -> dict:
+    """Set-request meta: a CRC so servers reject bytes mangled in flight.
+
+    The checksum is cached on the shared :class:`Payload`, so an F-way
+    replicated Set computes it once.
+    """
+    if value.has_data:
+        return {"crc": value.checksum()}
+    return {}
+
+
 class NoReplication(ResilienceScheme):
     """Single-copy, volatile store — the NoRep baselines of Section VI-C."""
 
@@ -27,7 +38,9 @@ class NoReplication(ResilienceScheme):
     def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
         server = client.ring.primary(key)
         yield self.charge_post(client, metrics, value.size)
-        event = client.request(server, "set", key, value=value, span=metrics.span)
+        event = client.request(
+            server, "set", key, value=value, meta=_set_meta(value), span=metrics.span
+        )
         (response,) = yield from self.wait_each(client, metrics, [event])
         if response.ok:
             return OpResult.success()
@@ -84,7 +97,12 @@ class SyncReplication(_ReplicatedGetMixin, ResilienceScheme):
         for server in targets:
             yield self.charge_post(client, metrics, value.size)
             event = client.request(
-                server, "set", key, value=value, span=metrics.span
+                server,
+                "set",
+                key,
+                value=value,
+                meta=_set_meta(value),
+                span=metrics.span,
             )
             (response,) = yield from self.wait_each(client, metrics, [event])
             if response.ok:
@@ -119,7 +137,14 @@ class AsyncReplication(_ReplicatedGetMixin, ResilienceScheme):
         for server in targets:
             yield self.charge_post(client, metrics, value.size)
             events.append(
-                client.request(server, "set", key, value=value, span=metrics.span)
+                client.request(
+                    server,
+                    "set",
+                    key,
+                    value=value,
+                    meta=_set_meta(value),
+                    span=metrics.span,
+                )
             )
         responses = yield from self.wait_each(client, metrics, events)
         stored = sum(1 for r in responses if r.ok)

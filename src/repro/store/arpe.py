@@ -45,6 +45,7 @@ class OpMetrics:
         "request_time",
         "wait_time",
         "span",
+        "info",
     )
 
     def __init__(self, now: float):
@@ -56,6 +57,9 @@ class OpMetrics:
         self.request_time = 0.0
         self.wait_time = 0.0
         self.span = NULL_SPAN
+        #: scheme-stamped annotations (e.g. ``ver``, ``hedged``,
+        #: ``degraded``) — free-form, read by repair and the chaos soak
+        self.info = {}
 
     @property
     def latency(self) -> float:

@@ -34,6 +34,7 @@ from repro.simulation import Event, Simulator
 from repro.store import protocol
 from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
 from repro.store.hashring import HashRing
+from repro.store.policy import DEFAULT_POLICY, AdaptiveCutoff, RetryPolicy
 from repro.store.protocol import PendingTable, Request, Response
 from repro.store.result import ErrorCode, OpResult
 
@@ -82,6 +83,7 @@ class KVClient:
         host: Optional[str] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -93,6 +95,21 @@ class KVClient:
         )
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics or MetricsRegistry()
+        self.policy = policy or DEFAULT_POLICY
+        #: rolling chunk-fetch latency window driving hedged reads
+        self.hedge_cutoff = AdaptiveCutoff(
+            percentile=self.policy.hedge_percentile,
+            min_samples=self.policy.hedge_min_samples,
+            multiplier=self.policy.hedge_multiplier,
+        )
+        self._retries_counter = self.metrics.counter("client.retries")
+        self._request_timeouts = self.metrics.counter(
+            "client.request_timeouts"
+        )
+        self._op_timeouts = self.metrics.counter("client.op_timeouts")
+        self._corrupt_responses = self.metrics.counter(
+            "client.corrupt_responses"
+        )
         self.endpoint = fabric.add_node(name, host=host)
         self.pending = PendingTable(sim)
         self.engine = AsyncRequestEngine(
@@ -109,8 +126,31 @@ class KVClient:
     # -- plumbing ---------------------------------------------------------
     def _on_message(self, message: Message) -> None:
         # Direct dispatch at delivery time (no inbox/dispatcher process).
-        if isinstance(message.payload, Response):
-            self.pending.complete(message.payload)
+        response = message.payload
+        if not isinstance(response, Response):
+            return
+        if response.ok and response.value is not None and response.value.has_data:
+            # End-to-end integrity: the server stamps the stored item's
+            # CRC into the response meta; bytes mangled in flight turn
+            # the response into a typed CORRUPT failure so the scheme
+            # can re-fetch (from parity, for erasure reads).
+            expected = response.meta.get("crc")
+            if (
+                expected is not None
+                and response.value.checksum() != expected
+            ):
+                self._corrupt_responses.inc()
+                response = Response(
+                    req_id=response.req_id,
+                    ok=False,
+                    server=response.server,
+                    error=protocol.ERR_CORRUPT,
+                    meta=dict(response.meta),
+                )
+        self.pending.complete(response)
+
+    def _note_request_timeout(self, _request: Request) -> None:
+        self._request_timeouts.inc()
 
     def request(
         self,
@@ -120,11 +160,13 @@ class KVClient:
         value: Optional[Payload] = None,
         meta: Optional[Dict[str, Any]] = None,
         span: Optional[Span] = None,
+        timeout: Optional[float] = None,
     ) -> Event:
         """Post one raw request; event fires with the :class:`Response`.
 
         ``span`` (usually the operation span) parents the fabric's
-        transfer span for the outgoing request.
+        transfer span for the outgoing request.  ``timeout`` overrides the
+        policy's per-request deadline for this one request.
         """
         req = Request(
             op=op,
@@ -134,7 +176,17 @@ class KVClient:
             value=value,
             meta=dict(meta or {}),
         )
-        return protocol.issue_request(self.fabric, self.pending, req, dst, span=span)
+        if timeout is None:
+            timeout = self.policy.request_timeout
+        return protocol.issue_request(
+            self.fabric,
+            self.pending,
+            req,
+            dst,
+            span=span,
+            timeout=timeout,
+            on_timeout=self._note_request_timeout,
+        )
 
     def next_req_id(self) -> int:
         """Allocate a request id (shared by KV and Lustre traffic)."""
@@ -144,6 +196,47 @@ class KVClient:
         """Charge client-side compute (encode/decode) as virtual time."""
         return self.sim.timeout(max(0.0, seconds))
 
+    # -- retry driver -----------------------------------------------------
+    def _run_with_retries(self, attempt_fn, first: Optional[OpResult] = None):
+        """Drive an operation through the policy's backoff retries.
+
+        ``attempt_fn`` is a thunk returning a *fresh* scheme generator per
+        call.  Only :attr:`ErrorCode.retryable` failures are retried, with
+        exponential backoff, until ``max_retries`` or the operation
+        deadline is exhausted.  ``first`` seeds the loop with an already
+        observed attempt-0 result (used by the batched APIs, which retry
+        only the keys their fan-out left behind).  With the default
+        policy (``max_retries=0``) this is a pass-through.
+        """
+        policy = self.policy
+        deadline = None
+        if policy.op_deadline is not None:
+            deadline = self.sim.now + policy.op_deadline
+        attempt = 0
+        result = first
+        while True:
+            if result is None:
+                result = yield from attempt_fn()
+            if (
+                result.ok
+                or not result.error.retryable
+                or attempt >= policy.max_retries
+            ):
+                return result
+            if deadline is not None and self.sim.now >= deadline:
+                self._op_timeouts.inc()
+                return OpResult.failure(
+                    ErrorCode.TIMEOUT,
+                    "op deadline exceeded after %d attempts (last: %s)"
+                    % (attempt + 1, result.error_text),
+                )
+            attempt += 1
+            self._retries_counter.inc()
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            result = None
+
     # -- blocking API ---------------------------------------------------------
     def set(self, key: str, value: Payload) -> Generator:
         """Blocking Set through the resilience scheme; returns ``True`` on
@@ -152,7 +245,9 @@ class KVClient:
         metrics.started_at = self.sim.now
         with self.tracer.span(self.name, "set:%s" % key, category="op") as span:
             metrics.span = span
-            result = yield from self.scheme.set(self, key, value, metrics)
+            result = yield from self._run_with_retries(
+                lambda: self.scheme.set(self, key, value, metrics)
+            )
         metrics.completed_at = self.sim.now
         self.recorder.record("set", metrics.latency)
         if result.ok:
@@ -169,7 +264,9 @@ class KVClient:
         metrics.started_at = self.sim.now
         with self.tracer.span(self.name, "get:%s" % key, category="op") as span:
             metrics.span = span
-            result = yield from self.scheme.get(self, key, metrics)
+            result = yield from self._run_with_retries(
+                lambda: self.scheme.get(self, key, metrics)
+            )
         metrics.completed_at = self.sim.now
         self.recorder.record("get", metrics.latency)
         if result.ok:
@@ -190,7 +287,11 @@ class KVClient:
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
-            return (yield from self.scheme.set(self, key, value, h.metrics))
+            return (
+                yield from self._run_with_retries(
+                    lambda: self.scheme.set(self, key, value, h.metrics)
+                )
+            )
 
         return self.engine.submit(handle, runner)
 
@@ -203,7 +304,11 @@ class KVClient:
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
-            return (yield from self.scheme.get(self, key, h.metrics))
+            return (
+                yield from self._run_with_retries(
+                    lambda: self.scheme.get(self, key, h.metrics)
+                )
+            )
 
         return self.engine.submit(handle, runner)
 
@@ -225,6 +330,17 @@ class KVClient:
 
         def runner(h: RequestHandle) -> Generator:
             results = yield from self.scheme.multi_set(self, items, h.metrics)
+            if self.policy.max_retries > 0:
+                for key, value in items:
+                    prior = results.get(key)
+                    if prior is None or prior.ok or not prior.error.retryable:
+                        continue
+                    results[key] = yield from self._run_with_retries(
+                        lambda key=key, value=value: self.scheme.set(
+                            self, key, value, h.metrics
+                        ),
+                        first=prior,
+                    )
             h.results = results
             return _batch_result(results)
 
@@ -246,6 +362,15 @@ class KVClient:
 
         def runner(h: RequestHandle) -> Generator:
             results = yield from self.scheme.multi_get(self, keys, h.metrics)
+            if self.policy.max_retries > 0:
+                for key in keys:
+                    prior = results.get(key)
+                    if prior is None or prior.ok or not prior.error.retryable:
+                        continue
+                    results[key] = yield from self._run_with_retries(
+                        lambda key=key: self.scheme.get(self, key, h.metrics),
+                        first=prior,
+                    )
             h.results = results
             return _batch_result(results)
 

@@ -64,6 +64,8 @@ def issue_request(
     request: Request,
     dst: str,
     span=None,
+    timeout: Optional[float] = None,
+    on_timeout=None,
 ) -> Event:
     """Send ``request`` and return an event firing with its :class:`Response`.
 
@@ -72,6 +74,12 @@ def issue_request(
     an ``ok=False`` / ``ERR_UNREACHABLE`` response — failures are data,
     so callers can fail over without exception plumbing.  ``span``
     parents the fabric's transfer span under the caller's operation span.
+
+    ``timeout`` arms a per-request deadline: if no response has landed
+    within that many seconds, the waiter completes with an ``ok=False`` /
+    ``ERR_TIMEOUT`` response and the real response, should it ever
+    arrive, is dropped as a late packet.  ``on_timeout(request)`` fires
+    only when the deadline actually expired an outstanding request.
     """
     waiter = pending.register(request.req_id)
     send_event = fabric.send(
@@ -96,6 +104,23 @@ def issue_request(
 
     send_event.callbacks.append(_on_send)
     send_event.defuse()
+
+    if timeout is not None:
+        timer = fabric.sim.timeout(timeout)
+
+        def _expire(_event: Event) -> None:
+            expired = pending.complete(
+                Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=dst,
+                    error=ERR_TIMEOUT,
+                )
+            )
+            if expired and on_timeout is not None:
+                on_timeout(request)
+
+        timer.callbacks.append(_expire)
     return waiter
 
 
@@ -105,6 +130,7 @@ ERR_UNKNOWN_OP = "UNKNOWN_OP"
 ERR_SERVER = "SERVER_ERROR"
 ERR_UNREACHABLE = "UNREACHABLE"
 ERR_CORRUPT = "CORRUPT"
+ERR_TIMEOUT = "TIMEOUT"
 
 
 class PendingTable:

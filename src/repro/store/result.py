@@ -47,8 +47,28 @@ class ErrorCode(Enum):
         except ValueError:
             return cls.SERVER_ERROR
 
+    @property
+    def retryable(self) -> bool:
+        """Whether a retry may plausibly succeed.
+
+        Transient transport/integrity faults (a timed-out or partitioned
+        request, a corrupted chunk) are worth retrying; semantic outcomes
+        (miss, out of memory, unknown op) are not.
+        """
+        return self in _RETRYABLE
+
     def __str__(self) -> str:
         return self.value or "OK"
+
+
+_RETRYABLE = frozenset(
+    {
+        ErrorCode.TIMEOUT,
+        ErrorCode.UNREACHABLE,
+        ErrorCode.CORRUPT,
+        ErrorCode.SERVER_ERROR,
+    }
+)
 
 
 @dataclass(frozen=True)

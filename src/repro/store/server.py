@@ -74,6 +74,12 @@ class MemcachedServer:
         self.workers = Resource(sim, worker_threads)
         self.cost_model = cost_model or CodingCostModel()
         self.cpu_speed = fabric.profile.cpu_speed_factor
+        #: multiplier applied to every CPU charge — a chaos engine models
+        #: a gray "slow node" by raising it above 1.0 for a while.
+        self.cpu_throttle = 1.0
+        #: optional deadline for this server's requests to peer servers
+        #: (the embedded ARPE); ``None`` keeps peers waiting forever.
+        self.peer_timeout = None
         self.handlers: Dict[str, Handler] = {}
         self.pending = PendingTable(sim)
         self._req_seq = itertools.count(1)
@@ -124,6 +130,7 @@ class MemcachedServer:
         """
         if seconds <= 0:
             return
+        seconds *= self.cpu_throttle
         req = self.workers.request()
         if not req.processed:  # uncontended grants need no suspension
             yield req
@@ -167,13 +174,37 @@ class MemcachedServer:
             meta=dict(meta or {}),
         )
         self.peer_requests_sent += 1
-        return protocol.issue_request(self.fabric, self.pending, request, dst)
+        return protocol.issue_request(
+            self.fabric, self.pending, request, dst, timeout=self.peer_timeout
+        )
 
     # -- dispatch ---------------------------------------------------------
     def _on_message(self, message: Message) -> None:
         # Direct dispatch at delivery time (no inbox/dispatcher process).
         payload = message.payload
         if isinstance(payload, Response):
+            if (
+                payload.ok
+                and payload.value is not None
+                and payload.value.has_data
+            ):
+                # Same end-to-end integrity check the client performs:
+                # a peer response mangled in flight (e.g. a chunk fetched
+                # during server-side decode) must surface as a typed
+                # CORRUPT failure, never as silently accepted bytes.
+                expected = payload.meta.get("crc")
+                if (
+                    expected is not None
+                    and payload.value.checksum() != expected
+                ):
+                    self.metrics.counter("server.corrupt_responses").inc()
+                    payload = Response(
+                        req_id=payload.req_id,
+                        ok=False,
+                        server=payload.server,
+                        error=protocol.ERR_CORRUPT,
+                        meta=dict(payload.meta),
+                    )
             self.pending.complete(payload)
         elif isinstance(payload, Request):
             self.sim.process(
@@ -232,6 +263,25 @@ class MemcachedServer:
             self.on_store(key, value_len)
         return stored
 
+    def is_stale_write(self, key: str, meta) -> bool:
+        """Whether ``meta`` carries an older write version than what is
+        stored under ``key``.
+
+        Version-carrying writes are last-writer-wins: a delayed replay
+        (duplicate delivery, a retry whose original eventually landed, a
+        slow coordinator finishing after a newer overwrite) must never
+        clobber newer bytes — that is how an acknowledged write would
+        silently vanish.
+        """
+        ver = (meta or {}).get("ver")
+        if ver is None:
+            return False
+        existing = self.cache.peek(key)
+        if existing is None or not existing.meta:
+            return False
+        current = existing.meta.get("ver")
+        return current is not None and ver < current
+
     # -- built-in ops ---------------------------------------------------------
     def _builtin(self, request: Request, base_cpu: float = 0.0) -> Generator:
         if request.op == "set":
@@ -259,8 +309,35 @@ class MemcachedServer:
             cpu_cost += value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
             # Cached on the Payload: a replicated Set hands the same object
             # to every replica server, so only the first one pays the CRC.
-            meta["crc"] = value.checksum()
+            actual = value.checksum()
+            expected = meta.get("crc")
+            if expected is not None and actual != expected:
+                # The sender stamped a checksum and the bytes that arrived
+                # do not match: in-flight corruption.  Refuse the write so
+                # a poisoned chunk is never acknowledged; the client
+                # retransmits.
+                yield from self.cpu(cpu_cost)
+                self.corruption_detected += 1
+                return Response(
+                    req_id=request.req_id,
+                    ok=False,
+                    server=self.name,
+                    error=protocol.ERR_CORRUPT,
+                )
+            meta["crc"] = actual
         yield from self.cpu(cpu_cost)
+        if self.is_stale_write(request.key, meta):
+            # A newer version is already stored: acknowledge without
+            # writing (the sender's intent is long superseded).  The
+            # ``stale`` marker lets repair paths skip relocation
+            # bookkeeping for a write that did not actually land.
+            self.metrics.counter("writes.stale_dropped").inc()
+            return Response(
+                req_id=request.req_id,
+                ok=True,
+                server=self.name,
+                meta={"stale": True},
+            )
         stored = self.store_item(
             request.key, value.size, data=value.data, meta=meta
         )

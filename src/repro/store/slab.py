@@ -200,6 +200,10 @@ class SlabCache:
         slab_class.lru.move_to_end(key)
         return item
 
+    def keys(self) -> List[str]:
+        """Live item keys, in insertion order (fault injection targets)."""
+        return list(self._index)
+
     def peek(self, key: str) -> Optional[StoredItem]:
         """Read without touching LRU recency or hit statistics."""
         return self._index.get(key)

@@ -10,6 +10,7 @@
 
 from repro.workloads.etc import EtcResult, EtcSizeSampler, EtcSpec, run_etc
 from repro.workloads.keys import KeyValueSource
+from repro.workloads.seeding import derive_seed
 from repro.workloads.microbench import (
     BreakdownResult,
     MicrobenchResult,
@@ -40,6 +41,7 @@ __all__ = [
     "YCSBResult",
     "YCSBSpec",
     "ZipfianGenerator",
+    "derive_seed",
     "run_etc",
     "run_get_benchmark",
     "run_memory_pressure",

@@ -18,6 +18,7 @@ the bytes.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
@@ -26,6 +27,7 @@ import numpy as np
 from repro.common.stats import Summary
 from repro.core.cluster import KVCluster
 from repro.workloads.keys import KeyValueSource
+from repro.workloads.seeding import derive_seed
 from repro.workloads.ycsb import ZipfianGenerator
 
 #: value-size model parameters (shaped after the SIGMETRICS'12 ETC pool)
@@ -42,8 +44,8 @@ GET_FRACTION = 30 / 31  # ETC's ~30:1 GET:SET ratio
 class EtcSizeSampler:
     """Deterministic sampler for ETC-like value sizes."""
 
-    def __init__(self, seed: int = 21):
-        self._rng = np.random.default_rng(seed)
+    def __init__(self, seed: int = 21, rng: Optional[random.Random] = None):
+        self._rng = np.random.default_rng(derive_seed(seed, rng))
 
     def next_size(self) -> int:
         """Draw one value size."""
@@ -100,10 +102,17 @@ def run_etc(
     client_hosts: int = 5,
     window: int = 4,
     seed: int = 17,
+    rng: Optional[random.Random] = None,
 ) -> EtcResult:
-    """Load an ETC-shaped dataset and drive the GET-heavy run phase."""
+    """Load an ETC-shaped dataset and drive the GET-heavy run phase.
+
+    Pass ``rng`` (a shared seeded :class:`random.Random`) to derive the
+    size sampler and every per-client Zipfian stream from one master
+    seed instead of the ``size_seed``/``seed`` defaults.
+    """
     spec = spec or EtcSpec()
-    sampler = EtcSizeSampler(spec.size_seed)
+    sampler = EtcSizeSampler(spec.size_seed, rng=rng)
+    client_seeds = [derive_seed(seed + i, rng) for i in range(num_clients)]
     sizes = sampler.sample_sizes(spec.record_count)
     source = KeyValueSource(prefix="e")
 
@@ -134,7 +143,7 @@ def run_etc(
 
     def run_client(index: int, client) -> Generator:
         zipf = ZipfianGenerator(
-            spec.record_count, theta=spec.theta, seed=seed + index
+            spec.record_count, theta=spec.theta, seed=client_seeds[index]
         )
         handles = []
         for _op in range(spec.ops_per_client):

@@ -7,9 +7,13 @@ paper's micro-benchmarks: fixed 16-byte keys.
 
 from __future__ import annotations
 
+import random
+from typing import Optional
+
 import numpy as np
 
 from repro.common.payload import Payload
+from repro.workloads.seeding import derive_seed
 
 KEY_LENGTH = 16  # the paper fixes keys at 16 B
 
@@ -17,10 +21,15 @@ KEY_LENGTH = 16  # the paper fixes keys at 16 B
 class KeyValueSource:
     """Reproducible key/value generator with a fixed key width."""
 
-    def __init__(self, seed: int = 1, prefix: str = "k"):
-        self.seed = seed
+    def __init__(
+        self,
+        seed: int = 1,
+        prefix: str = "k",
+        rng: Optional[random.Random] = None,
+    ):
+        self.seed = derive_seed(seed, rng)
         self.prefix = prefix
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(self.seed)
 
     def key(self, index: int) -> str:
         """The ``index``-th key, padded to exactly 16 bytes."""

@@ -1,0 +1,28 @@
+"""One seed to rule a run.
+
+Workload generators draw from numpy streams, the chaos engine from
+:class:`random.Random`.  To make a whole experiment reproducible from a
+single integer, every component that needs randomness accepts an
+optional ``rng`` — a shared, seeded :class:`random.Random` — and derives
+its own independent stream seed from it::
+
+    master = random.Random(seed)
+    source = KeyValueSource(rng=master)
+    zipf = ZipfianGenerator(items, rng=master)
+    chaos = ChaosEngine(cluster, profile, seed=master.getrandbits(64))
+
+Derivation order matters (each ``getrandbits`` advances the master
+stream), so construct components in a fixed order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def derive_seed(default: int, rng: Optional[random.Random]) -> int:
+    """The sub-stream seed: drawn from ``rng`` when given, else ``default``."""
+    if rng is None:
+        return default
+    return rng.getrandbits(32)

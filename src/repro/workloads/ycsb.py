@@ -12,6 +12,7 @@ popular ranks are spread across the keyspace rather than clustered.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
@@ -21,6 +22,7 @@ from repro.common.stats import Summary
 from repro.core.cluster import KVCluster
 from repro.store.hashring import stable_hash
 from repro.workloads.keys import KeyValueSource
+from repro.workloads.seeding import derive_seed
 
 ZIPFIAN_CONSTANT = 0.99
 
@@ -34,6 +36,7 @@ class ZipfianGenerator:
         theta: float = ZIPFIAN_CONSTANT,
         seed: int = 7,
         scrambled: bool = True,
+        rng: Optional[random.Random] = None,
     ):
         if items < 1:
             raise ValueError("need at least one item")
@@ -42,7 +45,7 @@ class ZipfianGenerator:
         self.items = items
         self.theta = theta
         self.scrambled = scrambled
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(derive_seed(seed, rng))
         ranks = np.arange(1, items + 1, dtype=np.float64)
         self._zetan = float(np.sum(1.0 / np.power(ranks, theta)))
         self._zeta2 = float(np.sum(1.0 / np.power(ranks[:2], theta))) if (
@@ -154,13 +157,20 @@ def run_ycsb(
     seed: int = 11,
     load: bool = True,
     loader_count: int = 8,
+    rng: Optional[random.Random] = None,
 ) -> YCSBResult:
     """Drive the run phase and report aggregate throughput and latency.
 
     ``num_clients`` client processes are spread over ``client_hosts``
     NIC-sharing hosts (the paper uses 150 clients on 10 compute nodes);
     each keeps up to ``window`` operations in flight through its ARPE.
+
+    Pass ``rng`` (a shared seeded :class:`random.Random`) to derive every
+    per-client Zipfian stream from one master seed instead of ``seed``.
     """
+    client_seeds = [
+        derive_seed(seed + i, rng) for i in range(num_clients)
+    ]
     if load:
         load_phase(cluster, spec, loader_count=loader_count)
 
@@ -176,7 +186,9 @@ def run_ycsb(
     misses = [0]
 
     def run_client(index: int, client) -> Generator:
-        zipf = ZipfianGenerator(spec.record_count, theta=spec.theta, seed=seed + index)
+        zipf = ZipfianGenerator(
+            spec.record_count, theta=spec.theta, seed=client_seeds[index]
+        )
         handles = []
         for _op in range(spec.ops_per_client):
             key_index = zipf.next()

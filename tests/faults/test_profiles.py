@@ -1,0 +1,59 @@
+"""Fault-profile registry semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import PROFILES, profile_by_name
+from repro.faults.profiles import FaultProfile
+
+
+class TestRegistry:
+    def test_known_profiles(self):
+        for name in ("none", "network", "crash", "gray", "all"):
+            assert name in PROFILES
+            assert profile_by_name(name) is PROFILES[name]
+
+    def test_unknown_profile_lists_choices(self):
+        with pytest.raises(KeyError) as err:
+            profile_by_name("zap")
+        for name in PROFILES:
+            assert name in str(err.value)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PROFILES["all"].drop_rate = 1.0
+
+
+class TestShapes:
+    def test_none_profile_is_quiet(self):
+        quiet = PROFILES["none"]
+        assert not quiet.has_message_faults
+        assert quiet.crash_rate == 0
+        assert quiet.partition_rate == 0
+        assert quiet.bitrot_rate == 0
+
+    def test_all_profile_composes_every_class(self):
+        full = PROFILES["all"]
+        assert full.has_message_faults
+        assert full.drop_rate > 0
+        assert full.duplicate_rate > 0
+        assert full.corrupt_rate > 0
+        assert full.crash_rate > 0
+        assert full.partition_rate > 0
+        assert full.slow_rate > 0
+        assert full.bitrot_rate > 0
+
+    def test_network_profile_has_no_node_faults(self):
+        net = PROFILES["network"]
+        assert net.has_message_faults
+        assert net.crash_rate == 0
+        assert net.slow_rate == 0
+        assert net.bitrot_rate == 0
+
+    def test_custom_profile(self):
+        custom = FaultProfile(
+            name="x", description="d", drop_rate=0.5
+        )
+        assert custom.has_message_faults
+        assert custom.crash_rate == 0

@@ -1,0 +1,129 @@
+"""NodeUnreachableError semantics on every fabric path.
+
+All three transfer primitives — two-sided ``send``, one-sided
+``rdma_read``, one-sided ``rdma_write`` — must fail with
+:class:`NodeUnreachableError` after exactly ``FAILURE_DETECT_DELAY``
+when either endpoint is dead at post time, naming the dead node, and
+must count the failure in ``fabric.unreachable``.
+"""
+
+import pytest
+
+from repro.network.fabric import (
+    FAILURE_DETECT_DELAY,
+    Fabric,
+    NodeUnreachableError,
+)
+from repro.network.profiles import RI_QDR
+
+
+@pytest.fixture
+def sim():
+    from repro.simulation import Simulator
+
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    fabric = Fabric(sim, RI_QDR)
+    fabric.add_node("a")
+    fabric.add_node("b")
+    return fabric
+
+
+def _await_failure(sim, event):
+    """Run until ``event`` fails; return (dead node, failure time)."""
+
+    def waiter():
+        try:
+            yield event
+        except NodeUnreachableError as exc:
+            return exc.node, sim.now
+        raise AssertionError("expected NodeUnreachableError")
+
+    return sim.run(sim.process(waiter()))
+
+
+def _post(fabric, path, src, dst):
+    if path == "send":
+        return fabric.send(src, dst, 1024)
+    if path == "rdma_read":
+        return fabric.rdma_read(src, dst, 1024)
+    return fabric.rdma_write(src, dst, 1024)
+
+
+ALL_PATHS = ["send", "rdma_read", "rdma_write"]
+
+
+class TestReceiverDead:
+    """The remote end is dead when the operation is posted."""
+
+    @pytest.mark.parametrize("path", ALL_PATHS)
+    def test_fails_after_detect_delay_naming_receiver(
+        self, sim, fabric, path
+    ):
+        fabric.endpoint("b").fail()
+        node, when = _await_failure(sim, _post(fabric, path, "a", "b"))
+        assert node == "b"
+        assert when == pytest.approx(FAILURE_DETECT_DELAY)
+
+    @pytest.mark.parametrize("path", ALL_PATHS)
+    def test_counted_as_unreachable(self, sim, fabric, path):
+        fabric.endpoint("b").fail()
+        before = fabric.metrics.counter("fabric.unreachable").value
+        _await_failure(sim, _post(fabric, path, "a", "b"))
+        assert fabric.metrics.counter("fabric.unreachable").value == before + 1
+
+
+class TestSenderDead:
+    """The local end is dead (a crashed node must not emit traffic)."""
+
+    @pytest.mark.parametrize("path", ALL_PATHS)
+    def test_fails_after_detect_delay_naming_sender(self, sim, fabric, path):
+        fabric.endpoint("a").fail()
+        node, when = _await_failure(sim, _post(fabric, path, "a", "b"))
+        assert node == "a"
+        assert when == pytest.approx(FAILURE_DETECT_DELAY)
+
+    @pytest.mark.parametrize("path", ALL_PATHS)
+    def test_receiver_named_when_both_dead(self, sim, fabric, path):
+        # the remote failure is the actionable one for the caller's
+        # failover logic, so it wins the attribution
+        fabric.endpoint("a").fail()
+        fabric.endpoint("b").fail()
+        node, _when = _await_failure(sim, _post(fabric, path, "a", "b"))
+        assert node == "b"
+
+
+class TestMidFlightDeath:
+    """Death between post and completion must not deliver."""
+
+    def test_send_in_flight(self, sim, fabric):
+        event = fabric.send("a", "b", 10 * 1024 * 1024)  # ~ms transfer
+        fabric.endpoint("b").fail()
+        node, _when = _await_failure(sim, event)
+        assert node == "b"
+        assert len(fabric.endpoint("b").inbox) == 0
+
+    def test_rdma_write_in_flight(self, sim, fabric):
+        event = fabric.rdma_write("a", "b", 10 * 1024 * 1024)
+        fabric.endpoint("b").fail()
+        node, _when = _await_failure(sim, event)
+        assert node == "b"
+
+    def test_rdma_read_target_dies_mid_read(self, sim, fabric):
+        event = fabric.rdma_read("a", "b", 10 * 1024 * 1024)
+        fabric.endpoint("b").fail()
+        node, _when = _await_failure(sim, event)
+        assert node == "b"
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("path", ALL_PATHS)
+    def test_recover_restores_the_path(self, sim, fabric, path):
+        fabric.endpoint("b").fail()
+        _await_failure(sim, _post(fabric, path, "a", "b"))
+        fabric.endpoint("b").recover()
+        result = sim.run(_post(fabric, path, "a", "b"))
+        assert result is not None  # Message (send) or size (one-sided)

@@ -61,6 +61,31 @@ class TestFailureInjector:
         with pytest.raises(KeyError):
             injector.fail_at("server-99", when=1.0)
 
+    def test_recover_now_mirrors_fail_now(self):
+        cluster = fresh()
+        injector = FailureInjector(cluster)
+        injector.fail_now(["server-2", "server-3"])
+        injector.recover_now(["server-2", "server-3"])
+        assert cluster.servers["server-2"].alive
+        assert cluster.servers["server-3"].alive
+        # same (time, kind, name) log shape as the scheduled variants
+        assert injector.log == [
+            (0.0, "fail", "server-2"),
+            (0.0, "fail", "server-3"),
+            (0.0, "recover", "server-2"),
+            (0.0, "recover", "server-3"),
+        ]
+
+    def test_recover_now_restarts_with_empty_memory(self):
+        cluster = fresh()
+        server = cluster.servers["server-1"]
+        assert server.store_item("k", 64, data=b"x" * 64, meta={})
+        injector = FailureInjector(cluster)
+        injector.fail_now(["server-1"])
+        injector.recover_now(["server-1"])
+        assert server.alive
+        assert server.cache.peek("k") is None
+
 
 class TestRepairManager:
     def test_repair_restores_fault_tolerance(self):
