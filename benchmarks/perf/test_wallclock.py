@@ -50,3 +50,12 @@ def test_batched_client_ops(benchmark, quick):
     if not metrics:
         pytest.skip("tree predates multi_set/multi_get")
     assert metrics["batch_ops_per_sec"] > 0
+
+
+def test_scale_out(benchmark, quick):
+    metrics = _run_section(benchmark, perfbench.bench_scale, quick)
+    if not metrics:
+        pytest.skip("tree predates repro.membership")
+    assert metrics["scale_moves_per_sec"] > 0
+    # the run's own durability/throttle/latency gates must all hold
+    assert metrics["scale_invariants_ok_info"] == 1.0

@@ -23,6 +23,7 @@ import itertools
 from typing import Dict, List, Optional, Union
 
 from repro.ec.cost_model import CodingCostModel
+from repro.membership.epoch import MembershipTable, RingView
 from repro.network.fabric import Fabric
 from repro.network.profiles import ClusterProfile, profile_by_name
 from repro.obs.metrics import MetricsRegistry
@@ -31,7 +32,6 @@ from repro.resilience.base import ResilienceScheme
 from repro.resilience.registry import make_scheme
 from repro.simulation import Simulator
 from repro.store.client import KVClient
-from repro.store.hashring import HashRing
 from repro.store.policy import RetryPolicy
 from repro.store.server import MemcachedServer
 
@@ -67,26 +67,87 @@ class KVCluster:
         self.cost_model = CodingCostModel(
             cpu_speed_factor=profile.cpu_speed_factor
         )
+        self.memory_per_server = memory_per_server
+        self.worker_threads = worker_threads
         self.servers: Dict[str, MemcachedServer] = {}
         for index in range(num_servers):
             name = "server-%d" % index
-            self.servers[name] = MemcachedServer(
-                self.sim,
-                self.fabric,
-                name,
-                memory_limit=memory_per_server,
-                worker_threads=worker_threads,
-                cost_model=self.cost_model,
-                tracer=self.tracer,
-                metrics=self.metrics,
-            )
-        self.ring = HashRing(list(self.servers))
+            self.servers[name] = self._make_server(name)
+        #: versioned topology: every ring lookup resolves the current
+        #: epoch, so membership transitions are visible cluster-wide the
+        #: moment they open
+        self.membership = MembershipTable(
+            list(self.servers), clock=lambda: self.sim.now
+        )
+        self.membership.observers.append(self._on_epoch_change)
+        self.ring = RingView(self.membership)
         self.scheme = scheme
         scheme.install(self)
         self.clients: List[KVClient] = []
         self._client_seq = itertools.count()
+        self._manager = None
         #: hardening policy new clients inherit (None = legacy defaults)
         self.default_policy: Optional[RetryPolicy] = None
+
+    def _make_server(self, name: str) -> MemcachedServer:
+        return MemcachedServer(
+            self.sim,
+            self.fabric,
+            name,
+            memory_limit=self.memory_per_server,
+            worker_threads=self.worker_threads,
+            cost_model=self.cost_model,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+
+    def _on_epoch_change(self, _old, new) -> None:
+        # servers stamp their epoch into responses; clients compare
+        for server in self.servers.values():
+            server.epoch = new.number
+
+    # -- membership ---------------------------------------------------------
+    def add_server(self, name: str) -> MemcachedServer:
+        """Stand up a fresh server (not yet on the ring).
+
+        The scheme installs its handlers via ``prepare_server``; call
+        :meth:`scale_out` (or ``membership.join``) to actually place it.
+        """
+        if name in self.servers:
+            raise ValueError("server %r already exists" % name)
+        server = self._make_server(name)
+        server.epoch = self.membership.current.number
+        self.servers[name] = server
+        self.scheme.prepare_server(server)
+        return server
+
+    def retire_server(self, name: str) -> None:
+        """Tear down a server that has left the ring (data migrated off)."""
+        server = self.servers.pop(name, None)
+        if server is not None and server.alive:
+            server.fail()
+
+    @property
+    def manager(self):
+        """The default membership manager (unthrottled; lazily built)."""
+        if self._manager is None:
+            from repro.membership.manager import MembershipManager
+
+            self._manager = MembershipManager(self)
+        return self._manager
+
+    def scale_out(self, names):
+        """Join new servers and rebalance; drive as a sim process:
+        ``report = yield from cluster.scale_out(["server-5"])``."""
+        return (yield from self.manager.scale_out(names))
+
+    def scale_in(self, name: str, graceful: bool = True):
+        """Remove a server, migrating its data off first."""
+        return (yield from self.manager.scale_in(name, graceful=graceful))
+
+    def replace_node(self, old: str, new: str):
+        """Swap a (typically failed) server for a fresh one."""
+        return (yield from self.manager.replace_node(old, new))
 
     # -- clients ------------------------------------------------------------
     def add_client(

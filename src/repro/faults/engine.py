@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Set, Tuple
 
 from repro.common.payload import Payload
 from repro.faults.profiles import FaultProfile
+from repro.membership.epoch import MembershipError
 from repro.network.fabric import FaultAction
 from repro.resilience.recovery import FailureInjector
 
@@ -94,14 +95,22 @@ class ChaosEngine:
         self._heals = metrics.counter("faults.heals")
         self._slow_episodes = metrics.counter("faults.slow_episodes")
         self._bitrot = metrics.counter("faults.bitrot")
+        self._joins = metrics.counter("faults.joins")
+        self._leaves = metrics.counter("faults.leaves")
+        self._churn_joins = 0
 
         cluster.fabric.interceptor = self
 
     # -- bookkeeping ---------------------------------------------------------
     @property
     def degraded(self) -> Set[str]:
-        """Servers currently counting against the fault budget."""
-        return self.partitioned | self.unrepaired
+        """Servers currently counting against the fault budget.
+
+        Intersected with the live server map: a server that has since
+        been retired (scaled in) no longer holds data, so it stops
+        consuming budget the moment it leaves the cluster.
+        """
+        return (self.partitioned | self.unrepaired) & set(self.cluster.servers)
 
     @property
     def fault_log(self) -> List[Tuple[float, str, str]]:
@@ -219,6 +228,8 @@ class ChaosEngine:
             self.sim.process(self._slow_loop(horizon), name="chaos-slow")
         if profile.bitrot_rate > 0:
             self.sim.process(self._bitrot_loop(horizon), name="chaos-bitrot")
+        if profile.join_rate > 0 or profile.leave_rate > 0:
+            self.sim.process(self._churn_loop(horizon), name="chaos-churn")
 
     def _pick_degradable(self) -> Optional[str]:
         """A server the budget allows taking down, or ``None``."""
@@ -324,6 +335,60 @@ class ChaosEngine:
             self.slowed.discard(name)
             self.cluster.servers[name].cpu_throttle = 1.0
             self._note("slow_end", name)
+
+    def _churn_loop(self, horizon: float):
+        """Membership churn: joins and graceful leaves, serialized.
+
+        The loop drives each migration to completion with ``yield from``
+        before drawing the next event, so there is never more than one
+        open epoch — matching the membership table's invariant — and the
+        churn schedule stays deterministic in virtual time.
+        """
+        profile = self.profile
+        rng = self.sched_rng
+        rate = profile.join_rate + profile.leave_rate
+        while True:
+            yield self.sim.timeout(rng.expovariate(rate))
+            if self.sim.now >= horizon:
+                return
+            join = rng.random() < profile.join_rate / rate
+            try:
+                if join:
+                    self._churn_joins += 1
+                    name = "churn-%d" % self._churn_joins
+                    self._joins.inc()
+                    self._note("join", name)
+                    yield from self.cluster.scale_out([name])
+                else:
+                    target = self._pick_leaver()
+                    if target is None:
+                        continue  # too few members; draw stays (determinism)
+                    self._leaves.inc()
+                    self._note("leave", target)
+                    yield from self.cluster.scale_in(target, graceful=True)
+            except MembershipError as exc:
+                self._note("churn_skipped", str(exc))
+
+    def _pick_leaver(self) -> Optional[str]:
+        """An alive, non-degraded member the cluster can afford to lose."""
+        scheme = self.cluster.scheme
+        floor = getattr(scheme, "n", None)
+        if floor is None:
+            floor = scheme.tolerated_failures + 1
+        members = self.cluster.membership.current.members
+        if len(members) <= floor + 1:
+            return None
+        degraded = self.degraded
+        candidates = sorted(
+            name
+            for name in members
+            if name not in degraded
+            and name in self.cluster.servers
+            and self.cluster.servers[name].alive
+        )
+        if not candidates:
+            return None
+        return self.sched_rng.choice(candidates)
 
     def _bitrot_loop(self, horizon: float):
         profile = self.profile

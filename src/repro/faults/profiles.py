@@ -22,6 +22,13 @@ The named profiles bundle the paper-relevant failure classes:
 ``all``
     Everything at once, rates tuned so a short soak sees every fault
     class multiple times.
+``churn``
+    Membership churn: servers join and gracefully leave while a mild
+    crash schedule runs — exercises migration under failures.
+``scale``
+    Background noise for elasticity experiments: light jitter and a slow
+    crash schedule, no churn of its own (the harness drives the
+    membership changes explicitly).
 """
 
 from __future__ import annotations
@@ -63,6 +70,12 @@ class FaultProfile:
     slow_factor: float = 4.0
     #: stored-item corruptions (bit rot) per second, cluster-wide
     bitrot_rate: float = 0.0
+
+    # -- membership churn (Poisson rates, cluster-wide) ------------------
+    #: new servers joining the ring per second
+    join_rate: float = 0.0
+    #: servers gracefully leaving (decommission via migration) per second
+    leave_rate: float = 0.0
 
     @property
     def has_message_faults(self) -> bool:
@@ -111,6 +124,24 @@ PROFILES: Dict[str, FaultProfile] = {
             slow_duration=0.2,
             slow_factor=4.0,
             bitrot_rate=5.0,
+        ),
+        FaultProfile(
+            name="churn",
+            description="membership churn: joins/leaves plus mild crashes",
+            crash_rate=0.4,
+            crash_downtime=0.2,
+            jitter_rate=0.02,
+            jitter=100e-6,
+            join_rate=0.5,
+            leave_rate=0.5,
+        ),
+        FaultProfile(
+            name="scale",
+            description="elasticity background noise: jitter + slow crashes",
+            crash_rate=0.3,
+            crash_downtime=0.2,
+            jitter_rate=0.02,
+            jitter=100e-6,
         ),
         FaultProfile(
             name="all",

@@ -23,6 +23,15 @@ tolerance.  It exits non-zero on any violation::
     python -m repro.harness chaos --seed 7 --fault-profile gray --check-determinism
     python -m repro.harness chaos --scheme era-se-sd --report chaos.json
 
+``scale`` runs the elasticity experiment: a live workload while two
+servers join and one is decommissioned, with the background rebuild
+bandwidth-capped.  It exits non-zero if durability, the throttle bound,
+or the foreground-p99 bound is violated::
+
+    python -m repro.harness scale --quick
+    python -m repro.harness scale --seeds 1,2 --check-determinism
+    python -m repro.harness scale --bandwidth 50 --report scale.json
+
 CI-scale parameters are the default (same shapes, minutes not hours);
 ``--full`` switches each experiment to the paper's published setup.
 """
@@ -111,10 +120,11 @@ def _run_chaos(args) -> int:
     from repro.faults import SoakConfig, run_soak_suite
     from repro.faults.profiles import PROFILES
 
-    if args.fault_profile not in PROFILES:
+    fault_profile = args.fault_profile or "all"
+    if fault_profile not in PROFILES:
         print(
             "unknown fault profile %r (choices: %s)"
-            % (args.fault_profile, ", ".join(sorted(PROFILES))),
+            % (fault_profile, ", ".join(sorted(PROFILES))),
             file=sys.stderr,
         )
         return 2
@@ -129,7 +139,7 @@ def _run_chaos(args) -> int:
         servers=args.servers,
         k=args.k,
         m=args.m,
-        fault_profile=args.fault_profile,
+        fault_profile=fault_profile,
     )
     print(
         "Chaos soak: scheme=%s profile=%s servers=%d k=%d m=%d "
@@ -218,6 +228,129 @@ def _run_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _run_scale(args) -> int:
+    import json
+
+    from repro.harness.scale import MIB, ScaleConfig, run_scale_suite
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = ScaleConfig(
+        scheme=args.scheme,
+        servers=args.servers,
+        k=args.k,
+        m=args.m,
+        fault_profile=args.fault_profile or "scale",
+        bandwidth=args.bandwidth * MIB if args.bandwidth else 24.0 * MIB,
+        join=args.join,
+    )
+    if args.quick:
+        config = dataclasses.replace(
+            config, key_space=24, baseline=0.25, cooldown=0.1
+        )
+    print(
+        "Scale experiment: scheme=%s servers=%d k=%d m=%d join=%d "
+        "bandwidth=%.0fMiB/s profile=%s seeds=%s"
+        % (
+            config.scheme,
+            config.servers,
+            config.k,
+            config.m,
+            config.join,
+            (config.bandwidth or 0) / MIB,
+            config.fault_profile,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_scale_suite(seeds, config)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_scale_suite(seeds, config)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        ops = report["ops"]
+        throttle = report["throttle"]
+        latency = report["latency"]
+        print(
+            "seed %-6d %s  sets %d/%d acked, gets %d ok, epochs %d, "
+            "moves %s, rebuild %.1f MiB"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                ops["set_acks"],
+                ops["set_attempts"],
+                ops["get_ok"],
+                report["membership"]["final_epoch"],
+                "+".join(
+                    str(t["plan"]["moves"]) for t in report["transitions"]
+                ),
+                throttle["total_bytes"] / MIB,
+            )
+        )
+        print(
+            "  throttle %s: peak %.1f MiB/s vs cap %.1f MiB/s "
+            "(%d slots, %.0fms windows)"
+            % (
+                "OK" if throttle["ok"] else "EXCEEDED",
+                throttle["peak_rate"] / MIB,
+                (throttle["bandwidth_cap"] or 0) / MIB,
+                throttle["slots"],
+                throttle["rate_window"] * 1e3,
+            )
+        )
+        base = latency["baseline_get"] or {}
+        mig = latency["migration_get"] or {}
+        print(
+            "  foreground get p99 %s: baseline %.1fus -> migration %.1fus "
+            "(ratio %s, bound %.1fx)"
+            % (
+                "OK" if latency["ok"] else "DEGRADED",
+                base.get("p99_us", float("nan")),
+                mig.get("p99_us", float("nan")),
+                latency["p99_ratio"],
+                latency["max_p99_ratio"],
+            )
+        )
+        durability = report["durability"]
+        if not durability["ok"]:
+            for kind, entries in durability["violations"].items():
+                for violation in entries:
+                    print("  %s: %s" % (kind, violation))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Elasticity invariants %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """Entry point: parse arguments, run the experiment, print its table."""
     parser = argparse.ArgumentParser(
@@ -295,8 +428,11 @@ def main(argv=None) -> int:
     )
     chaos_group.add_argument(
         "--fault-profile",
-        default="all",
-        help="chaos: fault profile (none, network, crash, gray, all)",
+        default=None,
+        help=(
+            "fault profile (none, network, crash, gray, churn, scale, "
+            "all); default: all for chaos, scale for scale"
+        ),
     )
     chaos_group.add_argument(
         "--report",
@@ -308,6 +444,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="chaos: run every seed twice and require identical digests",
     )
+    scale_group = parser.add_argument_group("scale options")
+    scale_group.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        metavar="MIB_S",
+        help="scale: rebuild bandwidth cap in MiB per virtual second "
+        "(default 24)",
+    )
+    scale_group.add_argument(
+        "--join",
+        type=int,
+        default=2,
+        metavar="N",
+        help="scale: number of servers joined mid-run (default 2)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
@@ -316,6 +468,10 @@ def main(argv=None) -> int:
             print("%-7s %s" % (name, doc))
         print("bench   wall-clock perf suite (codec MB/s, events/sec, ops/sec)")
         print("chaos   seeded fault-injection soak (durability invariant)")
+        print(
+            "scale   elasticity experiment (join/decommission under load, "
+            "throttled rebuild)"
+        )
         return 0
 
     if args.figure.lower() == "bench":
@@ -323,6 +479,9 @@ def main(argv=None) -> int:
 
     if args.figure.lower() == "chaos":
         return _run_chaos(args)
+
+    if args.figure.lower() == "scale":
+        return _run_scale(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

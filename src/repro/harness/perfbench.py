@@ -189,6 +189,46 @@ def _sized_payload(size: int):
 
 
 # ---------------------------------------------------------------------------
+# Elastic rebalancing (membership subsystem)
+# ---------------------------------------------------------------------------
+
+
+def bench_scale(quick: bool = False) -> Dict[str, float]:
+    """Wall-clock cost of a scale-out + decommission migration.
+
+    Runs the elasticity experiment without chaos noise and reports
+    chunk-moves per wall second, with the rebuild byte volume attached
+    as context (absent on trees predating ``repro.membership``).
+    """
+    try:
+        from repro.harness.scale import ScaleConfig, run_scale
+    except ImportError:
+        return {}
+
+    config = ScaleConfig(
+        seed=0,
+        fault_profile="none",
+        key_space=24 if quick else 64,
+        baseline=0.1,
+        cooldown=0.05,
+    )
+    t0 = time.perf_counter()
+    report = run_scale(config)
+    elapsed = time.perf_counter() - t0
+    moves = sum(t["plan"]["moves"] for t in report["transitions"])
+    return {
+        "scale_moves_per_sec": moves / elapsed,
+        "scale_moves_info": float(moves),
+        "scale_rebuild_bytes_info": float(report["throttle"]["total_bytes"]),
+        "scale_reencode_moves_info": float(
+            report["rebuild_metrics"].get("rebuild.reencode_moves", 0)
+        ),
+        "scale_wall_seconds_info": elapsed,
+        "scale_invariants_ok_info": 1.0 if report["ok"] else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 
@@ -200,6 +240,7 @@ def run_suite(quick: bool = False) -> Dict[str, object]:
     metrics.update(bench_engine(quick))
     metrics.update(bench_fig8(quick))
     metrics.update(bench_batch_ops(quick))
+    metrics.update(bench_scale(quick))
     return {
         "meta": {
             "mode": "quick" if quick else "full",

@@ -1,0 +1,123 @@
+"""Heartbeat failure detection on the virtual clock.
+
+The detector is an ordinary simulated process with its own fabric
+endpoint: every ``interval`` it pings each non-dead member and arms a
+per-request deadline through the same :func:`repro.store.protocol`
+machinery the clients use — so a partition, a crash, and a slow node all
+look like what they are on the wire (timeouts), not like privileged
+knowledge of the chaos engine's plans.
+
+Detection is a two-rung ladder, standard phi-accrual simplified for a
+deterministic clock:
+
+- ``miss_limit`` consecutive missed heartbeats move a member from ALIVE
+  to SUSPECT (reads keep using it; repair does not trust it).
+- ``2 * miss_limit`` misses promote SUSPECT to DEAD in the shared
+  :class:`~repro.membership.epoch.MembershipTable` and fire ``on_dead``
+  — the hook the manager uses to trigger the *same* transition machinery
+  a planned decommission uses.
+
+A pong from any rung resets the ladder and re-marks the node ALIVE, so
+restarts heal the table without operator action.  Because liveness lives
+in the table that chaos's :class:`FailureInjector` also writes through,
+the two sources of truth cannot diverge (the double-bookkeeping
+regression the tests pin down).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Generator, Optional
+
+from repro.membership.epoch import DEAD, MembershipTable
+from repro.store import protocol
+from repro.store.protocol import PendingTable, Request, Response
+
+
+class HeartbeatDetector:
+    """Pings members, escalates misses to SUSPECT then DEAD."""
+
+    def __init__(
+        self,
+        sim,
+        fabric,
+        table: MembershipTable,
+        name: str = "failure-detector",
+        interval: float = 0.05,
+        timeout: float = 0.02,
+        miss_limit: int = 3,
+        on_dead: Optional[Callable[[str], None]] = None,
+        metrics=None,
+    ):
+        if miss_limit < 1:
+            raise ValueError("miss_limit must be >= 1")
+        self.sim = sim
+        self.fabric = fabric
+        self.table = table
+        self.name = name
+        self.interval = interval
+        self.timeout = timeout
+        self.miss_limit = miss_limit
+        self.on_dead = on_dead
+        self.misses: Dict[str, int] = {}
+        self.endpoint = fabric.add_node(name)
+        self.endpoint.on_message = self._on_message
+        self.pending = PendingTable(sim)
+        self._req_seq = itertools.count(1)
+        self._suspects = None
+        self._deaths = None
+        if metrics is not None:
+            self._suspects = metrics.counter("membership.detector_suspects")
+            self._deaths = metrics.counter("membership.detector_deaths")
+
+    def _on_message(self, message) -> None:
+        payload = message.payload
+        if isinstance(payload, Response):
+            self.pending.complete(payload)
+
+    def _ping(self, member: str):
+        request = Request(
+            op="ping",
+            key=member,
+            req_id=next(self._req_seq),
+            reply_to=self.name,
+        )
+        return protocol.issue_request(
+            self.fabric, self.pending, request, member, timeout=self.timeout
+        )
+
+    def start(self, horizon: Optional[float] = None):
+        """Run the detector until ``horizon`` (forever if ``None``)."""
+        return self.sim.process(self._run(horizon), name=self.name)
+
+    def _run(self, horizon: Optional[float]) -> Generator:
+        while horizon is None or self.sim.now < horizon:
+            yield self.sim.timeout(self.interval)
+            members = [
+                m
+                for m in self.table.current.members
+                if self.table.state_of(m) != DEAD
+            ]
+            # all pings go out before the first wait: one round, one RTT
+            events = [(m, self._ping(m)) for m in members]
+            for member, event in events:
+                response = yield event
+                if response.ok:
+                    self.misses[member] = 0
+                    self.table.mark_alive(member)
+                    continue
+                self._record_miss(member)
+
+    def _record_miss(self, member: str) -> None:
+        count = self.misses.get(member, 0) + 1
+        self.misses[member] = count
+        if count == self.miss_limit:
+            if self.table.suspect(member) and self._suspects is not None:
+                self._suspects.inc()
+        elif count >= 2 * self.miss_limit:
+            if self.table.mark_dead(member):
+                if self._deaths is not None:
+                    self._deaths.inc()
+                self.misses[member] = 0
+                if self.on_dead is not None:
+                    self.on_dead(member)

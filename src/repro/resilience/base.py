@@ -52,6 +52,10 @@ class ResilienceScheme(ABC):
         """Bind to a cluster (register server-side handlers if needed)."""
         self.cluster = cluster
 
+    def prepare_server(self, server) -> None:
+        """Install this scheme's handlers on a server joining after
+        :meth:`install` ran (elastic scale-out).  Default: nothing."""
+
     @abstractmethod
     def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
         """Store ``value`` resiliently; yields sim events, returns a result."""

@@ -142,6 +142,15 @@ class ErasureScheme(ResilienceScheme):
         """Note that a repaired chunk now lives on ``server``."""
         self.relocations[(key, index)] = server
 
+    def known_keys(self) -> List[str]:
+        """Every key ever written (the migration planner's key registry).
+
+        The version map already tracks exactly this set — a key enters it
+        on its first Set and never leaves (Memcached has no authoritative
+        delete in the paper's workloads).
+        """
+        return sorted(self._latest_ver)
+
     def clear_relocations(self, key: str) -> None:
         """A fresh Set re-encodes onto the default placement."""
         for index in range(self.n):
@@ -312,7 +321,40 @@ class ErasureScheme(ResilienceScheme):
     def _client_decode_get(
         self, client, key: str, metrics: OpMetrics
     ) -> Generator:
-        servers = self.chunk_servers(client.ring, key)
+        result = yield from self._decode_get_on(
+            client, key, client.ring, metrics
+        )
+        if result.ok:
+            return result
+        # Dual-epoch read protocol: while a migration is in flight, a
+        # miss on the current epoch's placement retries against the
+        # previous epoch's ring — the chunks may simply not have been
+        # moved (or forwarded) yet.  The window closes at seal time.
+        old_ring = self._fallback_ring(client.ring, key)
+        if old_ring is None:
+            return result
+        client.metrics.counter("reads.epoch_fallback").inc()
+        fallback = yield from self._decode_get_on(
+            client, key, old_ring, metrics
+        )
+        return fallback if fallback.ok else result
+
+    def _fallback_ring(self, ring, key: str):
+        """The previous epoch's ring, iff it places this key differently."""
+        previous = getattr(ring, "previous_ring", None)
+        if previous is None:
+            return None
+        old_ring = previous()
+        if old_ring is None:
+            return None
+        if self.chunk_servers(old_ring, key) == self.chunk_servers(ring, key):
+            return None
+        return old_ring
+
+    def _decode_get_on(
+        self, client, key: str, ring, metrics: OpMetrics
+    ) -> Generator:
+        servers = self.chunk_servers(ring, key)
         plan = self._gather_plan(client.fabric, servers)
         if plan is None:
             return OpResult.failure(protocol.ERR_UNREACHABLE)
@@ -690,10 +732,18 @@ class ErasureScheme(ResilienceScheme):
     # -- server-side handlers ---------------------------------------------------
     def install_server_handlers(self, cluster, ops: Tuple[str, ...]) -> None:
         """Register the scheme's server-side ops on every server."""
+        self._server_ops = ops
         handlers = {"se_set": self._handle_se_set, "sd_get": self._handle_sd_get}
         for server in cluster.servers.values():
             for op in ops:
                 server.register_handler(op, handlers[op])
+
+    def prepare_server(self, server) -> None:
+        """A server joining mid-life gets the same handlers install gave
+        the founding members."""
+        handlers = {"se_set": self._handle_se_set, "sd_get": self._handle_sd_get}
+        for op in getattr(self, "_server_ops", ()):
+            server.register_handler(op, handlers[op])
 
     def _handle_se_set(self, server, request) -> Generator:
         """Server-side encode: code locally, fan chunks out to peers."""
@@ -817,15 +867,57 @@ class ErasureScheme(ResilienceScheme):
 
     def _handle_sd_get(self, server, request) -> Generator:
         """Server-side decode: gather K chunks from peers, decode, reply."""
-        servers = self.chunk_servers(self.cluster.ring, request.key)
-        plan = self._gather_plan(server.fabric, servers)
-        if plan is None:
+        retrieved, data_len = yield from self._server_gather(
+            server, request.key, self.cluster.ring
+        )
+        if not retrieved or data_len is None:
+            # dual-epoch read protocol, coordinator-side: mid-migration,
+            # the chunks may still sit at the previous epoch's placement
+            old_ring = self._fallback_ring(self.cluster.ring, request.key)
+            if old_ring is not None:
+                server.metrics.counter("reads.epoch_fallback").inc()
+                retrieved, data_len = yield from self._server_gather(
+                    server, request.key, old_ring
+                )
+        if not retrieved or data_len is None:
             return Response(
                 req_id=request.req_id,
                 ok=False,
                 server=server.name,
-                error=protocol.ERR_UNREACHABLE,
+                error=protocol.ERR_NOT_FOUND,
             )
+        erased = self.erased_data_count(retrieved)
+        decode_time = server.cost_model.decode_time(
+            self.codec.name, data_len, self.k, self.m, erased
+        )
+        with server.tracer.span(
+            server.name, "decode", category="decode", key=request.key
+        ):
+            yield from server.cpu(decode_time)
+        value = self.reconstruct(dict(retrieved), data_len)
+        meta = {"data_len": data_len}
+        if value.has_data:
+            # lets the requester detect in-flight corruption of the
+            # decoded value (client._on_message verifies response CRCs)
+            meta["crc"] = value.checksum()
+        return Response(
+            req_id=request.req_id,
+            ok=True,
+            server=server.name,
+            value=value,
+            meta=meta,
+        )
+
+    def _server_gather(self, server, key: str, ring) -> Generator:
+        """One coordinator-side gather over ``ring``'s chunk placement.
+
+        Returns ``(retrieved, data_len)`` — empty/None when no version
+        bucket can decode.
+        """
+        servers = self.chunk_servers(ring, key)
+        plan = self._gather_plan(server.fabric, servers)
+        if plan is None:
+            return {}, None
         candidates, _dead_data = plan
 
         # Version-bucketed gather, mirroring the client-side path: only
@@ -861,7 +953,7 @@ class ErasureScheme(ResilienceScheme):
             events = []
             for index in batch:
                 target = servers[index]
-                ckey = chunk_key(request.key, index)
+                ckey = chunk_key(key, index)
                 if target == server.name:
                     item = server.cache.get(ckey)
                     if item is not None:
@@ -899,34 +991,7 @@ class ErasureScheme(ResilienceScheme):
                 retrieved = bucket["chunks"]
                 data_len = bucket["data_len"]
                 break
-        if not retrieved or data_len is None:
-            return Response(
-                req_id=request.req_id,
-                ok=False,
-                server=server.name,
-                error=protocol.ERR_NOT_FOUND,
-            )
-        erased = self.erased_data_count(retrieved)
-        decode_time = server.cost_model.decode_time(
-            self.codec.name, data_len, self.k, self.m, erased
-        )
-        with server.tracer.span(
-            server.name, "decode", category="decode", key=request.key
-        ):
-            yield from server.cpu(decode_time)
-        value = self.reconstruct(dict(retrieved), data_len)
-        meta = {"data_len": data_len}
-        if value.has_data:
-            # lets the requester detect in-flight corruption of the
-            # decoded value (client._on_message verifies response CRCs)
-            meta["crc"] = value.checksum()
-        return Response(
-            req_id=request.req_id,
-            ok=True,
-            server=server.name,
-            value=value,
-            meta=meta,
-        )
+        return retrieved, data_len
 
 
 class EraCECD(ErasureScheme):

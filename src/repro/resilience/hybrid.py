@@ -74,6 +74,10 @@ class HybridScheme(ResilienceScheme):
         self.replication.install(cluster)
         self.erasure.install(cluster)
 
+    def prepare_server(self, server) -> None:
+        self.replication.prepare_server(server)
+        self.erasure.prepare_server(server)
+
     # -- operations ---------------------------------------------------------
     def set(self, client, key: str, value: Payload, metrics: OpMetrics) -> Generator:
         if value.size <= self.threshold:

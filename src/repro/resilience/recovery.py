@@ -16,12 +16,33 @@ from repro.simulation import Event, Simulator
 
 
 class FailureInjector:
-    """Schedules server crashes and recoveries at fixed virtual times."""
+    """Schedules server crashes and recoveries at fixed virtual times.
+
+    When the cluster carries a membership table, every injected crash and
+    restart is written through it too — the failure detector and the
+    chaos engine then share one source of liveness truth, so a node can
+    never be simultaneously "detector-suspect" and "chaos-recovered"
+    (the double-bookkeeping bug the membership tests pin down).
+    """
 
     def __init__(self, cluster):
         self.cluster = cluster
         self.sim: Simulator = cluster.sim
         self.log: List[Tuple[float, str, str]] = []
+
+    def _crash(self, name: str) -> None:
+        self.cluster.servers[name].fail()
+        table = getattr(self.cluster, "membership", None)
+        if table is not None:
+            table.mark_dead(name)
+        self.log.append((self.sim.now, "fail", name))
+
+    def _restart(self, name: str) -> None:
+        self.cluster.servers[name].recover()
+        table = getattr(self.cluster, "membership", None)
+        if table is not None:
+            table.mark_alive(name)
+        self.log.append((self.sim.now, "recover", name))
 
     def fail_at(self, server_name: str, when: float) -> Event:
         """Crash ``server_name`` at virtual time ``when``."""
@@ -29,8 +50,7 @@ class FailureInjector:
             raise KeyError("unknown server %r" % server_name)
 
         def _do(_event: Event) -> None:
-            self.cluster.servers[server_name].fail()
-            self.log.append((self.sim.now, "fail", server_name))
+            self._crash(server_name)
 
         timer = self.sim.timeout(max(0.0, when - self.sim.now))
         timer.callbacks.append(_do)
@@ -42,8 +62,7 @@ class FailureInjector:
             raise KeyError("unknown server %r" % server_name)
 
         def _do(_event: Event) -> None:
-            self.cluster.servers[server_name].recover()
-            self.log.append((self.sim.now, "recover", server_name))
+            self._restart(server_name)
 
         timer = self.sim.timeout(max(0.0, when - self.sim.now))
         timer.callbacks.append(_do)
@@ -52,14 +71,12 @@ class FailureInjector:
     def fail_now(self, server_names: Iterable[str]) -> None:
         """Immediately crash the given servers."""
         for name in server_names:
-            self.cluster.servers[name].fail()
-            self.log.append((self.sim.now, "fail", name))
+            self._crash(name)
 
     def recover_now(self, server_names: Iterable[str]) -> None:
         """Immediately restart the given servers (empty memory)."""
         for name in server_names:
-            self.cluster.servers[name].recover()
-            self.log.append((self.sim.now, "recover", name))
+            self._restart(name)
 
 
 class RepairManager:
@@ -72,14 +89,22 @@ class RepairManager:
     paper flags recovery as future work).
     """
 
-    def __init__(self, cluster, scheme):
+    def __init__(self, cluster, scheme, throttle=None):
         self.cluster = cluster
         self.scheme = scheme
         self.sim: Simulator = cluster.sim
+        #: optional :class:`repro.membership.rebuild.BandwidthThrottle` —
+        #: when the cluster runs a rebuild scheduler, repair traffic
+        #: shares its bandwidth cap instead of bursting unmetered
+        self.throttle = throttle
         self.repaired_keys = 0
         self.repaired_bytes = 0
         self.local_repairs = 0
         self.bytes_read_for_repair = 0
+
+    def _pace(self, nbytes: int) -> Generator:
+        if self.throttle is not None and nbytes > 0:
+            yield from self.throttle.acquire(nbytes)
 
     def repair_server(self, failed_name: str, keys: Iterable[str]) -> Generator:
         """Process generator: repair every affected key in sequence."""
@@ -94,19 +119,28 @@ class RepairManager:
         from repro.resilience.erasure import chunk_key  # cycle avoidance
 
         scheme = self.scheme
-        servers = scheme.placement(self.cluster.ring, key)
-        if failed_name not in servers:
+        # The failed node may hold chunks beyond its ring assignment —
+        # earlier repairs relocate rebuilt chunks to substitutes — so
+        # repair against the *actual* chunk locations, relocations
+        # included, or relocated chunks silently stay lost.
+        locations = scheme.chunk_servers(self.cluster.ring, key)
+        missing = [
+            index
+            for index, name in enumerate(locations)
+            if name == failed_name
+        ]
+        if not missing:
             return False
-        missing_index = servers.index(failed_name)
 
-        # Locally repairable codes rebuild one chunk from its group — a
-        # fraction of the bytes a full decode moves (the paper's stated
-        # motivation for incorporating LRC).
-        done = yield from self._try_local_repair(
-            client, key, servers, missing_index
-        )
-        if done is not None:
-            return done
+        if len(missing) == 1:
+            # Locally repairable codes rebuild one chunk from its group —
+            # a fraction of the bytes a full decode moves (the paper's
+            # stated motivation for incorporating LRC).
+            done = yield from self._try_local_repair(
+                client, key, locations, missing[0]
+            )
+            if done is not None:
+                return done
 
         # Read the surviving value (degraded read) ...
         from repro.store.arpe import OpMetrics
@@ -117,42 +151,56 @@ class RepairManager:
             return False
         value = result.value
 
-        # ... re-encode to obtain the lost chunk ...
+        # ... re-encode once to obtain every lost chunk ...
         encode_time = client.cost_model.encode_time(
             scheme.codec.name, value.size, scheme.k, scheme.m
         )
         yield client.compute(encode_time)
         chunks = scheme.materialize_chunks(value)
-        lost_chunk = chunks[missing_index]
 
-        # ... and place it on the first live node outside the placement.
-        # The rebuilt chunk keeps the surviving chunks' write version
-        # (stamped by the gather into metrics.info) so it decodes with
-        # them, and carries a CRC for ingest verification.
-        substitute = self._substitute_node(servers)
-        if substitute is None:
-            return False
-        meta = {"data_len": value.size, "chunk": missing_index}
-        if "ver" in metrics.info:
-            meta["ver"] = metrics.info["ver"]
-        if lost_chunk.has_data:
-            meta["crc"] = lost_chunk.checksum()
-        event = client.request(
-            substitute,
-            "set",
-            chunk_key(key, missing_index),
-            value=lost_chunk,
-            meta=meta,
-        )
-        response = yield event
-        if response.ok:
-            self.repaired_bytes += lost_chunk.size
-            self.bytes_read_for_repair += value.size
-            if not response.meta.get("stale"):
-                # a concurrent overwrite superseded the rebuilt version;
-                # its own placement is authoritative, not this relocation
-                scheme.record_relocation(key, missing_index, substitute)
-        return response.ok
+        # ... and place each on a live node holding no other chunk of
+        # this key (excluding current holders keeps the stripe spread:
+        # two chunks on one substitute would fail together later).  The
+        # rebuilt chunks keep the surviving chunks' write version
+        # (stamped by the gather into metrics.info) so they decode with
+        # them, and carry a CRC for ingest verification.
+        exclude = [
+            name
+            for index, name in enumerate(locations)
+            if index not in missing
+        ]
+        all_ok = True
+        for missing_index in missing:
+            lost_chunk = chunks[missing_index]
+            substitute = self._substitute_node(exclude)
+            if substitute is None:
+                return False
+            exclude.append(substitute)
+            meta = {"data_len": value.size, "chunk": missing_index}
+            if "ver" in metrics.info:
+                meta["ver"] = metrics.info["ver"]
+            if lost_chunk.has_data:
+                meta["crc"] = lost_chunk.checksum()
+            yield from self._pace(value.size + lost_chunk.size)
+            event = client.request(
+                substitute,
+                "set",
+                chunk_key(key, missing_index),
+                value=lost_chunk,
+                meta=meta,
+            )
+            response = yield event
+            if response.ok:
+                self.repaired_bytes += lost_chunk.size
+                self.bytes_read_for_repair += value.size
+                if not response.meta.get("stale"):
+                    # a concurrent overwrite superseded the rebuilt
+                    # version; its own placement is authoritative, not
+                    # this relocation
+                    scheme.record_relocation(key, missing_index, substitute)
+            else:
+                all_ok = False
+        return all_ok
 
     def _try_local_repair(
         self, client, key: str, servers: List[str], missing_index: int
@@ -173,7 +221,8 @@ class RepairManager:
         alive = [
             i
             for i, name in enumerate(servers)
-            if self.cluster.servers[name].alive
+            if self.cluster.servers.get(name) is not None
+            and self.cluster.servers[name].alive
         ]
         sources = source_picker(missing_index, alive)
         if sources is None:
@@ -222,6 +271,7 @@ class RepairManager:
             meta["ver"] = vers.pop()
         if rebuilt.has_data:
             meta["crc"] = rebuilt.checksum()
+        yield from self._pace(chunk_size * len(sources) + rebuilt.size)
         event = client.request(
             substitute,
             "set",

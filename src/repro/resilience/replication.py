@@ -17,6 +17,17 @@ from repro.store import protocol
 from repro.store.arpe import OpMetrics
 
 
+def _previous_placement(ring, key: str, count: int):
+    """The prior epoch's placement while a migration is open, else None."""
+    previous = getattr(ring, "previous_ring", None)
+    if previous is None:
+        return None
+    old_ring = previous()
+    if old_ring is None:
+        return None
+    return old_ring.placement(key, min(count, len(old_ring.servers)))
+
+
 def _set_meta(value: Payload) -> dict:
     """Set-request meta: a CRC so servers reject bytes mangled in flight.
 
@@ -51,7 +62,19 @@ class NoReplication(ResilienceScheme):
         yield self.charge_post(client, metrics, 0)
         event = client.request(server, "get", key, span=metrics.span)
         (response,) = yield from self.wait_each(client, metrics, [event])
-        return OpResult.from_response(response)
+        result = OpResult.from_response(response)
+        if result.ok:
+            return result
+        # dual-epoch fallback: the single copy may not have migrated yet
+        old = _previous_placement(client.ring, key, 1)
+        if old is None or old[0] == server:
+            return result
+        client.metrics.counter("reads.epoch_fallback").inc()
+        yield self.charge_post(client, metrics, 0)
+        event = client.request(old[0], "get", key, span=metrics.span)
+        (fallback,) = yield from self.wait_each(client, metrics, [event])
+        fb_result = OpResult.from_response(fallback)
+        return fb_result if fb_result.ok else result
 
 
 class _ReplicatedGetMixin:
@@ -59,6 +82,25 @@ class _ReplicatedGetMixin:
 
     def get(self, client, key: str, metrics: OpMetrics) -> Generator:
         targets = client.ring.placement(key, self.factor)
+        result = yield from self._get_from(client, key, targets, metrics)
+        if result.ok:
+            return result
+        # Dual-epoch read protocol: mid-migration, replicas may still sit
+        # at the previous epoch's placement; retry there until the epoch
+        # seals.  A NOT_FOUND from the *new* primary is not yet
+        # authoritative while the fallback window is open.
+        old_targets = _previous_placement(client.ring, key, self.factor)
+        if old_targets is None or old_targets == targets:
+            return result
+        client.metrics.counter("reads.epoch_fallback").inc()
+        fallback = yield from self._get_from(
+            client, key, old_targets, metrics
+        )
+        return fallback if fallback.ok else result
+
+    def _get_from(
+        self, client, key: str, targets, metrics: OpMetrics
+    ) -> Generator:
         last_error = protocol.ERR_NOT_FOUND
         for attempt, server in enumerate(targets):
             if attempt > 0:

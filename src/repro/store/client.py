@@ -176,6 +176,11 @@ class KVClient:
             value=value,
             meta=dict(meta or {}),
         )
+        # epoch-stamped placement: servers count requests routed by a
+        # stale topology view (membership migration lag)
+        epoch = getattr(self.ring, "epoch", None)
+        if epoch is not None:
+            req.meta.setdefault("epoch", epoch)
         if timeout is None:
             timeout = self.policy.request_timeout
         return protocol.issue_request(

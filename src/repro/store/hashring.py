@@ -22,6 +22,14 @@ def stable_hash(data: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def _server_points(name: str, points_per_server: int) -> List[tuple]:
+    """The sorted (hash, owner) virtual points one server contributes."""
+    return sorted(
+        (stable_hash("%s#%d" % (name, replica)), name)
+        for replica in range(points_per_server)
+    )
+
+
 class HashRing:
     """Ketama-style consistent hash ring over a fixed server list."""
 
@@ -31,17 +39,84 @@ class HashRing:
         if len(set(servers)) != len(servers):
             raise ValueError("duplicate server names")
         self.servers: List[str] = list(servers)
+        self.points_per_server = points_per_server
         self._index = {name: i for i, name in enumerate(self.servers)}
         self._ring: List[int] = []
         self._owners: List[str] = []
         points = []
         for name in self.servers:
-            for replica in range(points_per_server):
-                points.append((stable_hash("%s#%d" % (name, replica)), name))
+            points.extend(_server_points(name, points_per_server))
         points.sort()
         for point, name in points:
             self._ring.append(point)
             self._owners.append(name)
+
+    # -- incremental membership -------------------------------------------
+    def with_server(self, name: str) -> "HashRing":
+        """A new ring with ``name`` appended to the server list.
+
+        Reuses this ring's sorted point arrays — only the joining
+        server's ``points_per_server`` points are hashed and merged, so a
+        membership change costs O(P) instead of O(N * P) rehashing.
+        Consistent hashing guarantees only ~1/(N+1) of keys change owner.
+        """
+        if name in self._index:
+            raise ValueError("server %r already on the ring" % name)
+        new = object.__new__(HashRing)
+        new.servers = self.servers + [name]
+        new.points_per_server = self.points_per_server
+        new._index = dict(self._index)
+        new._index[name] = len(self.servers)
+        fresh = _server_points(name, self.points_per_server)
+        ring: List[int] = []
+        owners: List[str] = []
+        i = 0
+        j = 0
+        old_ring, old_owners = self._ring, self._owners
+        # merge keeps the exact (hash, name) tie-break order a full
+        # rebuild would produce, so with_server == HashRing(servers+[x])
+        while i < len(old_ring) and j < len(fresh):
+            if (old_ring[i], old_owners[i]) <= fresh[j]:
+                ring.append(old_ring[i])
+                owners.append(old_owners[i])
+                i += 1
+            else:
+                ring.append(fresh[j][0])
+                owners.append(fresh[j][1])
+                j += 1
+        while i < len(old_ring):
+            ring.append(old_ring[i])
+            owners.append(old_owners[i])
+            i += 1
+        for point, owner in fresh[j:]:
+            ring.append(point)
+            owners.append(owner)
+        new._ring = ring
+        new._owners = owners
+        return new
+
+    def without_server(self, name: str) -> "HashRing":
+        """A new ring with ``name`` removed from the server list.
+
+        Filters the departing server's points out of the shared sorted
+        arrays; no hashing at all.  Keys it owned redistribute across the
+        survivors (~1/N of the key space moves).
+        """
+        if name not in self._index:
+            raise ValueError("server %r not on the ring" % name)
+        if len(self.servers) == 1:
+            raise ValueError("cannot remove the last server")
+        new = object.__new__(HashRing)
+        new.servers = [s for s in self.servers if s != name]
+        new.points_per_server = self.points_per_server
+        new._index = {s: i for i, s in enumerate(new.servers)}
+        new._ring = []
+        new._owners = []
+        for point, owner in zip(self._ring, self._owners):
+            if owner != name:
+                new._ring.append(point)
+                new._owners.append(owner)
+        return new
 
     def primary(self, key: str) -> str:
         """The server that owns ``key`` under consistent hashing."""

@@ -83,6 +83,10 @@ class MemcachedServer:
         self.handlers: Dict[str, Handler] = {}
         self.pending = PendingTable(sim)
         self._req_seq = itertools.count(1)
+        #: newest membership epoch this server has observed (stamped into
+        #: heartbeat replies; requests carrying an older epoch are counted
+        #: so migration lag is visible in the metrics)
+        self.epoch = 0
         self.alive = True
         self.requests_handled = 0
         self.peer_requests_sent = 0
@@ -284,12 +288,24 @@ class MemcachedServer:
 
     # -- built-in ops ---------------------------------------------------------
     def _builtin(self, request: Request, base_cpu: float = 0.0) -> Generator:
+        req_epoch = request.meta.get("epoch")
+        if req_epoch is not None and req_epoch != self.epoch:
+            self.metrics.counter("server.epoch_mismatch").inc()
         if request.op == "set":
             return (yield from self._op_set(request, base_cpu))
         if request.op == "get":
             return (yield from self._op_get(request, base_cpu))
         if request.op == "delete":
             return (yield from self._op_delete(request, base_cpu))
+        if request.op == "ping":
+            # heartbeat: parse-cost only, epoch echoed for the detector
+            yield from self.cpu(base_cpu)
+            return Response(
+                req_id=request.req_id,
+                ok=True,
+                server=self.name,
+                meta={"epoch": self.epoch},
+            )
         yield from self.cpu(base_cpu)
         return Response(
             req_id=request.req_id,

@@ -1,0 +1,194 @@
+"""Epoched membership: transitions, liveness, and the RingView facade."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    MembershipError,
+    MembershipTable,
+    RingView,
+)
+from repro.store.hashring import HashRing
+
+MEMBERS = ["server-%d" % i for i in range(5)]
+
+
+@pytest.fixture
+def table():
+    return MembershipTable(MEMBERS)
+
+
+class TestGenesis:
+    def test_genesis_epoch_is_sealed(self, table):
+        assert table.current.number == 0
+        assert table.current.sealed
+        assert not table.migrating
+        assert table.current.origin == "genesis"
+
+    def test_all_members_start_alive(self, table):
+        assert all(table.state_of(m) == ALIVE for m in MEMBERS)
+        assert table.alive_members() == MEMBERS
+
+
+class TestTransitions:
+    def test_join_opens_new_epoch(self, table):
+        epoch = table.join("server-5")
+        assert epoch.number == 1
+        assert not epoch.sealed
+        assert table.migrating
+        assert "server-5" in epoch.members
+        assert table.state_of("server-5") == ALIVE
+
+    def test_only_one_open_epoch(self, table):
+        table.join("server-5")
+        with pytest.raises(MembershipError):
+            table.join("server-6")
+        table.seal()
+        table.join("server-6")  # legal once sealed
+
+    def test_graceful_leave_requires_alive(self, table):
+        table.mark_dead("server-2")
+        with pytest.raises(MembershipError):
+            table.graceful_leave("server-2")
+
+    def test_decommission_forces_dead(self, table):
+        epoch = table.decommission("server-2")
+        assert table.state_of("server-2") == DEAD
+        assert "server-2" not in epoch.members
+
+    def test_replace_swaps_in_one_epoch(self, table):
+        epoch = table.replace("server-1", "server-9")
+        assert "server-1" not in epoch.members
+        assert "server-9" in epoch.members
+        assert table.state_of("server-1") == DEAD
+        assert epoch.number == 1
+
+    def test_empty_transition_rejected(self, table):
+        with pytest.raises(MembershipError):
+            table.apply()
+
+    def test_unknown_member_rejected(self, table):
+        with pytest.raises(MembershipError):
+            table.apply(remove=["nope"])
+        with pytest.raises(MembershipError):
+            table.apply(add=["server-0"])  # already a member
+
+    def test_seal_records_convergence_time(self):
+        clock = {"now": 3.0}
+        table = MembershipTable(MEMBERS, clock=lambda: clock["now"])
+        epoch = table.join("server-5")
+        assert epoch.convergence_time is None
+        clock["now"] = 4.5
+        table.seal()
+        assert epoch.convergence_time == pytest.approx(1.5)
+
+    def test_double_seal_rejected(self, table):
+        table.join("server-5")
+        table.seal()
+        with pytest.raises(MembershipError):
+            table.seal()
+
+    def test_observers_fire_on_transition(self, table):
+        seen = []
+        table.observers.append(lambda old, new: seen.append((old.number,
+                                                             new.number)))
+        table.join("server-5")
+        assert seen == [(0, 1)]
+
+
+class TestLiveness:
+    def test_suspect_only_from_alive(self, table):
+        assert table.suspect("server-0")
+        assert table.state_of("server-0") == SUSPECT
+        assert not table.suspect("server-0")  # already suspect
+
+    def test_suspect_never_resurrects_dead(self, table):
+        """The double-bookkeeping guard: a chaos-crashed (DEAD) node
+        must not be demoted to SUSPECT by a lagging detector."""
+        table.mark_dead("server-0")
+        assert not table.suspect("server-0")
+        assert table.state_of("server-0") == DEAD
+
+    def test_suspect_still_counts_alive(self, table):
+        table.suspect("server-0")
+        assert table.is_alive("server-0")
+        table.mark_dead("server-0")
+        assert not table.is_alive("server-0")
+
+    def test_mark_alive_clears_everything(self, table):
+        table.mark_dead("server-0")
+        table.mark_alive("server-0")
+        assert table.state_of("server-0") == ALIVE
+
+
+class TestRingView:
+    def test_delegates_to_current_epoch(self, table):
+        view = RingView(table)
+        ring = HashRing(MEMBERS)
+        for i in range(50):
+            key = "key%d" % i
+            assert view.primary(key) == ring.primary(key)
+            assert view.placement(key, 3) == ring.placement(key, 3)
+
+    def test_sees_new_epoch_immediately(self, table):
+        view = RingView(table)
+        assert view.epoch == 0
+        table.join("server-5")
+        assert view.epoch == 1
+        assert "server-5" in view.servers
+
+    def test_previous_ring_only_while_migrating(self, table):
+        view = RingView(table)
+        assert view.previous_ring() is None  # genesis: nothing earlier
+        table.join("server-5")
+        old = view.previous_ring()
+        assert old is not None
+        assert "server-5" not in old.servers
+        table.seal()
+        assert view.previous_ring() is None  # fallback window closed
+
+
+class TestInjectorRouting:
+    """Satellite regression: chaos-injected crashes and restarts write
+    through the membership table — one source of liveness truth."""
+
+    def test_fail_now_marks_dead_in_table(self):
+        from repro.resilience.recovery import FailureInjector
+
+        cluster = build_cluster(scheme="era-ce-cd", servers=6, k=3, m=2)
+        injector = FailureInjector(cluster)
+        injector.fail_now(["server-2"])
+        assert not cluster.servers["server-2"].alive
+        assert cluster.membership.state_of("server-2") == DEAD
+        injector.recover_now(["server-2"])
+        assert cluster.servers["server-2"].alive
+        assert cluster.membership.state_of("server-2") == ALIVE
+
+    def test_scheduled_fail_routes_through_table(self):
+        from repro.resilience.recovery import FailureInjector
+
+        cluster = build_cluster(scheme="era-ce-cd", servers=6, k=3, m=2)
+        injector = FailureInjector(cluster)
+        injector.fail_at("server-1", when=0.01)
+        injector.recover_at("server-1", when=0.02)
+        cluster.run(cluster.sim.timeout(0.015))
+        assert cluster.membership.state_of("server-1") == DEAD
+        cluster.run()
+        assert cluster.membership.state_of("server-1") == ALIVE
+
+    def test_detector_cannot_disagree_with_chaos(self):
+        """After chaos kills a node, a lagging detector suspect() is a
+        no-op; after chaos restarts it, the table says ALIVE again."""
+        from repro.resilience.recovery import FailureInjector
+
+        cluster = build_cluster(scheme="era-ce-cd", servers=6, k=3, m=2)
+        injector = FailureInjector(cluster)
+        table = cluster.membership
+        injector.fail_now(["server-3"])
+        assert not table.suspect("server-3")  # stays DEAD, not SUSPECT
+        assert table.state_of("server-3") == DEAD
+        injector.recover_now(["server-3"])
+        assert table.state_of("server-3") == ALIVE

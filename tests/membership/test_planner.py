@@ -1,0 +1,152 @@
+"""Migration planner edge cases (the satellite checklist's test set)."""
+
+import pytest
+
+from repro.core.cluster import build_cluster
+from repro.membership import (
+    COPY,
+    REENCODE,
+    ErasurePlacementAdapter,
+    MembershipError,
+    MembershipTable,
+    MigrationPlanner,
+    ReplicationPlacementAdapter,
+)
+from repro.membership.epoch import RingEpoch
+from repro.store.hashring import HashRing
+
+KEYS = ["obj-%03d" % i for i in range(40)]
+
+
+def _erasure_cluster(servers=6):
+    return build_cluster(scheme="era-ce-cd", servers=servers, k=3, m=2)
+
+
+def _epochs_for_join(members, joiner):
+    """A sealed old epoch and an open new epoch with ``joiner`` added."""
+    table = MembershipTable(members)
+    new = table.join(joiner)
+    return table.epoch_by_number(0), new
+
+
+class TestEmptyPlans:
+    def test_identical_epochs_empty_plan(self):
+        """Two epochs over the same member set move nothing."""
+        ring = HashRing(["a", "b", "c", "d", "e"])
+        old = RingEpoch(0, ring, sealed=True)
+        new = RingEpoch(1, ring)  # same ring, new number, still open
+        cluster = _erasure_cluster()
+        planner = MigrationPlanner(ErasurePlacementAdapter(cluster.scheme))
+        plan = planner.plan(old, new, KEYS)
+        assert plan.empty
+        assert plan.keys_scanned == len(KEYS)
+
+    def test_no_keys_empty_plan(self):
+        cluster = _erasure_cluster()
+        old, new = _epochs_for_join(list(cluster.servers), "joiner-0")
+        planner = MigrationPlanner(ErasurePlacementAdapter(cluster.scheme))
+        assert planner.plan(old, new, []).empty
+
+
+class TestPlacementInvariants:
+    def test_no_two_chunks_of_one_object_on_same_node(self):
+        """Post-migration targets keep the stripe spread: m failures must
+        never take out more than m chunks of any object."""
+        cluster = _erasure_cluster()
+        old, new = _epochs_for_join(list(cluster.servers), "joiner-0")
+        adapter = ErasurePlacementAdapter(cluster.scheme)
+        planner = MigrationPlanner(adapter)
+        plan = planner.plan(old, new, KEYS)
+        assert not plan.empty  # a join always disturbs some keys
+        for key in KEYS:
+            targets = adapter.targets(new.ring, key)
+            assert len(set(targets)) == len(targets), (key, targets)
+
+    def test_only_disturbed_slots_move(self):
+        """A single join moves roughly the consistent-hashing fraction of
+        chunk slots, nowhere near all of them."""
+        cluster = _erasure_cluster(servers=8)
+        old, new = _epochs_for_join(list(cluster.servers), "joiner-0")
+        adapter = ErasurePlacementAdapter(cluster.scheme)
+        plan = MigrationPlanner(adapter).plan(old, new, KEYS)
+        total_slots = len(KEYS) * adapter.width
+        assert 0 < len(plan.moves) < total_slots / 2
+
+    def test_deterministic_digest(self):
+        cluster = _erasure_cluster()
+        adapter = ErasurePlacementAdapter(cluster.scheme)
+        digests = set()
+        for _ in range(2):
+            old, new = _epochs_for_join(
+                ["server-%d" % i for i in range(6)], "joiner-0"
+            )
+            # keys arrive in scrambled order; the plan must not care
+            plan = MigrationPlanner(adapter).plan(
+                old, new, list(reversed(KEYS))
+            )
+            digests.add(plan.digest())
+        assert len(digests) == 1
+
+
+class TestDeadSources:
+    def test_dead_source_becomes_reencode(self):
+        cluster = _erasure_cluster()
+        members = list(cluster.servers)
+        table = MembershipTable(members)
+        new = table.decommission("server-0")
+        old = table.epoch_by_number(0)
+        adapter = ErasurePlacementAdapter(cluster.scheme)
+        plan = MigrationPlanner(adapter).plan(
+            old, new, KEYS, is_alive=table.is_alive
+        )
+        from_dead = [m for m in plan.moves if m.src == "server-0"]
+        assert from_dead
+        assert all(m.mode == REENCODE for m in from_dead)
+        # moves off live holders stay cheap copies
+        assert any(m.mode == COPY for m in plan.moves)
+
+    def test_replication_redirects_instead_of_reencoding(self):
+        """Replication cannot re-encode: a dead source is swapped for a
+        live replica holding the same full copy."""
+        members = ["server-%d" % i for i in range(6)]
+        table = MembershipTable(members)
+        new = table.decommission("server-0")
+        old = table.epoch_by_number(0)
+        adapter = ReplicationPlacementAdapter(3)
+        plan = MigrationPlanner(adapter).plan(
+            old, new, KEYS, is_alive=table.is_alive
+        )
+        assert plan.moves
+        for move in plan.moves:
+            assert move.mode == COPY
+            assert move.src != "server-0"
+
+
+class TestSealedEpochs:
+    def test_sealed_epoch_rejects_planning(self):
+        cluster = _erasure_cluster()
+        members = list(cluster.servers)
+        table = MembershipTable(members)
+        new = table.join("joiner-0")
+        table.seal()
+        planner = MigrationPlanner(ErasurePlacementAdapter(cluster.scheme))
+        with pytest.raises(MembershipError):
+            planner.plan(table.epoch_by_number(0), new, KEYS)
+
+    def test_sealed_epoch_rejects_execution(self):
+        from repro.membership import RebuildScheduler
+
+        cluster = _erasure_cluster()
+        manager = cluster.manager
+        table = cluster.membership
+        new = table.join("joiner-0")
+        cluster.add_server("joiner-0")
+        plan = manager.planner.plan(
+            table.epoch_by_number(new.number - 1), new, []
+        )
+        table.seal()
+        scheduler = manager.scheduler
+        assert isinstance(scheduler, RebuildScheduler)
+        with pytest.raises(MembershipError):
+            # execute() raises before yielding anything when sealed
+            next(scheduler.execute(plan, new))

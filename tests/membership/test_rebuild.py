@@ -1,0 +1,143 @@
+"""Bandwidth throttle and the rebuild scheduler's execution contract."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.membership import BandwidthThrottle
+from repro.membership.manager import MembershipManager
+from repro.simulation import Simulator
+
+MIB = 1024 * 1024
+
+
+class TestBandwidthThrottle:
+    def test_rejects_non_positive_rate(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BandwidthThrottle(sim, 0)
+        with pytest.raises(ValueError):
+            BandwidthThrottle(sim, -5.0)
+
+    def test_uncapped_never_sleeps(self):
+        sim = Simulator()
+        throttle = BandwidthThrottle(sim, None)
+
+        def proc():
+            yield from throttle.acquire(100 * MIB)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == 0.0
+        assert throttle.total_bytes == 100 * MIB
+
+    def test_slots_are_disjoint_and_paced(self):
+        sim = Simulator()
+        rate = 10 * MIB
+        throttle = BandwidthThrottle(sim, rate)
+
+        def sender(nbytes):
+            yield from throttle.acquire(nbytes)
+
+        for _ in range(8):
+            sim.process(sender(MIB))
+        sim.run()
+        # 8 MiB at 10 MiB/s => exactly 0.8 virtual seconds
+        assert sim.now == pytest.approx(8 * MIB / rate)
+        slots = sorted(throttle.slots)
+        for (s0, e0, _), (s1, e1, _) in zip(slots, slots[1:]):
+            assert s1 >= e0  # no overlap: any window's rate <= cap
+
+    def test_windowed_rate_never_exceeds_cap(self):
+        sim = Simulator()
+        rate = 4 * MIB
+        throttle = BandwidthThrottle(sim, rate)
+
+        def bursty():
+            for size in (MIB, 3 * MIB, 512 * 1024, 2 * MIB):
+                yield from throttle.acquire(size)
+                yield sim.timeout(0.05)
+
+        sim.process(bursty())
+        sim.run()
+        for window in (0.01, 0.1, 1.0):
+            assert throttle.peak_rate(window) <= rate * (1 + 1e-9)
+
+    def test_total_bytes_conserved_in_windows(self):
+        sim = Simulator()
+        throttle = BandwidthThrottle(sim, 2 * MIB)
+
+        def proc():
+            yield from throttle.acquire(5 * MIB)
+
+        sim.process(proc())
+        sim.run()
+        assert sum(throttle.bytes_per_window(0.1)) == pytest.approx(5 * MIB)
+
+
+class TestThrottledMigration:
+    def _loaded_cluster(self, bandwidth):
+        cluster = build_cluster(scheme="era-ce-cd", servers=6, k=3, m=2)
+        manager = MembershipManager(cluster, bandwidth=bandwidth, window=4)
+        cluster._manager = manager
+        client = cluster.add_client()
+
+        def load():
+            for i in range(30):
+                yield from client.set(
+                    "mig-%03d" % i, Payload.sized(64 * 1024)
+                )
+
+        cluster.sim.process(load())
+        cluster.run()
+        return cluster, manager
+
+    def test_migration_respects_cap(self):
+        cap = 8 * MIB
+        cluster, manager = self._loaded_cluster(cap)
+        start = cluster.sim.now
+        done = cluster.sim.process(cluster.scale_out(["joiner-0"]))
+        cluster.run(done)
+        record = done.value
+        stats = record["stats"]
+        assert stats["failed"] == 0
+        assert stats["bytes"] > 0
+        throttle = manager.scheduler.throttle
+        # provable bound: recomputed windowed rate never exceeds the cap
+        assert throttle.peak_rate(0.01) <= cap * (1 + 1e-9)
+        # and the migration took at least bytes/rate of virtual time
+        assert cluster.sim.now - start >= stats["bytes"] / cap * 0.99
+
+    def test_unthrottled_is_faster(self):
+        capped_cluster, _ = self._loaded_cluster(4 * MIB)
+        start = capped_cluster.sim.now
+        done = capped_cluster.sim.process(
+            capped_cluster.scale_out(["joiner-0"])
+        )
+        capped_cluster.run(done)
+        capped_time = capped_cluster.sim.now - start
+
+        free_cluster, _ = self._loaded_cluster(None)
+        start = free_cluster.sim.now
+        done = free_cluster.sim.process(free_cluster.scale_out(["joiner-0"]))
+        free_cluster.run(done)
+        free_time = free_cluster.sim.now - start
+        assert capped_time > free_time
+
+    def test_migration_leaves_no_relocation_debt(self):
+        cluster, manager = self._loaded_cluster(None)
+        done = cluster.sim.process(cluster.scale_out(["joiner-0"]))
+        cluster.run(done)
+        assert done.value["stats"]["failed"] == 0
+        # every forwarding entry published at migration start was retired
+        assert cluster.scheme.relocations == {}
+        assert not cluster.membership.migrating
+
+    def test_rebuild_counters_exported(self):
+        cluster, manager = self._loaded_cluster(16 * MIB)
+        done = cluster.sim.process(cluster.scale_out(["joiner-0"]))
+        cluster.run(done)
+        snapshot = cluster.metrics.snapshot()
+        assert snapshot["rebuild.moves"] == done.value["stats"]["moves"]
+        assert snapshot["rebuild.bytes"] == done.value["stats"]["bytes"]
+        assert snapshot["rebuild.pending_moves"]["value"] == 0

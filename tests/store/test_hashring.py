@@ -101,3 +101,68 @@ class TestValidation:
     def test_duplicate_servers(self):
         with pytest.raises(ValueError):
             HashRing(["a", "a"])
+
+
+class TestIncrementalConstructors:
+    def test_with_server_equals_full_rebuild(self, ring):
+        grown = ring.with_server("server-5")
+        rebuilt = HashRing(SERVERS + ["server-5"])
+        for i in range(500):
+            key = "key%d" % i
+            assert grown.primary(key) == rebuilt.primary(key)
+            assert grown.placement(key, 3) == rebuilt.placement(key, 3)
+
+    def test_without_server_equals_full_rebuild(self, ring):
+        shrunk = ring.without_server("server-2")
+        rebuilt = HashRing([s for s in SERVERS if s != "server-2"])
+        for i in range(500):
+            key = "key%d" % i
+            assert shrunk.primary(key) == rebuilt.primary(key)
+            assert shrunk.placement(key, 3) == rebuilt.placement(key, 3)
+
+    def test_original_ring_unchanged(self, ring):
+        before = [ring.primary("key%d" % i) for i in range(100)]
+        ring.with_server("server-5")
+        ring.without_server("server-0")
+        after = [ring.primary("key%d" % i) for i in range(100)]
+        assert before == after
+
+    def test_with_server_rejects_duplicate(self, ring):
+        with pytest.raises(ValueError):
+            ring.with_server("server-0")
+
+    def test_without_server_rejects_absent(self, ring):
+        with pytest.raises(ValueError):
+            ring.without_server("nope")
+
+    def test_without_server_rejects_last(self):
+        lone = HashRing(["only"])
+        with pytest.raises(ValueError):
+            lone.without_server("only")
+
+    def test_join_disruption_is_about_one_over_n(self):
+        """Consistent-hashing property: joining the N+1th server remaps
+        roughly 1/(N+1) of keys — nowhere near a full reshuffle."""
+        num_keys = 4000
+        for n in (5, 8):
+            ring = HashRing(["node-%d" % i for i in range(n)])
+            grown = ring.with_server("node-%d" % n)
+            moved = sum(
+                1
+                for i in range(num_keys)
+                if ring.primary("key%d" % i) != grown.primary("key%d" % i)
+            )
+            expected = num_keys / (n + 1)
+            # generous band: within 3x either side of the ideal fraction
+            assert expected / 3 < moved < expected * 3, (n, moved)
+
+    def test_leave_disruption_only_touches_departed_keys(self):
+        """Removing a server must remap exactly the keys it owned."""
+        ring = HashRing(["node-%d" % i for i in range(6)])
+        shrunk = ring.without_server("node-3")
+        for i in range(2000):
+            key = "key%d" % i
+            if ring.primary(key) != "node-3":
+                assert shrunk.primary(key) == ring.primary(key)
+            else:
+                assert shrunk.primary(key) != "node-3"
