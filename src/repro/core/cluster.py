@@ -88,6 +88,9 @@ class KVCluster:
         self._manager = None
         #: hardening policy new clients inherit (None = legacy defaults)
         self.default_policy: Optional[RetryPolicy] = None
+        #: kwargs applied to every server's admission controller once
+        #: :meth:`enable_admission_control` has been called (None = off)
+        self._admission_config: Optional[dict] = None
 
     def _make_server(self, name: str) -> MemcachedServer:
         return MemcachedServer(
@@ -119,7 +122,32 @@ class KVCluster:
         server.epoch = self.membership.current.number
         self.servers[name] = server
         self.scheme.prepare_server(server)
+        if self._admission_config is not None:
+            server.enable_admission(**self._admission_config)
         return server
+
+    # -- overload protection -------------------------------------------------
+    def enable_admission_control(
+        self,
+        max_queue: int = 64,
+        bg_max_queue: int = 16,
+        sojourn_deadline: float = 0.02,
+    ) -> None:
+        """Bound every server's request queue (current and future).
+
+        Overloaded servers reject with typed ``SERVER_BUSY`` (plus a
+        retry-after hint) instead of queueing without limit, shed
+        requests whose queue sojourn exceeded ``sojourn_deadline``
+        (CoDel-style: by then the client has given up), and serve
+        foreground traffic ahead of background rebuild/repair.
+        """
+        self._admission_config = {
+            "max_queue": max_queue,
+            "bg_max_queue": bg_max_queue,
+            "sojourn_deadline": sojourn_deadline,
+        }
+        for server in self.servers.values():
+            server.enable_admission(**self._admission_config)
 
     def retire_server(self, name: str) -> None:
         """Tear down a server that has left the ring (data migrated off)."""

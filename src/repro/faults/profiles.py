@@ -144,6 +144,20 @@ PROFILES: Dict[str, FaultProfile] = {
             jitter=100e-6,
         ),
         FaultProfile(
+            name="flashcrowd",
+            description=(
+                "overload backdrop: mild jitter and rare spikes, no node "
+                "faults — load itself is the failure under test"
+            ),
+            # Node-level faults stay off on purpose: the overload soak
+            # drives servers with cpu_throttle, and a chaos slow-node
+            # episode ending would stomp that throttle mid-ramp.
+            jitter_rate=0.05,
+            jitter=50e-6,
+            spike_rate=0.002,
+            spike=1e-3,
+        ),
+        FaultProfile(
             name="all",
             description="every fault class at once",
             drop_rate=0.008,

@@ -32,6 +32,17 @@ or the foreground-p99 bound is violated::
     python -m repro.harness scale --seeds 1,2 --check-determinism
     python -m repro.harness scale --bandwidth 50 --report scale.json
 
+``overload`` runs the open-loop ramp soak: warm load, a flood far past
+server CPU capacity, then warm load again.  With protection on (the
+default) it exits non-zero unless post-ramp goodput recovers to >= 80%
+of pre-ramp and every issued op resolved to a typed result; with
+``--contrast`` it additionally runs the same seed unprotected and
+requires *that* run to fail the goodput gate::
+
+    python -m repro.harness overload --seeds 1,2 --contrast
+    python -m repro.harness overload --seed 7 --check-determinism
+    python -m repro.harness overload --no-protection --report ramp.json
+
 CI-scale parameters are the default (same shapes, minutes not hours);
 ``--full`` switches each experiment to the paper's published setup.
 """
@@ -351,6 +362,120 @@ def _run_scale(args) -> int:
     return 0 if ok else 1
 
 
+def _run_overload(args) -> int:
+    import json
+
+    from repro.harness.overload import OverloadConfig, run_overload_suite
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = OverloadConfig(
+        scheme=args.scheme,
+        servers=args.servers,
+        k=args.k,
+        m=args.m,
+        fault_profile=args.fault_profile or "flashcrowd",
+        protection=not args.no_protection,
+    )
+    print(
+        "Overload ramp soak: scheme=%s servers=%d k=%d m=%d profile=%s "
+        "rates=%.0f->%.0f ops/s protection=%s contrast=%s seeds=%s"
+        % (
+            config.scheme,
+            config.servers,
+            config.k,
+            config.m,
+            config.fault_profile,
+            config.base_rate,
+            config.ramp_rate,
+            config.protection,
+            args.contrast,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_overload_suite(seeds, config, contrast=args.contrast)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_overload_suite(seeds, config, contrast=args.contrast)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        gates = report["gates"]
+        phases = report["phases"]
+        print(
+            "seed %-6d %s  goodput %s (warm %.0f -> recover %.0f ops/s, "
+            "floor %.2f), silent-losses %d, issued %d"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                gates["goodput_ratio"],
+                phases["warm"]["goodput"],
+                phases["recover"]["goodput"],
+                gates["goodput_floor"],
+                len(gates["unresolved"]),
+                report["ops_issued"],
+            )
+        )
+        protection = report["protection"]
+        print(
+            "  protection: busy-rejects %d, sheds %d, fast-fails %d, "
+            "aimd -%d/+%d, brownout transitions %d, cancels %d"
+            % (
+                protection["server_busy_rejects"],
+                protection["server_sheds"],
+                protection["breaker_fast_fails"],
+                protection["aimd"]["shrinks"],
+                protection["aimd"]["grows"],
+                len(protection["brownout_transitions"]),
+                protection["cancels_sent"],
+            )
+        )
+        if args.contrast:
+            bare = report["unprotected"]["gates"]
+            print(
+                "  contrast %s: unprotected goodput %s -> gate %s"
+                % (
+                    "OK" if report["contrast_ok"] else "FAIL",
+                    bare["goodput_ratio"],
+                    "failed as expected"
+                    if not bare["goodput_ok"]
+                    else "PASSED (ramp has no teeth)",
+                )
+            )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Overload gates %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """Entry point: parse arguments, run the experiment, print its table."""
     parser = argparse.ArgumentParser(
@@ -460,6 +585,19 @@ def main(argv=None) -> int:
         metavar="N",
         help="scale: number of servers joined mid-run (default 2)",
     )
+    overload_group = parser.add_argument_group("overload options")
+    overload_group.add_argument(
+        "--no-protection",
+        action="store_true",
+        help="overload: run with admission control and the client guard "
+        "disabled (demonstrates the metastable collapse)",
+    )
+    overload_group.add_argument(
+        "--contrast",
+        action="store_true",
+        help="overload: run each seed protected AND unprotected; pass only "
+        "if protection clears the gates and its absence fails goodput",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figure:
@@ -472,6 +610,10 @@ def main(argv=None) -> int:
             "scale   elasticity experiment (join/decommission under load, "
             "throttled rebuild)"
         )
+        print(
+            "overload open-loop ramp soak (admission control, breakers, "
+            "brownout; goodput-recovery gate)"
+        )
         return 0
 
     if args.figure.lower() == "bench":
@@ -482,6 +624,9 @@ def main(argv=None) -> int:
 
     if args.figure.lower() == "scale":
         return _run_scale(args)
+
+    if args.figure.lower() == "overload":
+        return _run_overload(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

@@ -1,0 +1,457 @@
+"""The overload ramp soak: drive the cluster past saturation, on purpose.
+
+One seeded run fires an **open-loop** workload — operations are issued on
+a fixed clock whether or not earlier ones completed, like real traffic —
+through three phases: a *warm* phase at a sustainable rate, a *ramp*
+phase far past the cluster's CPU capacity, and a *recover* phase back at
+the warm rate.  Servers run single worker threads under a heavy
+``cpu_throttle`` so the bottleneck is server CPU (the shed-able resource
+admission control governs), not the wire.
+
+Two gates decide the verdict:
+
+**Goodput recovery** — goodput is successful completions within the SLO,
+attributed to the phase that *issued* them.  The recover phase's goodput
+rate must be at least ``goodput_floor`` (default 80%) of the warm
+phase's.  With protection on, admission control sheds stale queue,
+breakers fast-fail during the flood, and AIMD shrinks in-flight work, so
+the backlog drains and recover-phase traffic meets its SLO again.  With
+protection off the same ramp leaves deep zombie queues and retry
+amplification — the classic metastable failure — and this gate must
+demonstrably *fail* (the ``contrast`` mode asserts exactly that).
+
+**No silent losses** — every operation ever issued must resolve to a
+typed :class:`~repro.store.result.OpResult` (success, SERVER_BUSY,
+TIMEOUT, ...) by the end of the run.  Load shedding is only safe if
+rejection is a *first-class answer*, never a dropped request.
+
+Determinism: the run derives from one seed; the report carries a SHA-256
+digest over per-phase operation counts, protection counters and the
+server/client metrics slice — identical seeds must produce identical
+digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.payload import Payload
+from repro.common.stats import Summary
+from repro.faults.engine import ChaosEngine
+from repro.faults.profiles import profile_by_name
+from repro.store.client import KVStoreError
+from repro.store.policy import OVERLOAD_POLICY, RetryPolicy
+
+KIB = 1024
+
+#: issue-time phase tags, in order
+PHASES = ("warm", "ramp", "recover")
+
+
+@dataclass
+class OverloadConfig:
+    """One ramp soak's shape.  Times are virtual seconds."""
+
+    seed: int = 0
+    net_profile: str = "ri-qdr"
+    scheme: str = "era-ce-cd"
+    servers: int = 6
+    k: int = 3
+    m: int = 2
+    #: message-level background noise; node faults stay off on purpose
+    fault_profile: str = "flashcrowd"
+    #: the knob under test: admission control + client-side guard on/off
+    protection: bool = True
+    num_clients: int = 4
+    key_space: int = 48
+    value_size: int = 4 * KIB
+    set_fraction: float = 0.5
+    #: single-threaded, CPU-throttled servers: the bottleneck admission
+    #: control actually governs (wire queues cannot be shed)
+    worker_threads: int = 1
+    cpu_throttle: float = 300.0
+    #: phase durations
+    warm: float = 0.4
+    ramp: float = 0.4
+    recover: float = 0.8
+    #: cluster-wide open-loop issue rates (ops per virtual second)
+    base_rate: float = 1500.0
+    ramp_rate: float = 14000.0
+    #: an op "counts" toward goodput when it succeeds within this budget
+    slo: float = 0.05
+    #: recover-phase goodput must reach this fraction of warm-phase goodput
+    goodput_floor: float = 0.8
+    #: head of the warm/recover windows excluded from goodput accounting
+    #: (warmup transient / backlog still draining right at the ramp edge)
+    settle: float = 0.2
+
+
+#: per-request deadline and retry shape shared by both modes — only the
+#: protection machinery differs, so the contrast is apples to apples.
+_SOAK_POLICY = RetryPolicy(
+    request_timeout=0.02,
+    op_deadline=0.25,
+    max_retries=3,
+    hedge=True,
+)
+
+
+class _OpRecord:
+    """One issued operation: who, when, and how it resolved."""
+
+    __slots__ = ("op", "issued_at", "phase", "handle", "completed_at")
+
+    def __init__(self, op: str, issued_at: float, phase: str, handle):
+        self.op = op
+        self.issued_at = issued_at
+        self.phase = phase
+        self.handle = handle
+        self.completed_at: Optional[float] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.handle.result is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.handle.result is not None and self.handle.result.ok
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+def _value_bytes(key: str, seq: int, size: int) -> bytes:
+    stamp = ("%s#%d|" % (key, seq)).encode()
+    reps = size // len(stamp) + 1
+    return (stamp * reps)[:size]
+
+
+def _latency_summary(samples: List[float]) -> Optional[dict]:
+    if not samples:
+        return None
+    summary = Summary.of(samples).scaled(1e3)  # milliseconds
+    return {
+        "count": summary.count,
+        "mean_ms": round(summary.mean, 4),
+        "p50_ms": round(summary.p50, 4),
+        "p99_ms": round(summary.p99, 4),
+        "max_ms": round(summary.maximum, 4),
+    }
+
+
+def run_overload(config: OverloadConfig) -> dict:
+    """Execute one seeded ramp soak; returns the JSON-able report."""
+    from repro.core.cluster import build_cluster
+
+    profile = profile_by_name(config.fault_profile)
+    cluster = build_cluster(
+        profile=config.net_profile,
+        scheme=config.scheme,
+        servers=config.servers,
+        k=config.k,
+        m=config.m,
+        worker_threads=config.worker_threads,
+    )
+    sim = cluster.sim
+
+    policy = _SOAK_POLICY
+    if config.protection:
+        policy = RetryPolicy(
+            request_timeout=_SOAK_POLICY.request_timeout,
+            op_deadline=_SOAK_POLICY.op_deadline,
+            max_retries=_SOAK_POLICY.max_retries,
+            hedge=_SOAK_POLICY.hedge,
+            overload=OVERLOAD_POLICY,
+        )
+        cluster.enable_admission_control()
+    cluster.default_policy = policy
+    for server in cluster.servers.values():
+        server.peer_timeout = policy.request_timeout
+        server.cpu_throttle = config.cpu_throttle
+
+    master = random.Random(config.seed)
+    chaos = ChaosEngine(cluster, profile, seed=master.getrandbits(64))
+
+    clients = []
+    rngs = []
+    for _ in range(config.num_clients):
+        clients.append(cluster.add_client(name_hint="ramp"))
+        rngs.append(random.Random(master.getrandbits(64)))
+
+    duration = config.warm + config.ramp + config.recover
+    marks = {"t0": None}
+    records: List[_OpRecord] = []
+
+    def _phase_of(offset: float) -> str:
+        if offset < config.warm:
+            return "warm"
+        if offset < config.warm + config.ramp:
+            return "ramp"
+        return "recover"
+
+    def _rate_at(offset: float) -> float:
+        if config.warm <= offset < config.warm + config.ramp:
+            return config.ramp_rate
+        return config.base_rate
+
+    def _issue(client, rng, tag: str, seqs: dict) -> _OpRecord:
+        key = "%s:k%03d" % (tag, rng.randrange(config.key_space))
+        offset = sim.now - marks["t0"]
+        if rng.random() < config.set_fraction:
+            seqs[key] = seqs.get(key, 0) + 1
+            data = _value_bytes(key, seqs[key], config.value_size)
+            handle = client.iset(key, Payload.from_bytes(data))
+            op = "set"
+        else:
+            handle = client.iget(key)
+            op = "get"
+        record = _OpRecord(op, sim.now, _phase_of(offset), handle)
+
+        def _mark_done(_event) -> None:
+            record.completed_at = sim.now
+
+        handle.done.callbacks.append(_mark_done)
+        records.append(record)
+        return record
+
+    def _issuer(client, rng, tag: str):
+        seqs: dict = {}
+        while True:
+            offset = sim.now - marks["t0"]
+            if offset >= duration:
+                return
+            rate = _rate_at(offset) / config.num_clients
+            yield sim.timeout(rng.expovariate(rate))
+            if sim.now - marks["t0"] >= duration:
+                return
+            _issue(client, rng, tag, seqs)
+
+    def _driver():
+        # Prefill every client's key range with blocking Sets so the
+        # workload's Gets hit real stripes, then open the floodgates.
+        for index, client in enumerate(clients):
+            for knum in range(config.key_space):
+                key = "c%d:k%03d" % (index, knum)
+                data = _value_bytes(key, 0, config.value_size)
+                try:
+                    yield from client.set(key, Payload.from_bytes(data))
+                except KVStoreError:
+                    pass
+        marks["t0"] = sim.now
+        chaos.start(horizon=duration)
+        for index, (client, rng) in enumerate(zip(clients, rngs)):
+            sim.process(
+                _issuer(client, rng, "c%d" % index),
+                name="%s-load" % client.name,
+            )
+
+    sim.process(_driver(), name="overload-driver")
+    cluster.run()  # to quiescence: every handle resolves or times out
+    chaos.heal_all()
+    chaos.uninstall()
+
+    # -- gate 1: no silent losses ------------------------------------------
+    unresolved = [
+        {"op": r.op, "phase": r.phase, "issued_at": round(r.issued_at, 6)}
+        for r in records
+        if not r.resolved
+    ]
+    silent_ok = not unresolved
+
+    # -- gate 2: goodput recovery ------------------------------------------
+    t0 = marks["t0"]
+    windows = {
+        "warm": (t0 + config.settle, t0 + config.warm),
+        "ramp": (t0 + config.warm, t0 + config.warm + config.ramp),
+        "recover": (
+            t0 + config.warm + config.ramp + config.settle,
+            t0 + duration,
+        ),
+    }
+
+    phases = {}
+    for phase in PHASES:
+        start, end = windows[phase]
+        issued = [r for r in records if start <= r.issued_at < end]
+        ok = [r for r in issued if r.ok]
+        good = [
+            r
+            for r in ok
+            if r.latency is not None and r.latency <= config.slo
+        ]
+        busy = sum(
+            1
+            for r in issued
+            if r.resolved and r.handle.result.error.name == "SERVER_BUSY"
+        )
+        timeouts = sum(
+            1
+            for r in issued
+            if r.resolved and r.handle.result.error.name == "TIMEOUT"
+        )
+        degraded = sum(
+            1 for r in issued if r.resolved and r.handle.result.is_degraded
+        )
+        span = end - start
+        phases[phase] = {
+            "window": [round(start - t0, 6), round(end - t0, 6)],
+            "issued": len(issued),
+            "ok": len(ok),
+            "within_slo": len(good),
+            "busy_rejected": busy,
+            "timed_out": timeouts,
+            "degraded": degraded,
+            "goodput": round(len(good) / span, 3) if span > 0 else 0.0,
+            "latency": _latency_summary(
+                [r.latency for r in ok if r.latency is not None]
+            ),
+        }
+
+    pre = phases["warm"]["goodput"]
+    post = phases["recover"]["goodput"]
+    goodput_ratio = round(post / pre, 4) if pre > 0 else None
+    goodput_ok = (
+        goodput_ratio is not None and goodput_ratio >= config.goodput_floor
+    )
+
+    # -- protection-machinery observability --------------------------------
+    snapshot = {}
+    for prefix in ("server.", "client.", "reads.", "writes."):
+        snapshot.update(cluster.metrics.snapshot(prefix))
+    brownout_transitions = []
+    breaker_trips = 0
+    aimd = {"shrinks": 0, "grows": 0}
+    for client in clients:
+        if client.guard is None:
+            continue
+        breaker_trips += sum(
+            len(b.history) for b in client.guard._breakers.values()
+        )
+        if client.guard.aimd is not None:
+            aimd["shrinks"] += client.guard.aimd.shrinks
+            aimd["grows"] += client.guard.aimd.grows
+        for when, before, after in client.guard.brownout.history:
+            brownout_transitions.append(
+                [round(when - t0, 6), int(before), int(after)]
+            )
+    brownout_transitions.sort()
+
+    def _counter(name: str) -> int:
+        value = snapshot.get(name, 0)
+        return value if isinstance(value, int) else 0
+
+    protection = {
+        "enabled": config.protection,
+        "server_busy_rejects": sum(
+            _counter("server.%s.rejected" % name) for name in cluster.servers
+        ),
+        "server_sheds": sum(
+            _counter("server.%s.shed" % name) for name in cluster.servers
+        ),
+        "breaker_fast_fails": _counter("client.breaker.fast_fails"),
+        "breaker_transitions": breaker_trips,
+        "aimd": aimd,
+        "brownout_transitions": brownout_transitions,
+        "read_repair": {
+            "enqueued": _counter("client.read_repair.enqueued"),
+            "dropped": _counter("client.read_repair.dropped"),
+        },
+        "cancels_sent": _counter("client.cancels_sent"),
+    }
+
+    fault_log = [[t, kind, detail] for t, kind, detail in chaos.fault_log]
+    digest_input = {
+        "config": {
+            "seed": config.seed,
+            "scheme": config.scheme,
+            "fault_profile": config.fault_profile,
+            "servers": config.servers,
+            "k": config.k,
+            "m": config.m,
+            "protection": config.protection,
+            "base_rate": config.base_rate,
+            "ramp_rate": config.ramp_rate,
+            "slo": config.slo,
+        },
+        "phases": {
+            name: {
+                key: value
+                for key, value in phase.items()
+                if key != "latency"
+            }
+            for name, phase in phases.items()
+        },
+        "protection": protection,
+        "unresolved": unresolved,
+        "fault_log": fault_log,
+        "metrics": {
+            name: value for name, value in sorted(snapshot.items())
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(digest_input, sort_keys=True).encode()
+    ).hexdigest()
+
+    return {
+        "config": digest_input["config"],
+        "ok": silent_ok and goodput_ok,
+        "gates": {
+            "goodput_ok": goodput_ok,
+            "goodput_ratio": goodput_ratio,
+            "goodput_floor": config.goodput_floor,
+            "silent_ok": silent_ok,
+            "unresolved": unresolved,
+        },
+        "phases": phases,
+        "protection": protection,
+        "ops_issued": len(records),
+        "fault_log_entries": len(fault_log),
+        "virtual_time": sim.now,
+        "digest": digest,
+    }
+
+
+def run_overload_suite(
+    seeds: List[int],
+    config: Optional[OverloadConfig] = None,
+    contrast: bool = False,
+) -> dict:
+    """Run the ramp soak across seeds; aggregate verdict + reports.
+
+    With ``contrast=True`` every seed is run twice — protection on and
+    off — and the suite only passes if the protected run clears both
+    gates **and** the unprotected run fails the goodput gate (proving
+    the gate has teeth, not that the ramp is trivially survivable).
+    """
+    import dataclasses
+
+    base = config or OverloadConfig()
+    if contrast:
+        base = dataclasses.replace(base, protection=True)
+    reports = []
+    for seed in seeds:
+        report = run_overload(dataclasses.replace(base, seed=seed))
+        if contrast:
+            bare = run_overload(
+                dataclasses.replace(base, seed=seed, protection=False)
+            )
+            report["unprotected"] = {
+                "gates": bare["gates"],
+                "phases": bare["phases"],
+                "digest": bare["digest"],
+            }
+            report["contrast_ok"] = (
+                report["ok"] and not bare["gates"]["goodput_ok"]
+            )
+        reports.append(report)
+    ok = all(r["ok"] for r in reports)
+    if contrast:
+        ok = ok and all(r["contrast_ok"] for r in reports)
+    return {"ok": ok, "seeds": list(seeds), "reports": reports}

@@ -75,6 +75,9 @@ class MembershipManager:
         self.adapter = adapter_for_scheme(cluster.scheme)
         self.planner = MigrationPlanner(self.adapter)
         self.rebuilder = cluster.add_client("rebuilder")
+        # rebuild/migration traffic is background-lane: foreground ops
+        # preempt it at admission-controlled servers
+        self.rebuilder.default_lane = "bg"
         self.scheduler = RebuildScheduler(
             cluster,
             self.adapter,

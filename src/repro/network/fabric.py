@@ -125,6 +125,15 @@ class Link:
         """When the next transfer could begin on this link."""
         return max(self.sim.now, self.busy_until)
 
+    def backlog(self) -> float:
+        """Seconds of already-reserved transfer time ahead of a new send.
+
+        The wire analogue of a queue depth: how far behind real time
+        this link's FIFO timeline is running.  Overload telemetry reads
+        it to tell wire congestion from server-CPU congestion.
+        """
+        return max(0.0, self.busy_until - self.sim.now)
+
 
 def _reserve_pair(egress: Link, ingress: Link, nbytes: int) -> float:
     """Reserve both sides of a transfer; returns the completion *delay*.
@@ -249,6 +258,23 @@ class Fabric:
     def endpoint(self, name: str) -> Endpoint:
         """Look up an endpoint by node name."""
         return self.endpoints[name]
+
+    def max_link_backlog(self) -> float:
+        """Largest per-link wire backlog (seconds) across the fabric.
+
+        A load ramp shows up here first when the *wire* is the
+        bottleneck; overload soaks assert it stays small to prove their
+        pressure is landing on server CPU (where admission control can
+        shed it) rather than in unsheddable link FIFOs.
+        """
+        worst = 0.0
+        for endpoint in self.endpoints.values():
+            worst = max(
+                worst,
+                endpoint.egress.backlog(),
+                endpoint.ingress.backlog(),
+            )
+        return worst
 
     # -- protocol timing ---------------------------------------------------
     def _control_trip(self) -> float:

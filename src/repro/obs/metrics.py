@@ -159,14 +159,25 @@ class MetricsRegistry:
             + list(self._histograms)
         )
 
-    def snapshot(self) -> Dict[str, object]:
-        """Plain-data dump of every instrument (JSON-serializable)."""
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
+        """Plain-data dump of every instrument (JSON-serializable).
+
+        ``prefix`` restricts the dump to one dotted namespace (e.g.
+        ``"server."`` or ``"client.read_repair."``) — soak reports embed
+        focused slices instead of the whole registry.
+        """
         out: Dict[str, object] = {}
         for name, counter in self._counters.items():
+            if not name.startswith(prefix):
+                continue
             out[name] = counter.value
         for name, gauge in self._gauges.items():
+            if not name.startswith(prefix):
+                continue
             out[name] = {"value": gauge.value, "peak": gauge.peak}
         for name, hist in self._histograms.items():
+            if not name.startswith(prefix):
+                continue
             out[name] = {
                 "count": hist.count,
                 "mean": hist.mean,

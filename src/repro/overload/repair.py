@@ -1,0 +1,115 @@
+"""Bounded, metered read-repair queue (replaces fire-and-forget).
+
+Read-repair used to post its write-backs straight onto the wire and
+forget them — invisible (no counters) and unsheddable (repair traffic
+competed with foreground ops exactly when the cluster was slow, since
+corrupt chunks surface during degraded reads).  The queue fixes both:
+
+- **bounded**: at most ``budget`` repairs wait at once; overflow is
+  dropped and counted (``client.read_repair.dropped``) — a dropped
+  repair is safe, the next read of the key re-detects the rot;
+- **metered**: ``client.read_repair.{enqueued,dropped,completed}``
+  counters make repair traffic visible to soaks and dashboards;
+- **sheddable**: under brownout, ELEVATED closes the drain gate (repairs
+  queue but do not send) and OVERLOAD drops the queue outright.
+
+The drainer is a single background process, started lazily on the first
+submit so clients that never repair cost nothing.  Repairs are sent one
+at a time on the background lane (``meta["lane"] = "bg"``), so admission
+control can deprioritize them behind foreground traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.overload.brownout import BrownoutController, LoadLevel
+from repro.simulation.resources import Gate, Store
+
+
+class ReadRepairQueue:
+    """Per-client bounded queue of chunk write-backs."""
+
+    def __init__(
+        self,
+        client,
+        budget: int = 16,
+        brownout: Optional[BrownoutController] = None,
+    ):
+        self.client = client
+        self.budget = budget
+        self.brownout = brownout
+        self._store = Store(client.sim)
+        self._gate = Gate(client.sim, opened=True)
+        self._started = False
+        metrics = client.metrics
+        self.enqueued = metrics.counter("client.read_repair.enqueued")
+        self.dropped = metrics.counter("client.read_repair.dropped")
+        self.completed = metrics.counter("client.read_repair.completed")
+        self.failed = metrics.counter("client.read_repair.failed")
+        if brownout is not None:
+            brownout.on_transition.append(self._on_level_change)
+            if brownout.defer_repair:
+                self._gate.reset()
+
+    @property
+    def depth(self) -> int:
+        """Repairs currently waiting to be sent."""
+        return len(self._store)
+
+    def submit(self, dst: str, key: str, value, meta: dict) -> bool:
+        """Queue one chunk write-back; ``False`` when shed or over budget."""
+        if self.brownout is not None and self.brownout.shed_repair:
+            self.dropped.inc()
+            return False
+        if len(self._store) >= self.budget:
+            self.dropped.inc()
+            return False
+        self.enqueued.inc()
+        self._store.put((dst, key, value, meta))
+        if not self._started:
+            self._started = True
+            self.client.sim.process(
+                self._drain(), name="%s.read_repair" % self.client.name
+            )
+        return True
+
+    def _on_level_change(self, _old: LoadLevel, new: LoadLevel) -> None:
+        if new == LoadLevel.NORMAL:
+            self._gate.open()
+            return
+        self._gate.reset()
+        if new >= LoadLevel.OVERLOAD:
+            # Shed everything already queued: under overload the cluster
+            # needs its capacity for foreground traffic, and rot will be
+            # re-detected by the next read anyway.
+            while self._store.try_get() is not None:
+                self.dropped.inc()
+
+    def _drain(self) -> Generator:
+        # Quiescence-safe: blocked getters on an empty Store (and gate
+        # waiters) hold no heap events, so an idle drainer never keeps
+        # the simulation alive.
+        client = self.client
+        while True:
+            get_event = self._store.get()
+            if get_event.processed:
+                job = get_event.value
+            else:
+                job = yield get_event
+            wait = self._gate.wait()
+            if not wait.processed:
+                yield wait
+            dst, key, value, meta = job
+            waiter = client.request(
+                dst, "set", key, value=value, meta=dict(meta, lane="bg")
+            )
+            try:
+                response = yield waiter
+            except Exception:  # noqa: BLE001 - repair is best-effort
+                self.failed.inc()
+                continue
+            if response.ok:
+                self.completed.inc()
+            else:
+                self.failed.inc()

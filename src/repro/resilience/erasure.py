@@ -214,6 +214,24 @@ class ErasureScheme(ResilienceScheme):
         the survivors).
         """
         if client.policy.durable_writes:
+            stored = sum(1 for r in responses if r.ok)
+            if (
+                client.guard is not None
+                and client.guard.brownout.async_ack_writes
+                and stored >= self.k
+            ):
+                # Brownout OVERLOAD: the value is already recoverable
+                # (k of n landed), so acknowledge now and finish the
+                # strict all-n durability in the background — typed as
+                # degraded so callers know the durability downgrade.
+                client.metrics.counter("writes.async_acks").inc()
+                client.sim.process(
+                    self._async_finish_set(
+                        client, key, chunks, servers, responses, meta
+                    ),
+                    name="%s.async_ack" % client.name,
+                )
+                return OpResult.success().with_degraded("async-ack")
             all_ok, errors = yield from self._repair_failed_chunks(
                 client, key, chunks, servers, responses, meta, metrics
             )
@@ -229,6 +247,25 @@ class ErasureScheme(ResilienceScheme):
                 ", ".join(sorted(errors)) or protocol.ERR_SERVER
             )
         return OpResult.success()
+
+    def _async_finish_set(
+        self, client, key, chunks, servers, responses, meta
+    ) -> Generator:
+        """Background tail of an async-acked durable Set.
+
+        Runs the same retry/relocate cleanup the synchronous durable path
+        would, but off the caller's critical path and on the background
+        lane, so admission control serves it behind foreground traffic.
+        """
+        bg_meta = dict(meta, lane="bg")
+        bg_metrics = OpMetrics(client.sim.now)
+        all_ok, _errors = yield from self._repair_failed_chunks(
+            client, key, chunks, servers, responses, bg_meta, bg_metrics
+        )
+        if not all_ok:
+            # The ack already went out; record the durability shortfall
+            # (the next overwrite or the rebuild scanner restores it).
+            client.metrics.counter("writes.async_ack_incomplete").inc()
 
     def _repair_failed_chunks(
         self,
@@ -367,14 +404,23 @@ class ErasureScheme(ResilienceScheme):
             metrics.wait_time += cost
             yield client.compute(cost)
 
+        # Brownout OVERLOAD: flood every candidate chunk fetch at once
+        # and decode from whichever k arrive first — extra bandwidth
+        # bought back as tail latency when servers are the bottleneck.
+        flood = (
+            client.guard is not None
+            and client.guard.brownout.first_k_reads
+        )
         gathered = yield from self._gather_chunks(
-            client, key, servers, candidates, metrics
+            client, key, servers, candidates, metrics, flood=flood
         )
-        return (
-            yield from self._decode_gathered(
-                client, key, servers, gathered, metrics
-            )
+        result = yield from self._decode_gathered(
+            client, key, servers, gathered, metrics
         )
+        if flood and result.ok:
+            client.metrics.counter("reads.first_k").inc()
+            result = result.with_degraded("first-k")
+        return result
 
     def _decode_gathered(
         self, client, key, servers, gathered, metrics
@@ -404,11 +450,12 @@ class ErasureScheme(ResilienceScheme):
 
         A ``CORRUPT`` chunk response means the holder's copy is mangled
         (and was dropped on read).  The decode just succeeded from the
-        surviving chunks, so re-derive the damaged ones and write them
-        back now — otherwise silent rot accumulates until the key
-        exceeds the code's tolerance.  Fire-and-forget: a real store
-        hands this to a background scrubber, so the Get being served
-        does not wait on (or get charged for) the write-back.
+        surviving chunks, so re-derive the damaged ones and hand the
+        write-backs to the client's bounded read-repair queue — the Get
+        being served does not wait on (or get charged for) them, the
+        queue meters and bounds them, and brownout can defer or shed
+        them when the cluster needs its capacity for foreground work.
+        A dropped repair is safe: the rot is re-detected on next read.
         """
         chunks = self.materialize_chunks(value)
         meta = {"data_len": value.size, "ver": ver}
@@ -417,15 +464,12 @@ class ErasureScheme(ResilienceScheme):
                 continue
             chunk = chunks[index]
             client.metrics.counter("reads.read_repair").inc()
-            event = client.request(
+            client.read_repair.submit(
                 servers[index],
-                "set",
                 chunk_key(key, index),
-                value=chunk,
-                meta=self._chunk_meta(meta, index, chunk),
-                span=metrics.span,
+                chunk,
+                self._chunk_meta(meta, index, chunk),
             )
-            event.defuse()
 
     def _gather_chunks(
         self,
@@ -435,6 +479,7 @@ class ErasureScheme(ResilienceScheme):
         queue: List[int],
         metrics: OpMetrics,
         outstanding: Optional[Dict] = None,
+        flood: bool = False,
     ) -> Generator:
         """Event-driven chunk gather; the heart of the degraded read path.
 
@@ -479,7 +524,9 @@ class ErasureScheme(ResilienceScheme):
             return buckets[max_ver]["chunks"]
 
         while not self.codec.can_decode(current()):
-            want = max(1, self.k - len(current()))
+            # ``flood`` (brownout first-k mode) keeps every candidate in
+            # flight; normal mode asks only for what decode still needs.
+            want = self.n if flood else max(1, self.k - len(current()))
             while queue and len(outstanding) < want:
                 index = queue.pop(0)
                 attempts[index] = attempts.get(index, 0) + 1
@@ -495,7 +542,14 @@ class ErasureScheme(ResilienceScheme):
                 break
             events = list(outstanding)
             cutoff = None
-            if policy.hedge and queue:
+            if (
+                policy.hedge
+                and queue
+                and (
+                    client.guard is None
+                    or client.guard.brownout.hedge_allowed
+                )
+            ):
                 cutoff = client.hedge_cutoff.cutoff()
             wait_start = client.sim.now
             if cutoff is not None:
@@ -548,6 +602,23 @@ class ErasureScheme(ResilienceScheme):
                     and attempts.get(index, 0) < MAX_CHUNK_ATTEMPTS
                 ):
                     queue.append(index)
+
+        # Abandoned fetches (hedge losers, flood leftovers): forget their
+        # waiters and tell the holders to stop burning CPU on them.  Only
+        # when per-request timeouts are armed — cancellation is keyed by
+        # (client, op, key), so a remembered cancel that outlives this
+        # gather could swallow a *future* fetch of the same chunk, and
+        # only a timeout turns that swallow into a retryable failure
+        # instead of a forever-hang.
+        if outstanding and policy.request_timeout is not None:
+            for event, (index, _sent_at) in outstanding.items():
+                client.pending.forget(event)
+                client.cancel_request(
+                    servers[index], "get", chunk_key(key, index)
+                )
+            client.metrics.counter("reads.abandoned_fetches").inc(
+                len(outstanding)
+            )
 
         # Newest version first; an undecodable newest falls back to the
         # most recent version we *can* decode.

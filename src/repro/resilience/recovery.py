@@ -109,6 +109,9 @@ class RepairManager:
     def repair_server(self, failed_name: str, keys: Iterable[str]) -> Generator:
         """Process generator: repair every affected key in sequence."""
         client = self.cluster.add_client(name_hint="repair")
+        # repair traffic rides the background lane: admission-controlled
+        # servers never let it starve foreground Gets/Sets
+        client.default_lane = "bg"
         for key in keys:
             done = yield from self._repair_key(client, key, failed_name)
             if done:

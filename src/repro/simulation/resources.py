@@ -84,13 +84,28 @@ class Resource:
         """Return a slot.  Grants the oldest queued request, if any."""
         if request.resource is not self:
             raise SimulationError("request released on the wrong resource")
-        if self._queue:
+        if self._users <= 0:
+            raise SimulationError("release() without matching request()")
+        self._users -= 1
+        self._grant_waiters()
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity in place.
+
+        Growing grants queued requests immediately; shrinking never revokes
+        already-granted slots — the resource simply stops granting until
+        enough holders release to drop under the new capacity.
+        """
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.capacity = capacity
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        while self._queue and self._users < self.capacity:
             nxt = self._queue.popleft()
+            self._users += 1
             nxt.succeed(nxt)
-        else:
-            if self._users <= 0:
-                raise SimulationError("release() without matching request()")
-            self._users -= 1
 
     def cancel(self, request: Request) -> None:
         """Withdraw a queued request that has not been granted yet."""

@@ -30,6 +30,8 @@ from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric, Message
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Span
+from repro.overload.guard import DELAY, REJECT, OverloadGuard
+from repro.overload.repair import ReadRepairQueue
 from repro.simulation import Event, Simulator
 from repro.store import protocol
 from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
@@ -103,6 +105,7 @@ class KVClient:
             multiplier=self.policy.hedge_multiplier,
         )
         self._retries_counter = self.metrics.counter("client.retries")
+        self._retries_shed = self.metrics.counter("client.retries_shed")
         self._request_timeouts = self.metrics.counter(
             "client.request_timeouts"
         )
@@ -121,6 +124,20 @@ class KVClient:
         )
         self.recorder = LatencyRecorder()
         self._req_seq = itertools.count(1)
+        #: lane stamped into outgoing requests lacking one ("bg" marks
+        #: rebuild/repair traffic for the servers' priority queues)
+        self.default_lane: Optional[str] = None
+        #: overload guard (breakers, pacing, AIMD window, brownout) —
+        #: present only when the policy opts in, so the legacy request
+        #: path is untouched otherwise
+        self.guard: Optional[OverloadGuard] = None
+        if self.policy.overload is not None:
+            self.guard = OverloadGuard(self, self.policy.overload)
+        #: bounded, metered read-repair queue (brownout-sheddable)
+        self.read_repair = ReadRepairQueue(
+            self,
+            brownout=self.guard.brownout if self.guard is not None else None,
+        )
         self.endpoint.on_message = self._on_message
 
     # -- plumbing ---------------------------------------------------------
@@ -147,10 +164,16 @@ class KVClient:
                     error=protocol.ERR_CORRUPT,
                     meta=dict(response.meta),
                 )
+        if self.guard is not None:
+            self.guard.observe_response(response.server, response)
         self.pending.complete(response)
 
-    def _note_request_timeout(self, _request: Request) -> None:
+    def _note_request_timeout(
+        self, _request: Request, dst: Optional[str] = None
+    ) -> None:
         self._request_timeouts.inc()
+        if self.guard is not None and dst is not None:
+            self.guard.record(dst, ErrorCode.TIMEOUT)
 
     def request(
         self,
@@ -181,8 +204,53 @@ class KVClient:
         epoch = getattr(self.ring, "epoch", None)
         if epoch is not None:
             req.meta.setdefault("epoch", epoch)
+        if self.default_lane is not None:
+            req.meta.setdefault("lane", self.default_lane)
         if timeout is None:
             timeout = self.policy.request_timeout
+
+        def _on_timeout(request: Request, _dst: str = dst) -> None:
+            self._note_request_timeout(request, _dst)
+
+        if self.guard is not None:
+            action, hint = self.guard.before_send(dst)
+            if action == REJECT:
+                # Local fast-fail: the breaker is open (or the server
+                # told us to stay away).  Synthesize the same typed
+                # SERVER_BUSY the server would send, without touching
+                # the wire; ``breaker`` marks it as local so the guard
+                # never mistakes its own rejection for server evidence.
+                waiter = self.pending.register(req.req_id)
+                self.pending.complete(
+                    Response(
+                        req_id=req.req_id,
+                        ok=False,
+                        server=dst,
+                        error=protocol.ERR_BUSY,
+                        meta={"breaker": True, "retry_after": hint},
+                    )
+                )
+                return waiter
+            if action == DELAY:
+                # Token pacing: hand the waiter out now, put the request
+                # on the wire when the bucket's reservation matures.
+                waiter = self.pending.register(req.req_id)
+                timer = self.sim.timeout(hint)
+
+                def _send(_event: Event) -> None:
+                    protocol.issue_request(
+                        self.fabric,
+                        self.pending,
+                        req,
+                        dst,
+                        span=span,
+                        timeout=timeout,
+                        on_timeout=_on_timeout,
+                        waiter=waiter,
+                    )
+
+                timer.callbacks.append(_send)
+                return waiter
         return protocol.issue_request(
             self.fabric,
             self.pending,
@@ -190,8 +258,33 @@ class KVClient:
             dst,
             span=span,
             timeout=timeout,
-            on_timeout=self._note_request_timeout,
+            on_timeout=_on_timeout,
         )
+
+    def cancel_request(self, dst: str, op: str, key: str) -> None:
+        """Tell ``dst`` to abandon an in-flight ``(op, key)`` of ours.
+
+        Fire-and-forget advisory (best effort, no reply): the hedged-read
+        winner path and satisfied gathers use it so losers stop burning
+        server CPU.  Identification is by work identity, not req_id — the
+        caller holds only the abandoned waiter event.
+        """
+        req = Request(
+            op="cancel",
+            key=key,
+            req_id=next(self._req_seq),
+            reply_to=self.name,
+            meta={"op": op},
+        )
+        self.metrics.counter("client.cancels_sent").inc()
+        event = self.fabric.send(
+            self.name,
+            dst,
+            size=req.wire_size(),
+            payload=req,
+            tag=protocol.TAG_REQUEST,
+        )
+        event.defuse()  # dead destination: nothing left to cancel anyway
 
     def next_req_id(self) -> int:
         """Allocate a request id (shared by KV and Lustre traffic)."""
@@ -235,6 +328,17 @@ class KVClient:
                     "op deadline exceeded after %d attempts (last: %s)"
                     % (attempt + 1, result.error_text),
                 )
+            if (
+                self.guard is not None
+                and self.guard.brownout.shed_retries
+                and result.error
+                in (ErrorCode.SERVER_BUSY, ErrorCode.TIMEOUT)
+            ):
+                # Brownout OVERLOAD: retrying busy/timeout failures against
+                # a saturated cluster is the amplification loop itself —
+                # fail fast and let the caller's typed result say why.
+                self._retries_shed.inc()
+                return result
             attempt += 1
             self._retries_counter.inc()
             delay = policy.backoff(attempt)
@@ -255,6 +359,8 @@ class KVClient:
             )
         metrics.completed_at = self.sim.now
         self.recorder.record("set", metrics.latency)
+        if self.guard is not None:
+            self.guard.note_latency(metrics.latency)
         if result.ok:
             return True
         if result.error is ErrorCode.OUT_OF_MEMORY:
@@ -274,6 +380,8 @@ class KVClient:
             )
         metrics.completed_at = self.sim.now
         self.recorder.record("get", metrics.latency)
+        if self.guard is not None:
+            self.guard.note_latency(metrics.latency)
         if result.ok:
             return result.value
         if result.error is ErrorCode.NOT_FOUND:
@@ -416,6 +524,8 @@ class KVClient:
     def _record_on_done(self, handle: RequestHandle) -> None:
         def _record(_event: Event) -> None:
             self.recorder.record(handle.op, handle.metrics.latency)
+            if self.guard is not None:
+                self.guard.note_latency(handle.metrics.latency)
 
         handle.done.callbacks.append(_record)
 

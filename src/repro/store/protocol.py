@@ -66,6 +66,7 @@ def issue_request(
     span=None,
     timeout: Optional[float] = None,
     on_timeout=None,
+    waiter: Optional[Event] = None,
 ) -> Event:
     """Send ``request`` and return an event firing with its :class:`Response`.
 
@@ -80,8 +81,14 @@ def issue_request(
     ``ERR_TIMEOUT`` response and the real response, should it ever
     arrive, is dropped as a late packet.  ``on_timeout(request)`` fires
     only when the deadline actually expired an outstanding request.
+
+    ``waiter`` accepts a pre-registered completion event (from
+    :meth:`PendingTable.register`) so callers that delay the send — e.g.
+    a token-bucket pacer — can hand the waiter out before the request
+    actually hits the wire.
     """
-    waiter = pending.register(request.req_id)
+    if waiter is None:
+        waiter = pending.register(request.req_id)
     send_event = fabric.send(
         request.reply_to,  # the requester replies-to itself: that is the src
         dst,
@@ -131,6 +138,7 @@ ERR_SERVER = "SERVER_ERROR"
 ERR_UNREACHABLE = "UNREACHABLE"
 ERR_CORRUPT = "CORRUPT"
 ERR_TIMEOUT = "TIMEOUT"
+ERR_BUSY = "SERVER_BUSY"
 
 
 class PendingTable:
@@ -170,3 +178,17 @@ class PendingTable:
             return False
         event.fail(error)
         return True
+
+    def forget(self, waiter: Event) -> bool:
+        """Drop a waiter the caller no longer cares about.
+
+        Used to abandon a fetch that lost a hedge race: the response, if
+        it ever arrives, is then discarded as a late packet.  Returns
+        ``False`` when the waiter already completed (or was never
+        registered).  Linear in outstanding requests, which stays small.
+        """
+        for req_id, event in self._pending.items():
+            if event is waiter:
+                del self._pending[req_id]
+                return True
+        return False

@@ -10,9 +10,9 @@ types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.common.payload import Payload
 
@@ -28,6 +28,7 @@ class ErrorCode(Enum):
     UNREACHABLE = "UNREACHABLE"
     CORRUPT = "CORRUPT"
     TIMEOUT = "TIMEOUT"
+    SERVER_BUSY = "SERVER_BUSY"
     INTERNAL = "INTERNAL"
 
     @classmethod
@@ -67,6 +68,7 @@ _RETRYABLE = frozenset(
         ErrorCode.UNREACHABLE,
         ErrorCode.CORRUPT,
         ErrorCode.SERVER_ERROR,
+        ErrorCode.SERVER_BUSY,
     }
 )
 
@@ -78,12 +80,18 @@ class OpResult:
     ``message`` preserves the full wire-level error text (which may be
     richer than the code, e.g. a joined error set from a chunk fan-out);
     ``error_text`` is the human-readable form callers should display.
+
+    ``degraded`` lists brownout degradations that shaped this outcome
+    (e.g. ``("first-k",)`` for a Get answered from the first k chunk
+    arrivals, ``("async-ack",)`` for a Set acknowledged before its
+    durable chunk repair finished).  Empty on full-fidelity results.
     """
 
     ok: bool
     value: Optional[Payload] = None
     error: ErrorCode = ErrorCode.NONE
     message: str = ""
+    degraded: Tuple[str, ...] = ()
 
     @classmethod
     def success(cls, value: Optional[Payload] = None) -> "OpResult":
@@ -112,6 +120,20 @@ class OpResult:
         if response.ok:
             return cls.success(response.value)
         return cls.failure(response.error)
+
+    def with_degraded(self, *modes: str) -> "OpResult":
+        """Copy of this result annotated with brownout degradation modes."""
+        if not modes:
+            return self
+        merged = self.degraded + tuple(
+            mode for mode in modes if mode not in self.degraded
+        )
+        return replace(self, degraded=merged)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether brownout degradation shaped this outcome."""
+        return bool(self.degraded)
 
     @property
     def failed(self) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 import zlib
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.common.payload import Payload
@@ -22,6 +23,12 @@ from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric, Message
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
+from repro.overload.admission import (
+    LANE_BG,
+    LANE_FG,
+    SHED,
+    AdmissionController,
+)
 from repro.simulation import Event, Resource, Simulator
 from repro.store import protocol
 from repro.store.protocol import PendingTable, Request, Response
@@ -34,7 +41,15 @@ COPY_CPU_PER_BYTE = 2.0e-11
 #: CPU cost per byte of checksum verification (hardware CRC32C rate).
 CHECKSUM_CPU_PER_BYTE = 5.0e-11
 
+#: Bound on the remembered-cancellation set: cancels for requests that
+#: never arrive (already served, lost on a dead link) age out FIFO.
+CANCEL_SET_LIMIT = 1024
+
 Handler = Callable[["MemcachedServer", Request], Generator]
+
+
+class RequestCancelled(Exception):
+    """The client cancelled this request; abort service without replying."""
 
 
 class MemcachedServer:
@@ -90,6 +105,11 @@ class MemcachedServer:
         self.alive = True
         self.requests_handled = 0
         self.peer_requests_sent = 0
+        #: optional admission controller (see :meth:`enable_admission`);
+        #: ``None`` keeps the legacy queue-forever behavior.
+        self.admission: Optional[AdmissionController] = None
+        #: cancelled-request keys ``(reply_to, op, key)`` → bounded FIFO
+        self._cancelled: "OrderedDict[tuple, bool]" = OrderedDict()
         #: optional callback(key, value_len) invoked after a successful
         #: store — the Boldio burst buffer hooks its async flusher here.
         self.on_store = None
@@ -124,24 +144,81 @@ class MemcachedServer:
             raise ValueError("handler for op %r already registered" % op)
         self.handlers[op] = handler
 
+    # -- overload protection --------------------------------------------------
+    def enable_admission(
+        self,
+        max_queue: int = 64,
+        bg_max_queue: int = 16,
+        sojourn_deadline: float = 0.02,
+        slots: Optional[int] = None,
+    ) -> AdmissionController:
+        """Turn on bounded-queue admission control for this server.
+
+        ``slots`` defaults to the worker-thread count, so the admission
+        controller becomes the *only* queue in front of the workers: an
+        admitted request always finds an uncontended worker.
+        """
+        self.admission = AdmissionController(
+            self.sim,
+            slots=slots or self.workers.capacity,
+            max_queue=max_queue,
+            bg_max_queue=bg_max_queue,
+            sojourn_deadline=sojourn_deadline,
+            metrics=self.metrics,
+            name=self.name,
+            depth_histogram=self._queue_depth,
+        )
+        return self.admission
+
+    def note_cancel(self, reply_to: str, op: str, key: str) -> None:
+        """Remember a client's cancellation of ``(reply_to, op, key)``.
+
+        Matching is by identity of the work, not req_id: the canceller
+        (a hedged read's winner path, or a gather that already has k
+        chunks) holds only the waiter event, whose req_id it cannot
+        reach.  One remembered cancel absorbs exactly one request.
+        """
+        self.metrics.counter("server.cancels_received").inc()
+        self._cancelled[(reply_to, op, key)] = True
+        while len(self._cancelled) > CANCEL_SET_LIMIT:
+            self._cancelled.popitem(last=False)
+
+    def _consume_cancel(self, request: Request) -> bool:
+        key = (request.reply_to, request.op, request.key)
+        return self._cancelled.pop(key, False)
+
     # -- CPU accounting -------------------------------------------------------
-    def cpu(self, seconds: float) -> Generator:
+    def cpu(
+        self, seconds: float, request: Optional[Request] = None
+    ) -> Generator:
         """Occupy one worker thread for ``seconds`` of compute.
 
         ``seconds`` must already reflect this cluster's CPU speed (the
         coding cost model is constructed with the profile's speed factor);
         this method only adds worker-thread contention.
+
+        Passing the ``request`` being served makes the phase cancellable:
+        if the client cancelled it (hedge loser, satisfied gather), the
+        phase raises :class:`RequestCancelled` *after* securing the
+        worker — so the release in the finally block always balances —
+        and before burning the compute.
         """
         if seconds <= 0:
             return
         seconds *= self.cpu_throttle
         req = self.workers.request()
         if not req.processed:  # uncontended grants need no suspension
+            self._queue_depth.observe(self.workers.queued)
             yield req
         try:
+            if request is not None and self._consume_cancel(request):
+                raise RequestCancelled(request.key)
             yield self.sim.timeout(seconds)
         finally:
+            contended = self.workers.queued > 0
             self.workers.release(req)
+            if contended:
+                self._queue_depth.observe(self.workers.queued)
 
     def _receive_cpu_cost(self, message_size: int) -> float:
         """Per-message host CPU implied by the transport (IPoIB only)."""
@@ -211,6 +288,14 @@ class MemcachedServer:
                     )
             self.pending.complete(payload)
         elif isinstance(payload, Request):
+            if payload.op == "cancel":
+                # Pure bookkeeping: no service process, no reply.
+                self.note_cancel(
+                    payload.reply_to,
+                    payload.meta.get("op", "get"),
+                    payload.key,
+                )
+                return
             self.sim.process(
                 self._handle_request(payload, message.size),
                 name="%s.%s" % (self.name, payload.op),
@@ -218,7 +303,30 @@ class MemcachedServer:
 
     def _handle_request(self, request: Request, message_size: int) -> Generator:
         self.requests_handled += 1
-        self._queue_depth.observe(self.workers.queued)
+        if self._consume_cancel(request):
+            # Cancelled before service even began (e.g. a retransmit of
+            # a request whose original already satisfied the client).
+            self.metrics.counter("server.cancelled_drops").inc()
+            return
+        admission = self.admission
+        granted_at = self.sim.now
+        if admission is not None:
+            lane = LANE_BG if request.meta.get("lane") == "bg" else LANE_FG
+            ticket = admission.offer(lane)
+            if ticket is None:
+                self._send_busy(request)
+                return
+            outcome = ticket.value if ticket.processed else (yield ticket)
+            if outcome == SHED:
+                self._send_busy(request)
+                return
+            granted_at = self.sim.now
+            if self._consume_cancel(request):
+                # Cancelled while queued: the slot was granted an instant
+                # ago and nothing ran yet, so hand it straight back.
+                self.metrics.counter("server.cancelled_drops").inc()
+                admission.release(0.0)
+                return
         span = self.tracer.span(
             self.name,
             "service:%s" % request.op,
@@ -229,27 +337,45 @@ class MemcachedServer:
             message_size
         )
 
-        handler = self.handlers.get(request.op)
-        if handler is not None:
-            yield from self.cpu(base_cpu)
-            try:
-                response = yield from handler(self, request)
-            except Exception as exc:  # noqa: BLE001 - convert to wire error
-                response = Response(
-                    req_id=request.req_id,
-                    ok=False,
-                    server=self.name,
-                    error="%s: %s" % (protocol.ERR_SERVER, exc),
-                )
-        else:
-            # Built-in ops fold the parse cost into their own CPU charge:
-            # one worker-thread hold (and one timeout) per request.
-            response = yield from self._builtin(request, base_cpu)
+        try:
+            handler = self.handlers.get(request.op)
+            if handler is not None:
+                yield from self.cpu(base_cpu, request)
+                try:
+                    response = yield from handler(self, request)
+                except RequestCancelled:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - to wire error
+                    response = Response(
+                        req_id=request.req_id,
+                        ok=False,
+                        server=self.name,
+                        error="%s: %s" % (protocol.ERR_SERVER, exc),
+                    )
+            else:
+                # Built-in ops fold the parse cost into their own CPU
+                # charge: one worker-thread hold (and one timeout) per
+                # request.
+                response = yield from self._builtin(request, base_cpu)
+        except RequestCancelled:
+            # The client gave up mid-service; no reply owed, no further
+            # CPU burned on zombie work.
+            self.metrics.counter("server.cancelled_aborts").inc()
+            span.finish(cancelled=True)
+            return
+        finally:
+            if admission is not None:
+                admission.release(self.sim.now - granted_at)
 
         if response is None:
             span.finish(replied="async")
             return  # handler replied on its own
         span.finish(ok=response.ok)
+
+        if admission is not None:
+            # Piggyback the backlog so clients' brownout controllers see
+            # server pressure without a separate health channel.
+            response.meta["qd"] = admission.backlog
 
         send_event = self.fabric.send(
             self.name,
@@ -259,6 +385,34 @@ class MemcachedServer:
             tag=protocol.TAG_RESPONSE,
         )
         send_event.defuse()  # a dead client simply never hears back
+
+    def _send_busy(self, request: Request) -> None:
+        """Reject with a typed SERVER_BUSY plus a deterministic retry hint.
+
+        The whole point of admission control is that saying *no* costs
+        near-zero CPU: no worker is held, no service process survives
+        this call.
+        """
+        self.metrics.counter("server.busy_rejects").inc()
+        admission = self.admission
+        response = Response(
+            req_id=request.req_id,
+            ok=False,
+            server=self.name,
+            error=protocol.ERR_BUSY,
+            meta={
+                "retry_after": admission.retry_after(),
+                "qd": admission.backlog,
+            },
+        )
+        send_event = self.fabric.send(
+            self.name,
+            request.reply_to,
+            size=response.wire_size(),
+            payload=response,
+            tag=protocol.TAG_RESPONSE,
+        )
+        send_event.defuse()
 
     def store_item(self, key: str, value_len: int, data, meta) -> bool:
         """Store into the slab cache, notifying the on_store hook."""
@@ -381,7 +535,8 @@ class MemcachedServer:
         ):
             yield from self.cpu(
                 base_cpu
-                + item.value_len * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
+                + item.value_len * CHECKSUM_CPU_PER_BYTE / self.cpu_speed,
+                request,
             )
             base_cpu = 0.0
             if zlib.crc32(item.data) != item.meta["crc"]:
@@ -396,7 +551,8 @@ class MemcachedServer:
                     error=protocol.ERR_CORRUPT,
                 )
         yield from self.cpu(
-            base_cpu + item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed
+            base_cpu + item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed,
+            request,
         )
         return Response(
             req_id=request.req_id,

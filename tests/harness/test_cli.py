@@ -9,7 +9,7 @@ class TestCLI:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("fig4", "fig8", "fig13"):
+        for figure in ("fig4", "fig8", "fig13", "chaos", "scale", "overload"):
             assert figure in out
 
     def test_no_args_lists(self, capsys):

@@ -197,6 +197,41 @@ class TestMetricsUnderLoad:
         assert cluster.metrics.counter("fabric.messages").value >= 5
 
     def test_server_queue_depth_observed(self):
+        # The histogram records queue *transitions*: single-threaded
+        # workers plus a burst of concurrent ops force real queueing,
+        # and every enqueue/dequeue must be observed with a non-zero
+        # depth somewhere in the burst.
+        cluster = build_cluster(
+            scheme="era-ce-cd",
+            servers=5,
+            memory_per_server=256 * MIB,
+            worker_threads=1,
+        )
+        client = cluster.add_client()
+        for server in cluster.servers.values():
+            # gray-node throttle: service time dwarfs arrival spacing,
+            # so the single worker thread actually builds a queue
+            server.cpu_throttle = 200.0
+
+        def body():
+            handles = [
+                client.iset("k%d" % i, Payload.sized(256 * KIB))
+                for i in range(8)
+            ]
+            yield client.wait(handles)
+
+        drive(cluster, body())
+        hists = [
+            cluster.metrics.histogram("server.%s.queue_depth" % name)
+            for name in cluster.servers
+        ]
+        assert sum(h.count for h in hists) > 0
+        assert max(h.maximum for h in hists if h.count) > 0
+
+    def test_server_queue_depth_silent_when_uncontended(self):
+        # An uncontended request never queues, so the depth histogram
+        # must stay empty — the old once-per-arrival observation recorded
+        # a meaningless zero for every request.
         cluster = build_cluster(
             scheme="era-ce-cd", servers=5, memory_per_server=256 * MIB
         )
@@ -210,7 +245,7 @@ class TestMetricsUnderLoad:
             cluster.metrics.histogram("server.%s.queue_depth" % name).count
             for name in cluster.servers
         ]
-        assert sum(depths) >= 5  # one observation per chunk request
+        assert sum(depths) == 0
 
     def test_degraded_reads_counted(self):
         cluster = build_cluster(

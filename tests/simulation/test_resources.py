@@ -58,6 +58,34 @@ class TestResource:
         with pytest.raises(SimulationError):
             res.cancel(granted)
 
+    def test_resize_up_grants_queued_waiters(self, sim):
+        res = Resource(sim, 1)
+        res.request()
+        waiter_a = res.request()
+        waiter_b = res.request()
+        res.resize(3)
+        assert waiter_a.triggered and waiter_b.triggered
+        assert res.in_use == 3
+        assert res.queued == 0
+
+    def test_resize_down_never_revokes(self, sim):
+        res = Resource(sim, 3)
+        grants = [res.request() for _ in range(3)]
+        res.resize(1)
+        assert res.in_use == 3  # over the new capacity, nothing revoked
+        waiter = res.request()
+        res.release(grants[0])
+        assert not waiter.triggered  # still not below the new capacity
+        res.release(grants[1])
+        res.release(grants[2])
+        assert waiter.triggered
+        assert res.in_use == 1
+
+    def test_resize_below_one_raises(self, sim):
+        res = Resource(sim, 2)
+        with pytest.raises(SimulationError):
+            res.resize(0)
+
     def test_mutual_exclusion_over_time(self, sim):
         res = Resource(sim, 1)
         active = []

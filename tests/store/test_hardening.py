@@ -85,6 +85,36 @@ class TestAdaptiveCutoff:
             cutoff.observe(float(i))
         assert len(cutoff._samples) == 8
 
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCutoff(percentile=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveCutoff(percentile=1.5)
+
+    def test_constant_stream_cutoff_is_exact(self):
+        cutoff = AdaptiveCutoff(min_samples=5, multiplier=2.0)
+        for _ in range(30):
+            cutoff.observe(0.004)
+        assert cutoff.cutoff() == pytest.approx(0.004 * 2.0)
+
+    def test_saturated_ring_forgets_old_samples(self):
+        cutoff = AdaptiveCutoff(min_samples=1, multiplier=1.5, window=8)
+        for _ in range(50):
+            cutoff.observe(0.001)
+        for _ in range(8):
+            cutoff.observe(1.0)  # the ring now holds only slow samples
+        assert cutoff.observed == 58  # but every observation was counted
+        assert cutoff.cutoff() == pytest.approx(1.0 * 1.5)
+
+    def test_max_percentile_at_saturation(self):
+        cutoff = AdaptiveCutoff(
+            percentile=1.0, min_samples=1, multiplier=1.5, window=16
+        )
+        for i in range(64):
+            cutoff.observe(float(i))
+        # the ring holds 48..63; percentile 1.0 is the window maximum
+        assert cutoff.cutoff() == pytest.approx(63.0 * 1.5)
+
 
 class _Blackhole:
     """Interceptor dropping every two-sided message: a silent network."""
