@@ -1,5 +1,12 @@
 """Public facade: assemble and drive a resilient key-value store cluster."""
 
 from repro.core.cluster import KVCluster, build_cluster
+from repro.core.features import ChaosConfig, ClusterConfig, Features
 
-__all__ = ["KVCluster", "build_cluster"]
+__all__ = [
+    "ChaosConfig",
+    "ClusterConfig",
+    "Features",
+    "KVCluster",
+    "build_cluster",
+]

@@ -20,8 +20,10 @@ This is the top of the public API.  A typical session::
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Dict, List, Optional, Union
 
+from repro.core.features import ChaosConfig, Features
 from repro.ec.cost_model import CodingCostModel
 from repro.membership.epoch import MembershipTable, RingView
 from repro.network.fabric import Fabric
@@ -52,6 +54,7 @@ class KVCluster:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
+        config: Optional[Features] = None,
     ):
         if num_servers < 1:
             raise ValueError("need at least one server")
@@ -86,11 +89,100 @@ class KVCluster:
         self.clients: List[KVClient] = []
         self._client_seq = itertools.count()
         self._manager = None
-        #: hardening policy new clients inherit (None = legacy defaults)
-        self.default_policy: Optional[RetryPolicy] = None
-        #: kwargs applied to every server's admission controller once
-        #: :meth:`enable_admission_control` has been called (None = off)
-        self._admission_config: Optional[dict] = None
+        #: the one place feature flags live; mutating it recompiles every
+        #: component's request plan immediately (see repro.core.features)
+        self.config: Features = config if config is not None else Features()
+        self.config._observers.append(self._apply_config)
+        self._chaos = None
+        self._chaos_config: Optional[ChaosConfig] = None
+        self._apply_config()
+
+    # -- plan compilation ----------------------------------------------------
+    def _apply_config(self, _config: Optional[Features] = None) -> None:
+        """Recompile every component's plan from :attr:`config`.
+
+        Called once at construction and again on every ``Features``
+        mutation: servers adopt a fresh :class:`ServerPlan`, clients a
+        fresh :class:`ClientPlan` (per-client explicit policies are
+        preserved), and the chaos engine is attached or detached.
+        """
+        config = self.config
+        server_plan = config.compile_server_plan(
+            extra_cancellation=any(
+                c.explicit_policy and self._client_sends_cancels(c)
+                for c in self.clients
+            )
+        )
+        for server in self.servers.values():
+            server.apply_plan(server_plan)
+        for client in self.clients:
+            client.apply_plan(
+                config.compile_client_plan(
+                    client.policy if client.explicit_policy else None
+                )
+            )
+        chaos_cfg = config.chaos
+        if chaos_cfg is not self._chaos_config:
+            if self._chaos is not None:
+                self._chaos.uninstall()
+                self._chaos = None
+            if chaos_cfg is not None:
+                from repro.faults.engine import ChaosEngine
+                from repro.faults.profiles import FaultProfile, profile_by_name
+
+                profile = chaos_cfg.profile
+                if not isinstance(profile, FaultProfile):
+                    profile = profile_by_name(profile)
+                self._chaos = ChaosEngine(
+                    self,
+                    profile,
+                    seed=chaos_cfg.seed,
+                    max_degraded=chaos_cfg.max_degraded,
+                )
+            self._chaos_config = chaos_cfg
+
+    @staticmethod
+    def _client_sends_cancels(client: KVClient) -> bool:
+        # A per-client policy can originate cancels (hedge losers, gather
+        # abandons on deadline, brownout floods) even when the cluster-wide
+        # feature set cannot — servers must then keep the bookkeeping on.
+        policy = client.policy
+        return (
+            policy.hedge
+            or policy.request_timeout is not None
+            or policy.overload is not None
+        )
+
+    @property
+    def chaos(self):
+        """The attached chaos engine (``None`` unless config injects one)."""
+        return self._chaos
+
+    def adopt_chaos(self, engine, chaos_config: ChaosConfig) -> None:
+        """Register an externally constructed chaos engine with the config.
+
+        Soak harnesses build :class:`~repro.faults.engine.ChaosEngine`
+        directly (they wire crash callbacks into it); the engine calls
+        this so the declared feature set still reflects that chaos is
+        live — and every plan recompiles with the chaos-era protections
+        (stale-write guard, cancel bookkeeping) on.
+        """
+        if self.config.chaos is not None:
+            return  # config-driven: _apply_config owns the engine
+        self._chaos = engine
+        self._chaos_config = chaos_config
+        self.config.chaos = chaos_config
+        self.config._touch()
+
+    def release_chaos(self, engine) -> None:
+        """Detach ``engine`` (uninstall path) and recompile plans."""
+        if self._chaos is not engine:
+            return
+        self._chaos = None
+        self._chaos_config = None
+        if self.config.chaos is not None:
+            self.config.chaos = None
+            self.config._touch()
 
     def _make_server(self, name: str) -> MemcachedServer:
         return MemcachedServer(
@@ -108,6 +200,12 @@ class KVCluster:
         # servers stamp their epoch into responses; clients compare
         for server in self.servers.values():
             server.epoch = new.number
+        if not self.config.dynamic_membership:
+            # Membership is moving: epoch stamping and the stale-write
+            # guard stop being free-to-skip.  Flipping the flag recompiles
+            # every plan (the fast path pays for epochs only from here on).
+            self.config.dynamic_membership = True
+            self._apply_config()
 
     # -- membership ---------------------------------------------------------
     def add_server(self, name: str) -> MemcachedServer:
@@ -122,8 +220,14 @@ class KVCluster:
         server.epoch = self.membership.current.number
         self.servers[name] = server
         self.scheme.prepare_server(server)
-        if self._admission_config is not None:
-            server.enable_admission(**self._admission_config)
+        server.apply_plan(
+            self.config.compile_server_plan(
+                extra_cancellation=any(
+                    c.explicit_policy and self._client_sends_cancels(c)
+                    for c in self.clients
+                )
+            )
+        )
         return server
 
     # -- overload protection -------------------------------------------------
@@ -133,21 +237,52 @@ class KVCluster:
         bg_max_queue: int = 16,
         sojourn_deadline: float = 0.02,
     ) -> None:
-        """Bound every server's request queue (current and future).
+        """Deprecated shim: use ``cluster.config.with_admission_control()``.
 
-        Overloaded servers reject with typed ``SERVER_BUSY`` (plus a
+        Bounds every server's request queue (current and future):
+        overloaded servers reject with typed ``SERVER_BUSY`` (plus a
         retry-after hint) instead of queueing without limit, shed
         requests whose queue sojourn exceeded ``sojourn_deadline``
         (CoDel-style: by then the client has given up), and serve
         foreground traffic ahead of background rebuild/repair.
         """
-        self._admission_config = {
-            "max_queue": max_queue,
-            "bg_max_queue": bg_max_queue,
-            "sojourn_deadline": sojourn_deadline,
-        }
-        for server in self.servers.values():
-            server.enable_admission(**self._admission_config)
+        warnings.warn(
+            "KVCluster.enable_admission_control() is deprecated; use "
+            "cluster.config.with_admission_control()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.config.with_admission_control(
+            max_queue=max_queue,
+            bg_max_queue=bg_max_queue,
+            sojourn_deadline=sojourn_deadline,
+        )
+
+    # -- feature configuration (legacy surface) ------------------------------
+    @property
+    def default_policy(self) -> Optional[RetryPolicy]:
+        """Deprecated: the hardening policy now lives on :attr:`config`.
+
+        Reads reflect the config (``None`` when no hardening/overload
+        feature is enabled); assignment routes through the builder.
+        """
+        config = self.config
+        if config.hardening is None and config.overload is None:
+            return None
+        return config.effective_policy()
+
+    @default_policy.setter
+    def default_policy(self, policy: Optional[RetryPolicy]) -> None:
+        warnings.warn(
+            "KVCluster.default_policy is deprecated; use "
+            "cluster.config.harden(policy) / cluster.config.disable(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if policy is None:
+            self.config.disable("hardening", "overload")
+        else:
+            self.config.harden(policy)
 
     def retire_server(self, name: str) -> None:
         """Tear down a server that has left the ring (data migrated off)."""
@@ -162,6 +297,12 @@ class KVCluster:
             from repro.membership.manager import MembershipManager
 
             self._manager = MembershipManager(self)
+            if not self.config.dynamic_membership:
+                # Scale operations are imminent: turn epoch bookkeeping on
+                # *before* the first transition so even requests in flight
+                # across it carry their routing epoch.
+                self.config.dynamic_membership = True
+                self._apply_config()
         return self._manager
 
     def scale_out(self, names):
@@ -188,8 +329,9 @@ class KVCluster:
     ) -> KVClient:
         """Attach a client; ``host`` makes several clients share one NIC.
 
-        ``policy`` hardens this client's request path (falling back to
-        :attr:`default_policy` when unset).
+        ``policy`` hardens this one client's request path explicitly;
+        without it the client compiles its plan from the cluster's
+        :attr:`config`.
         """
         name = "%s-%d" % (name_hint, next(self._client_seq))
         client = KVClient(
@@ -204,9 +346,15 @@ class KVCluster:
             host=host,
             tracer=self.tracer,
             metrics=self.metrics,
-            policy=policy or self.default_policy,
+            policy=policy,
         )
         self.clients.append(client)
+        client.apply_plan(self.config.compile_client_plan(policy))
+        if policy is not None and self._client_sends_cancels(client):
+            # This client can cancel in-flight work; make sure every
+            # server keeps (and future servers will keep) the cancel
+            # bookkeeping compiled in.
+            self._apply_config()
         return client
 
     # -- failures ------------------------------------------------------------
@@ -342,6 +490,7 @@ def build_cluster(
     tracer=None,
     metrics: Optional[MetricsRegistry] = None,
     trace: bool = False,
+    config: Optional[Features] = None,
 ) -> KVCluster:
     """One-call constructor matching the paper's experiment setups.
 
@@ -351,7 +500,10 @@ def build_cluster(
     :func:`repro.resilience.available_schemes`) or a prebuilt scheme.
     ``trace=True`` attaches a real :class:`~repro.obs.trace.Tracer`
     (exposed as ``cluster.tracer``) so the run can be exported with
-    :func:`repro.obs.write_chrome_trace`.
+    :func:`repro.obs.write_chrome_trace`.  ``config`` is a
+    :class:`~repro.core.features.Features` (alias ``ClusterConfig``)
+    declaring the enabled resilience features; all request plans are
+    compiled from it.
     """
     if isinstance(profile, str):
         profile = profile_by_name(profile)
@@ -373,4 +525,5 @@ def build_cluster(
         tracer=tracer,
         metrics=metrics,
         trace=trace,
+        config=config,
     )

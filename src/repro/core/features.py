@@ -1,0 +1,287 @@
+"""Declarative feature configuration: the one place feature flags live.
+
+Resilience is pay-as-you-go.  Every optional mechanism the store has
+grown — retry/deadline hardening, hedged reads, overload guards,
+admission control, brownout, chaos injection, write versioning,
+end-to-end integrity — is declared on a :class:`Features` builder (also
+exported as :data:`ClusterConfig`) and *compiled* into flat
+per-component plans at configuration time:
+
+- a :class:`~repro.store.plan.ClientPlan` drives
+  :class:`~repro.store.client.KVClient` (retry driver on/off, request
+  deadline, response CRC verification, epoch stamping, overload guard);
+- a :class:`~repro.store.plan.ServerPlan` drives
+  :class:`~repro.store.server.MemcachedServer` (admission control,
+  cancel bookkeeping, CRC stamp/verify, stale-write guard, epoch
+  tracking);
+- the fabric's interceptor chain compiles to ``None`` when no
+  interceptor is registered (see
+  :meth:`~repro.network.fabric.Fabric.add_interceptor`).
+
+No per-operation code re-checks a feature flag: when every feature is
+off the compiled plan is the **fast path** — no policy lookups, no
+breaker checks, no version/CRC bookkeeping, no closure allocations on
+the request path.  Mutating a :class:`Features` bound to a cluster
+recompiles every plan immediately, so features can be flipped mid-run.
+
+The feature -> stage mapping is documented in DESIGN.md ("Plan
+compilation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from repro.store.plan import (
+    AdmissionConfig,
+    ClientPlan,
+    ServerPlan,
+    compile_client_plan,
+)
+from repro.store.policy import DEFAULT_POLICY, OverloadPolicy, RetryPolicy
+
+__all__ = [
+    "AdmissionConfig",
+    "ChaosConfig",
+    "ClientPlan",
+    "ClusterConfig",
+    "Features",
+    "ServerPlan",
+    "compile_client_plan",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Chaos-injection declaration: a fault profile plus its seed.
+
+    ``profile`` is a profile name from :data:`repro.faults.profiles.
+    PROFILES` (or a prebuilt :class:`~repro.faults.profiles.
+    FaultProfile`); ``max_degraded`` bounds concurrent degradations
+    (``None`` = the scheme's tolerated failures).
+    """
+
+    profile: object = "all"
+    seed: int = 0
+    max_degraded: Optional[int] = None
+
+
+class Features:
+    """The feature-flag builder; compiles into request plans.
+
+    Mutable: every ``with_*`` / ``harden`` / ``inject_chaos`` call
+    mutates this object, notifies its observers (the owning
+    :class:`~repro.core.cluster.KVCluster`, which recompiles all plans)
+    and returns ``self`` for chaining::
+
+        config = Features().harden().with_admission_control()
+        cluster = build_cluster(..., config=config)
+        ...
+        config.with_overload()       # mid-run: plans recompile now
+
+    Flags
+    -----
+    ``hardening``
+        Optional :class:`RetryPolicy` for deadlines/retries/hedging/
+        durable writes.  ``None`` keeps the paper's bare request path.
+    ``overload``
+        Optional :class:`OverloadPolicy` enabling client-side breakers,
+        AIMD windows, pacing and brownout.  Merged into the effective
+        policy handed to new clients.
+    ``admission``
+        Optional :class:`AdmissionConfig` bounding every server's
+        request queue.
+    ``chaos``
+        Optional :class:`ChaosConfig`; the cluster attaches a seeded
+        :class:`~repro.faults.ChaosEngine` when set.
+    ``integrity``
+        End-to-end CRCs: servers stamp/verify item checksums, clients
+        and servers verify response payloads.  On by default (matching
+        the store's historical behavior).
+    ``write_versioning``
+        Server-side stale-write guard (last-writer-wins by version).
+        ``None`` (the default) derives it: on whenever hardening or
+        chaos is enabled, or the cluster's membership has changed —
+        the only regimes where a stale replay can reach a server.
+    ``epoch_stamping``
+        Stamp the routing epoch into every request (migration-lag
+        telemetry).  ``None`` derives it the same way: on once the
+        membership table has opened a new epoch.
+    """
+
+    def __init__(
+        self,
+        hardening: Optional[RetryPolicy] = None,
+        overload: Optional[OverloadPolicy] = None,
+        admission: Optional[AdmissionConfig] = None,
+        chaos: Optional[ChaosConfig] = None,
+        integrity: bool = True,
+        write_versioning: Optional[bool] = None,
+        epoch_stamping: Optional[bool] = None,
+    ):
+        self.hardening = hardening
+        self.overload = overload
+        self.admission = admission
+        self.chaos = chaos
+        self.integrity = integrity
+        self.write_versioning = write_versioning
+        self.epoch_stamping = epoch_stamping
+        #: set by the owning cluster once membership epochs start moving
+        self.dynamic_membership = False
+        self._observers: List[Callable[["Features"], None]] = []
+
+    # -- builder API ---------------------------------------------------------
+    def harden(self, policy: Optional[RetryPolicy] = None) -> "Features":
+        """Enable request hardening (deadlines, retries, hedging).
+
+        Without an explicit policy, :data:`~repro.store.policy.
+        HARDENED_POLICY` is used.
+        """
+        if policy is None:
+            from repro.store.policy import HARDENED_POLICY
+
+            policy = HARDENED_POLICY
+        self.hardening = policy
+        return self._touch()
+
+    def with_overload(
+        self, policy: Optional[OverloadPolicy] = None
+    ) -> "Features":
+        """Enable client-side overload protection (breakers, AIMD, brownout)."""
+        if policy is None:
+            from repro.store.policy import OVERLOAD_POLICY
+
+            policy = OVERLOAD_POLICY
+        self.overload = policy
+        return self._touch()
+
+    def with_admission_control(
+        self,
+        max_queue: int = 64,
+        bg_max_queue: int = 16,
+        sojourn_deadline: float = 0.02,
+    ) -> "Features":
+        """Enable bounded-queue admission control on every server."""
+        self.admission = AdmissionConfig(
+            max_queue=max_queue,
+            bg_max_queue=bg_max_queue,
+            sojourn_deadline=sojourn_deadline,
+        )
+        return self._touch()
+
+    def inject_chaos(
+        self,
+        profile: object = "all",
+        seed: int = 0,
+        max_degraded: Optional[int] = None,
+    ) -> "Features":
+        """Attach a seeded chaos engine to the cluster's fabric."""
+        self.chaos = ChaosConfig(
+            profile=profile, seed=seed, max_degraded=max_degraded
+        )
+        return self._touch()
+
+    def with_integrity(self, enabled: bool = True) -> "Features":
+        """Toggle end-to-end CRC stamping and verification."""
+        self.integrity = enabled
+        return self._touch()
+
+    def with_write_versioning(self, enabled: bool = True) -> "Features":
+        """Force the server-side stale-write guard on or off."""
+        self.write_versioning = enabled
+        return self._touch()
+
+    def with_epoch_stamping(self, enabled: bool = True) -> "Features":
+        """Force epoch stamping of requests on or off."""
+        self.epoch_stamping = enabled
+        return self._touch()
+
+    def disable(self, *names: str) -> "Features":
+        """Turn the named features off (``"hardening"``, ``"overload"``,
+        ``"admission"``, ``"chaos"``)."""
+        for name in names:
+            if name not in ("hardening", "overload", "admission", "chaos"):
+                raise ValueError("unknown feature %r" % name)
+            setattr(self, name, None)
+        return self._touch()
+
+    # -- derivation ----------------------------------------------------------
+    @property
+    def versioning_active(self) -> bool:
+        """Whether servers must honor the stale-write guard."""
+        if self.write_versioning is not None:
+            return self.write_versioning
+        return (
+            self.hardening is not None
+            or self.chaos is not None
+            or self.dynamic_membership
+        )
+
+    @property
+    def epoch_stamping_active(self) -> bool:
+        """Whether requests carry their routing epoch."""
+        if self.epoch_stamping is not None:
+            return self.epoch_stamping
+        return self.dynamic_membership
+
+    @property
+    def cancellation_active(self) -> bool:
+        """Whether servers must track client cancellations.
+
+        Cancels originate from hedged-read losers, brownout first-k
+        floods, and timed-out fetches abandoned mid-gather — so the
+        bookkeeping is needed exactly when hardening (hedge/deadline),
+        overload protection or chaos is on.
+        """
+        return (
+            self.hardening is not None
+            or self.overload is not None
+            or self.chaos is not None
+        )
+
+    def effective_policy(self) -> RetryPolicy:
+        """The :class:`RetryPolicy` new clients inherit from this config."""
+        policy = self.hardening or DEFAULT_POLICY
+        if self.overload is not None and policy.overload is None:
+            policy = replace(policy, overload=self.overload)
+        return policy
+
+    # -- compilation ---------------------------------------------------------
+    def compile_client_plan(
+        self, policy: Optional[RetryPolicy] = None
+    ) -> ClientPlan:
+        """Compile the plan for one client (``policy`` overrides)."""
+        return compile_client_plan(
+            policy if policy is not None else self.effective_policy(),
+            integrity=self.integrity,
+            stamp_epoch=self.epoch_stamping_active,
+        )
+
+    def compile_server_plan(self, extra_cancellation: bool = False) -> ServerPlan:
+        """Compile the plan every server of the cluster applies.
+
+        ``extra_cancellation`` forces cancel bookkeeping on — the
+        cluster passes it when an attached client carries a per-client
+        policy that hedges or floods even though the cluster-wide
+        features do not.
+        """
+        return ServerPlan(
+            admission=self.admission,
+            cancellable=self.cancellation_active or extra_cancellation,
+            verify_on_read=self.integrity,
+            integrity=self.integrity,
+            check_stale=self.versioning_active,
+            track_epoch=self.epoch_stamping_active,
+        )
+
+    # -- change notification -------------------------------------------------
+    def _touch(self) -> "Features":
+        for observer in self._observers:
+            observer(self)
+        return self
+
+
+#: The config-at-construction name: ``build_cluster(config=ClusterConfig()
+#: .harden())``.  Same class; both names are part of the public API.
+ClusterConfig = Features

@@ -3,9 +3,10 @@
 :class:`ChaosEngine` plugs into two seams the rest of the stack already
 exposes:
 
-- it installs itself as ``fabric.interceptor``, so every transfer asks it
-  for a :class:`~repro.network.fabric.FaultAction` (drop, duplicate,
-  corrupt, delay, partition-block);
+- it registers on the fabric's interceptor chain
+  (``fabric.add_interceptor``), so every transfer asks it for a
+  :class:`~repro.network.fabric.FaultAction` (drop, duplicate, corrupt,
+  delay, partition-block);
 - it runs scheduler processes on the virtual clock for node-level events:
   crash/restart schedules, partitions + heals, gray "slow node" CPU
   throttling, and bit rot in stored memory.
@@ -99,7 +100,17 @@ class ChaosEngine:
         self._leaves = metrics.counter("faults.leaves")
         self._churn_joins = 0
 
-        cluster.fabric.interceptor = self
+        cluster.fabric.add_interceptor(self)
+        adopt = getattr(cluster, "adopt_chaos", None)
+        if adopt is not None:
+            from repro.core.features import ChaosConfig
+
+            adopt(
+                self,
+                ChaosConfig(
+                    profile=profile, seed=seed, max_degraded=max_degraded
+                ),
+            )
 
     # -- bookkeeping ---------------------------------------------------------
     @property
@@ -133,8 +144,10 @@ class ChaosEngine:
 
     def uninstall(self) -> None:
         """Detach from the fabric (scheduler loops stop at their horizon)."""
-        if self.cluster.fabric.interceptor is self:
-            self.cluster.fabric.interceptor = None
+        self.cluster.fabric.remove_interceptor(self)
+        release = getattr(self.cluster, "release_chaos", None)
+        if release is not None:
+            release(self)
 
     # -- per-message interceptor ---------------------------------------------
     def on_message(

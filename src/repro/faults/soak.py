@@ -114,7 +114,7 @@ def run_soak(config: SoakConfig) -> dict:
         k=config.k,
         m=config.m,
     )
-    cluster.default_policy = HARDENED_POLICY
+    cluster.config.harden(HARDENED_POLICY)
     for server in cluster.servers.values():
         server.peer_timeout = HARDENED_POLICY.request_timeout
     sim = cluster.sim

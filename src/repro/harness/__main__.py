@@ -100,9 +100,18 @@ def _rows_to_table(rows) -> str:
     )
 
 
+#: metrics the CI regression gate watches by default: the end-to-end op
+#: path (single and batched).  Codec MB/s and engine events/sec are too
+#: machine-sensitive for a hard gate on shared runners.
+_BENCH_GATE_DEFAULTS = ("fig8_ops_per_sec", "batch_ops_per_sec")
+
+
 def _run_bench(args) -> int:
     from repro.harness import perfbench
 
+    if args.gate is not None and not args.baseline:
+        print("--gate requires --baseline", file=sys.stderr)
+        return 2
     print(
         "Running wall-clock bench suite (%s mode) ..."
         % ("quick" if args.quick else "full"),
@@ -122,6 +131,32 @@ def _run_bench(args) -> int:
     else:
         payload = report
     print(perfbench.format_report(payload))
+    if args.gate is not None:
+        gated = tuple(args.gate) or _BENCH_GATE_DEFAULTS
+        speedup = perfbench.compare(baseline, report)
+        failed = False
+        for metric in gated:
+            ratio = speedup.get(metric)
+            if ratio is None:
+                print(
+                    "gate: %s missing from baseline or report" % metric,
+                    file=sys.stderr,
+                )
+                failed = True
+            elif ratio < args.fail_under:
+                print(
+                    "gate: %s regressed to %.2fx of baseline "
+                    "(threshold %.2fx)" % (metric, ratio, args.fail_under),
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    "gate: %s ok at %.2fx of baseline" % (metric, ratio),
+                    file=sys.stderr,
+                )
+        if failed:
+            return 1
     return 0
 
 
@@ -520,6 +555,26 @@ def main(argv=None) -> int:
         help=(
             "bench: compare against a previous report; with --output, the "
             "file gets a combined before/after/speedup document"
+        ),
+    )
+    bench_group.add_argument(
+        "--gate",
+        nargs="*",
+        metavar="METRIC",
+        help=(
+            "bench: fail (exit 1) when a gated metric regresses more than "
+            "--fail-under vs --baseline; without arguments gates %s"
+            % ", ".join(_BENCH_GATE_DEFAULTS)
+        ),
+    )
+    bench_group.add_argument(
+        "--fail-under",
+        type=float,
+        default=0.90,
+        metavar="RATIO",
+        help=(
+            "bench: minimum after/before ratio a gated metric must keep "
+            "(default 0.90, i.e. fail on a >10%% drop)"
         ),
     )
     chaos_group = parser.add_argument_group("chaos options")

@@ -170,8 +170,8 @@ def run_overload(config: OverloadConfig) -> dict:
             hedge=_SOAK_POLICY.hedge,
             overload=OVERLOAD_POLICY,
         )
-        cluster.enable_admission_control()
-    cluster.default_policy = policy
+        cluster.config.with_admission_control()
+    cluster.config.harden(policy)
     for server in cluster.servers.values():
         server.peer_timeout = policy.request_timeout
         server.cpu_throttle = config.cpu_throttle

@@ -217,10 +217,15 @@ class Fabric:
         self._messages = self.metrics.counter("fabric.messages")
         self._rdma_ops = self.metrics.counter("fabric.rdma_ops")
         self._unreachable = self.metrics.counter("fabric.unreachable")
-        #: optional chaos hook: an object with
+        #: registered chaos hooks: objects with
         #: ``on_message(src, dst, size, payload, tag, one_sided)``
         #: returning a :class:`FaultAction` or ``None`` per transfer.
-        self.interceptor = None
+        self._interceptors: list = []
+        #: compiled dispatch: ``None`` when no interceptor is registered
+        #: (the hot path does one attribute test and nothing else), the
+        #: single interceptor's bound ``on_message`` when there is exactly
+        #: one, and a combining closure only when several are stacked.
+        self._intercept = None
         self.endpoints: Dict[str, Endpoint] = {}
         self._hosts: Dict[str, tuple] = {}
         self._seq = itertools.count(1)
@@ -233,6 +238,73 @@ class Fabric:
         )
         self._rendezvous_threshold = p.eager_threshold if p.is_rdma else None
         self._link_latency = p.link_latency
+
+    # -- interceptor chain -------------------------------------------------
+    def add_interceptor(self, interceptor) -> None:
+        """Register a fault interceptor and recompile the dispatch.
+
+        Interceptors are consulted in registration order; the first
+        non-``None`` :class:`FaultAction` wins for a given transfer.
+        """
+        if interceptor in self._interceptors:
+            return
+        self._interceptors.append(interceptor)
+        self._compile_intercept()
+
+    def remove_interceptor(self, interceptor) -> None:
+        """Unregister an interceptor (no-op when absent); recompiles."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            return
+        self._compile_intercept()
+
+    def _compile_intercept(self) -> None:
+        interceptors = self._interceptors
+        if not interceptors:
+            self._intercept = None
+        elif len(interceptors) == 1:
+            self._intercept = interceptors[0].on_message
+        else:
+            hooks = [obj.on_message for obj in interceptors]
+
+            def _chain(src, dst, size, payload, tag, one_sided):
+                for hook in hooks:
+                    action = hook(
+                        src,
+                        dst,
+                        size=size,
+                        payload=payload,
+                        tag=tag,
+                        one_sided=one_sided,
+                    )
+                    if action is not None:
+                        return action
+                return None
+
+            self._intercept = _chain
+
+    @property
+    def interceptor(self):
+        """Deprecated: use :meth:`add_interceptor`.
+
+        Reads return the first registered interceptor (``None`` when the
+        chain is empty); assignment replaces the whole chain.
+        """
+        return self._interceptors[0] if self._interceptors else None
+
+    @interceptor.setter
+    def interceptor(self, obj) -> None:
+        import warnings
+
+        warnings.warn(
+            "Fabric.interceptor is deprecated; use "
+            "Fabric.add_interceptor()/remove_interceptor()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._interceptors = [] if obj is None else [obj]
+        self._compile_intercept()
 
     def add_node(self, name: str, host: Optional[str] = None) -> Endpoint:
         """Attach an endpoint.
@@ -298,9 +370,10 @@ class Fabric:
         the poster forever.  Returns the extra delay to add, or ``None``
         when the verb was failed as partitioned (``done`` already failed).
         """
-        if self.interceptor is None:
+        intercept = self._intercept
+        if intercept is None:
             return 0.0
-        action = self.interceptor.on_message(
+        action = intercept(
             src, dst, size=size, payload=None, tag=name, one_sided=True
         )
         if action is None:
@@ -346,8 +419,9 @@ class Fabric:
             return done
 
         action = None
-        if self.interceptor is not None:
-            action = self.interceptor.on_message(
+        intercept = self._intercept
+        if intercept is not None:
+            action = intercept(
                 src, dst, size=size, payload=payload, tag=tag, one_sided=one_sided
             )
             if action is not None and action.block:

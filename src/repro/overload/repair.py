@@ -52,6 +52,26 @@ class ReadRepairQueue:
             if brownout.defer_repair:
                 self._gate.reset()
 
+    def rebind(self, brownout: Optional[BrownoutController]) -> None:
+        """Point the queue at a new brownout controller (plan recompile).
+
+        The previous controller, if any, simply stops mattering — its
+        transition callbacks fire into a queue that no longer consults
+        it for shed/defer decisions.
+        """
+        if brownout is self.brownout:
+            return
+        self.brownout = brownout
+        if brownout is not None:
+            if self._on_level_change not in brownout.on_transition:
+                brownout.on_transition.append(self._on_level_change)
+            if brownout.defer_repair:
+                self._gate.reset()
+            else:
+                self._gate.open()
+        else:
+            self._gate.open()
+
     @property
     def depth(self) -> int:
         """Repairs currently waiting to be sent."""

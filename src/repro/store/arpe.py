@@ -22,7 +22,6 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Generator, Iterable, List, Optional
 
-from repro.common.payload import Payload
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.simulation import Event, Resource, Simulator
@@ -76,9 +75,9 @@ class RequestHandle:
     """A non-blocking operation in flight (``iset``/``iget`` return this).
 
     Once completed, the handle carries the operation's typed
-    :class:`OpResult` in :attr:`result`.  The legacy ``handle.ok`` /
-    ``handle.error`` / ``handle.value`` accessors remain as properties
-    delegating to it.
+    :class:`OpResult` in :attr:`result` (``None`` while in flight):
+    ``handle.result.ok``, ``handle.result.value``,
+    ``handle.result.error`` / ``error_text`` are the API.
     """
 
     _ids = itertools.count(1)
@@ -99,36 +98,6 @@ class RequestHandle:
     def completed(self) -> bool:
         """Whether the operation has finished (ok or not)."""
         return self.done.triggered
-
-    # -- result delegation (deprecated direct accessors) ---------------------
-    @property
-    def ok(self) -> bool:
-        """Deprecated: use ``handle.result.ok``.  False while in flight."""
-        return self.result is not None and self.result.ok
-
-    @property
-    def error(self) -> str:
-        """Deprecated: use ``handle.result.error`` /
-        ``handle.result.error_text``.  Empty while in flight or on
-        success."""
-        if self.result is None:
-            return ""
-        return self.result.error_text
-
-    @property
-    def error_code(self) -> ErrorCode:
-        """Typed failure reason (``ErrorCode.NONE`` in flight / on
-        success)."""
-        if self.result is None:
-            return ErrorCode.NONE
-        return self.result.error
-
-    @property
-    def value(self) -> Optional[Payload]:
-        """The fetched payload, when completed successfully."""
-        if self.result is None:
-            return None
-        return self.result.value
 
     def _finish(self, result: OpResult) -> None:
         self.result = result
@@ -180,7 +149,12 @@ class AsyncRequestEngine:
         self.submitted += 1
         self._submitted_counter.inc()
         self.sim.process(
-            self._run(handle, runner), name="arpe.%s.%s" % (handle.op, handle.key)
+            self._run(handle, runner),
+            name=(
+                "arpe.%s.%s" % (handle.op, handle.key)
+                if self.tracer.enabled
+                else "arpe.op"
+            ),
         )
         return handle
 

@@ -36,6 +36,7 @@ from repro.simulation import Event, Simulator
 from repro.store import protocol
 from repro.store.arpe import AsyncRequestEngine, OpMetrics, RequestHandle
 from repro.store.hashring import HashRing
+from repro.store.plan import ClientPlan, compile_client_plan
 from repro.store.policy import DEFAULT_POLICY, AdaptiveCutoff, RetryPolicy
 from repro.store.protocol import PendingTable, Request, Response
 from repro.store.result import ErrorCode, OpResult
@@ -98,6 +99,9 @@ class KVClient:
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics or MetricsRegistry()
         self.policy = policy or DEFAULT_POLICY
+        #: whether this client was handed its own policy (a cluster does
+        #: not overwrite an explicit per-client policy on recompiles)
+        self.explicit_policy = policy is not None
         #: rolling chunk-fetch latency window driving hedged reads
         self.hedge_cutoff = AdaptiveCutoff(
             percentile=self.policy.hedge_percentile,
@@ -128,8 +132,8 @@ class KVClient:
         #: rebuild/repair traffic for the servers' priority queues)
         self.default_lane: Optional[str] = None
         #: overload guard (breakers, pacing, AIMD window, brownout) —
-        #: present only when the policy opts in, so the legacy request
-        #: path is untouched otherwise
+        #: present only when the plan opts in, so the fast request path
+        #: is untouched otherwise
         self.guard: Optional[OverloadGuard] = None
         if self.policy.overload is not None:
             self.guard = OverloadGuard(self, self.policy.overload)
@@ -138,7 +142,59 @@ class KVClient:
             self,
             brownout=self.guard.brownout if self.guard is not None else None,
         )
+        # Standalone compile: a client outside a cluster resolves its own
+        # policy into a plan (epoch stamping on iff the ring is epoched,
+        # preserving pre-plan behavior).  A cluster with a Features config
+        # re-applies via apply_plan().
+        self.plan: ClientPlan = compile_client_plan(
+            self.policy,
+            stamp_epoch=getattr(ring, "epoch", None) is not None,
+        )
+        self._use_retries = self.plan.use_retries
+        self._timeout = self.plan.timeout
+        self._verify_crc = self.plan.verify_crc
+        self._stamp_epoch = self.plan.stamp_epoch
         self.endpoint.on_message = self._on_message
+
+    def apply_plan(self, plan: ClientPlan) -> None:
+        """Adopt a freshly compiled plan (cluster feature recompile).
+
+        Everything the plan resolves is re-derived here — policy, hedge
+        cutoff, overload guard, read-repair brownout binding — so a
+        mid-run ``Features`` mutation takes effect on the very next
+        operation.
+        """
+        # Recompiles that keep the same policy must not discard learned
+        # runtime state: resetting the adaptive hedge cutoff would drop
+        # its latency samples and change hedging mid-run.
+        if plan.policy is not self.policy:
+            self.hedge_cutoff = AdaptiveCutoff(
+                percentile=plan.policy.hedge_percentile,
+                min_samples=plan.policy.hedge_min_samples,
+                multiplier=plan.policy.hedge_multiplier,
+            )
+        self.plan = plan
+        self.policy = plan.policy
+        if plan.use_guard:
+            if (
+                self.guard is None
+                or self.guard.policy is not plan.policy.overload
+            ):
+                self.guard = OverloadGuard(self, plan.policy.overload)
+        elif self.guard is not None:
+            # Returning to the fast path: hand back any window capacity
+            # AIMD had clawed away, then drop the guard entirely.
+            aimd = self.guard.aimd
+            if aimd is not None and aimd.resource.capacity < aimd.ceiling:
+                aimd.resource.resize(aimd.ceiling)
+            self.guard = None
+        self.read_repair.rebind(
+            self.guard.brownout if self.guard is not None else None
+        )
+        self._use_retries = plan.use_retries
+        self._timeout = plan.timeout
+        self._verify_crc = plan.verify_crc
+        self._stamp_epoch = plan.stamp_epoch
 
     # -- plumbing ---------------------------------------------------------
     def _on_message(self, message: Message) -> None:
@@ -146,7 +202,12 @@ class KVClient:
         response = message.payload
         if not isinstance(response, Response):
             return
-        if response.ok and response.value is not None and response.value.has_data:
+        if (
+            self._verify_crc
+            and response.ok
+            and response.value is not None
+            and response.value.has_data
+        ):
             # End-to-end integrity: the server stamps the stored item's
             # CRC into the response meta; bytes mangled in flight turn
             # the response into a typed CORRUPT failure so the scheme
@@ -199,15 +260,23 @@ class KVClient:
             value=value,
             meta=dict(meta or {}),
         )
-        # epoch-stamped placement: servers count requests routed by a
-        # stale topology view (membership migration lag)
-        epoch = getattr(self.ring, "epoch", None)
-        if epoch is not None:
-            req.meta.setdefault("epoch", epoch)
+        if self._stamp_epoch:
+            # epoch-stamped placement: servers count requests routed by a
+            # stale topology view (membership migration lag)
+            epoch = getattr(self.ring, "epoch", None)
+            if epoch is not None:
+                req.meta.setdefault("epoch", epoch)
         if self.default_lane is not None:
             req.meta.setdefault("lane", self.default_lane)
         if timeout is None:
-            timeout = self.policy.request_timeout
+            timeout = self._timeout
+            if timeout is None and self.guard is None:
+                # Fast path: no deadline to arm, no guard to consult —
+                # the request goes straight onto the wire with zero
+                # closures allocated.
+                return protocol.issue_request(
+                    self.fabric, self.pending, req, dst, span=span
+                )
 
         def _on_timeout(request: Request, _dst: str = dst) -> None:
             self._note_request_timeout(request, _dst)
@@ -352,11 +421,25 @@ class KVClient:
         success.  Drive with ``ok = yield from client.set(...)``."""
         metrics = OpMetrics(self.sim.now)
         metrics.started_at = self.sim.now
-        with self.tracer.span(self.name, "set:%s" % key, category="op") as span:
-            metrics.span = span
+        if self.tracer.enabled:
+            with self.tracer.span(
+                self.name, "set:%s" % key, category="op"
+            ) as span:
+                metrics.span = span
+                if self._use_retries:
+                    result = yield from self._run_with_retries(
+                        lambda: self.scheme.set(self, key, value, metrics)
+                    )
+                else:
+                    result = yield from self.scheme.set(
+                        self, key, value, metrics
+                    )
+        elif self._use_retries:
             result = yield from self._run_with_retries(
                 lambda: self.scheme.set(self, key, value, metrics)
             )
+        else:
+            result = yield from self.scheme.set(self, key, value, metrics)
         metrics.completed_at = self.sim.now
         self.recorder.record("set", metrics.latency)
         if self.guard is not None:
@@ -373,11 +456,23 @@ class KVClient:
         """Blocking Get; returns the :class:`Payload` or ``None`` on miss."""
         metrics = OpMetrics(self.sim.now)
         metrics.started_at = self.sim.now
-        with self.tracer.span(self.name, "get:%s" % key, category="op") as span:
-            metrics.span = span
+        if self.tracer.enabled:
+            with self.tracer.span(
+                self.name, "get:%s" % key, category="op"
+            ) as span:
+                metrics.span = span
+                if self._use_retries:
+                    result = yield from self._run_with_retries(
+                        lambda: self.scheme.get(self, key, metrics)
+                    )
+                else:
+                    result = yield from self.scheme.get(self, key, metrics)
+        elif self._use_retries:
             result = yield from self._run_with_retries(
                 lambda: self.scheme.get(self, key, metrics)
             )
+        else:
+            result = yield from self.scheme.get(self, key, metrics)
         metrics.completed_at = self.sim.now
         self.recorder.record("get", metrics.latency)
         if self.guard is not None:
@@ -394,34 +489,40 @@ class KVClient:
     def iset(self, key: str, value: Payload) -> RequestHandle:
         """memcached_iset: enqueue a Set, return its handle immediately."""
         handle = RequestHandle(self.sim, "set", key)
-        handle.metrics.span = self.tracer.span(
-            self.name, "set:%s" % key, category="op"
-        )
+        if self.tracer.enabled:
+            handle.metrics.span = self.tracer.span(
+                self.name, "set:%s" % key, category="op"
+            )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
-            return (
-                yield from self._run_with_retries(
-                    lambda: self.scheme.set(self, key, value, h.metrics)
+            if self._use_retries:
+                return (
+                    yield from self._run_with_retries(
+                        lambda: self.scheme.set(self, key, value, h.metrics)
+                    )
                 )
-            )
+            return (yield from self.scheme.set(self, key, value, h.metrics))
 
         return self.engine.submit(handle, runner)
 
     def iget(self, key: str) -> RequestHandle:
         """memcached_iget: enqueue a Get, return its handle immediately."""
         handle = RequestHandle(self.sim, "get", key)
-        handle.metrics.span = self.tracer.span(
-            self.name, "get:%s" % key, category="op"
-        )
+        if self.tracer.enabled:
+            handle.metrics.span = self.tracer.span(
+                self.name, "get:%s" % key, category="op"
+            )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
-            return (
-                yield from self._run_with_retries(
-                    lambda: self.scheme.get(self, key, h.metrics)
+            if self._use_retries:
+                return (
+                    yield from self._run_with_retries(
+                        lambda: self.scheme.get(self, key, h.metrics)
+                    )
                 )
-            )
+            return (yield from self.scheme.get(self, key, h.metrics))
 
         return self.engine.submit(handle, runner)
 
@@ -436,14 +537,15 @@ class KVClient:
         """
         items = [(key, value) for key, value in items]
         handle = RequestHandle(self.sim, "multi_set", "[%d keys]" % len(items))
-        handle.metrics.span = self.tracer.span(
-            self.name, "multi_set[%d]" % len(items), category="op"
-        )
+        if self.tracer.enabled:
+            handle.metrics.span = self.tracer.span(
+                self.name, "multi_set[%d]" % len(items), category="op"
+            )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
             results = yield from self.scheme.multi_set(self, items, h.metrics)
-            if self.policy.max_retries > 0:
+            if self._use_retries:
                 for key, value in items:
                     prior = results.get(key)
                     if prior is None or prior.ok or not prior.error.retryable:
@@ -468,14 +570,15 @@ class KVClient:
         """
         keys = list(keys)
         handle = RequestHandle(self.sim, "multi_get", "[%d keys]" % len(keys))
-        handle.metrics.span = self.tracer.span(
-            self.name, "multi_get[%d]" % len(keys), category="op"
-        )
+        if self.tracer.enabled:
+            handle.metrics.span = self.tracer.span(
+                self.name, "multi_get[%d]" % len(keys), category="op"
+            )
         self._record_on_done(handle)
 
         def runner(h: RequestHandle) -> Generator:
             results = yield from self.scheme.multi_get(self, keys, h.metrics)
-            if self.policy.max_retries > 0:
+            if self._use_retries:
                 for key in keys:
                     prior = results.get(key)
                     if prior is None or prior.ok or not prior.error.retryable:
@@ -507,7 +610,7 @@ class KVClient:
         """
         handles = self.imget(list(keys))
         yield self.wait(handles)
-        return {handle.key: handle.value for handle in handles}
+        return {handle.key: handle.result.value for handle in handles}
 
     def test(self, handle: RequestHandle) -> bool:
         """memcached_test: non-blocking completion check."""

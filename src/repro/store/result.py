@@ -136,10 +136,6 @@ class OpResult:
         return bool(self.degraded)
 
     @property
-    def failed(self) -> bool:
-        return not self.ok
-
-    @property
     def error_text(self) -> str:
         """Human-readable error ('' on success)."""
         if self.ok:

@@ -22,7 +22,7 @@ from repro.common.payload import Payload
 from repro.ec.cost_model import CodingCostModel
 from repro.network.fabric import Fabric, Message
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.overload.admission import (
     LANE_BG,
     LANE_FG,
@@ -31,6 +31,7 @@ from repro.overload.admission import (
 )
 from repro.simulation import Event, Resource, Simulator
 from repro.store import protocol
+from repro.store.plan import ServerPlan
 from repro.store.protocol import PendingTable, Request, Response
 from repro.store.slab import SlabCache
 
@@ -113,7 +114,37 @@ class MemcachedServer:
         #: optional callback(key, value_len) invoked after a successful
         #: store — the Boldio burst buffer hooks its async flusher here.
         self.on_store = None
+        # Plan-resolved hot-path switches.  Standalone servers keep every
+        # protection on (the historical behavior); a cluster with a
+        # Features config narrows them via apply_plan().
+        self._cancellable = True
+        self._check_stale = True
+        self._track_epoch = True
+        self._stamp_crc = True
+        self._service_name = "%s.req" % name
         self.endpoint.on_message = self._on_message
+
+    def apply_plan(self, plan: ServerPlan) -> None:
+        """Adopt a compiled :class:`ServerPlan` (cluster feature recompile).
+
+        Resolves, once, everything the request loop would otherwise probe
+        per message: admission control, cancel bookkeeping, CRC
+        stamp/verify, the stale-write guard and epoch tracking.
+        """
+        if plan.admission is not None:
+            if self.admission is None:
+                self.enable_admission(
+                    max_queue=plan.admission.max_queue,
+                    bg_max_queue=plan.admission.bg_max_queue,
+                    sojourn_deadline=plan.admission.sojourn_deadline,
+                )
+        else:
+            self.admission = None
+        self.verify_on_read = plan.verify_on_read
+        self._stamp_crc = plan.integrity
+        self._cancellable = plan.cancellable
+        self._check_stale = plan.check_stale
+        self._track_epoch = plan.track_epoch
 
     # -- lifecycle ----------------------------------------------------------
     def fail(self) -> None:
@@ -211,7 +242,11 @@ class MemcachedServer:
             self._queue_depth.observe(self.workers.queued)
             yield req
         try:
-            if request is not None and self._consume_cancel(request):
+            if (
+                request is not None
+                and self._cancellable
+                and self._consume_cancel(request)
+            ):
                 raise RequestCancelled(request.key)
             yield self.sim.timeout(seconds)
         finally:
@@ -265,7 +300,8 @@ class MemcachedServer:
         payload = message.payload
         if isinstance(payload, Response):
             if (
-                payload.ok
+                self._stamp_crc
+                and payload.ok
                 and payload.value is not None
                 and payload.value.has_data
             ):
@@ -298,12 +334,17 @@ class MemcachedServer:
                 return
             self.sim.process(
                 self._handle_request(payload, message.size),
-                name="%s.%s" % (self.name, payload.op),
+                name=(
+                    "%s.%s" % (self.name, payload.op)
+                    if self.tracer.enabled
+                    else self._service_name
+                ),
             )
 
     def _handle_request(self, request: Request, message_size: int) -> Generator:
         self.requests_handled += 1
-        if self._consume_cancel(request):
+        cancellable = self._cancellable
+        if cancellable and self._consume_cancel(request):
             # Cancelled before service even began (e.g. a retransmit of
             # a request whose original already satisfied the client).
             self.metrics.counter("server.cancelled_drops").inc()
@@ -321,17 +362,21 @@ class MemcachedServer:
                 self._send_busy(request)
                 return
             granted_at = self.sim.now
-            if self._consume_cancel(request):
+            if cancellable and self._consume_cancel(request):
                 # Cancelled while queued: the slot was granted an instant
                 # ago and nothing ran yet, so hand it straight back.
                 self.metrics.counter("server.cancelled_drops").inc()
                 admission.release(0.0)
                 return
-        span = self.tracer.span(
-            self.name,
-            "service:%s" % request.op,
-            category="server-service",
-            key=request.key,
+        span = (
+            self.tracer.span(
+                self.name,
+                "service:%s" % request.op,
+                category="server-service",
+                key=request.key,
+            )
+            if self.tracer.enabled
+            else NULL_SPAN
         )
         base_cpu = REQUEST_PARSE_CPU / self.cpu_speed + self._receive_cpu_cost(
             message_size
@@ -442,9 +487,10 @@ class MemcachedServer:
 
     # -- built-in ops ---------------------------------------------------------
     def _builtin(self, request: Request, base_cpu: float = 0.0) -> Generator:
-        req_epoch = request.meta.get("epoch")
-        if req_epoch is not None and req_epoch != self.epoch:
-            self.metrics.counter("server.epoch_mismatch").inc()
+        if self._track_epoch:
+            req_epoch = request.meta.get("epoch")
+            if req_epoch is not None and req_epoch != self.epoch:
+                self.metrics.counter("server.epoch_mismatch").inc()
         if request.op == "set":
             return (yield from self._op_set(request, base_cpu))
         if request.op == "get":
@@ -474,7 +520,7 @@ class MemcachedServer:
             value = Payload.sized(0)
         cpu_cost = base_cpu + value.size * COPY_CPU_PER_BYTE / self.cpu_speed
         meta = dict(request.meta)
-        if value.has_data:
+        if self._stamp_crc and value.has_data:
             # end-to-end integrity: checksum computed at ingest
             cpu_cost += value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
             # Cached on the Payload: a replicated Set hands the same object
@@ -496,7 +542,7 @@ class MemcachedServer:
                 )
             meta["crc"] = actual
         yield from self.cpu(cpu_cost)
-        if self.is_stale_write(request.key, meta):
+        if self._check_stale and self.is_stale_write(request.key, meta):
             # A newer version is already stored: acknowledge without
             # writing (the sender's intent is long superseded).  The
             # ``stale`` marker lets repair paths skip relocation

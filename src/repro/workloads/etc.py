@@ -158,7 +158,11 @@ def run_etc(
                     )
                 )
         yield client.wait(handles)
-        misses[0] += sum(1 for h in handles if h.op == "get" and not h.ok)
+        misses[0] += sum(
+            1
+            for h in handles
+            if h.op == "get" and not h.result.ok
+        )
 
     start = cluster.sim.now
     procs = [

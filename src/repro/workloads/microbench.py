@@ -139,7 +139,7 @@ def run_set_benchmark(
                     client.iset(source.key(i), source.value(value_size, with_data))
                 )
             yield client.wait(handles)
-            failures[0] = sum(1 for h in handles if not h.ok)
+            failures[0] = sum(1 for h in handles if not h.result.ok)
 
     _drive(cluster, body())
     total = cluster.sim.now - start
@@ -187,7 +187,7 @@ def run_get_benchmark(
             for i in range(num_ops):
                 handles.append(client.iget(source.key(i)))
             yield client.wait(handles)
-            failures[0] = sum(1 for h in handles if not h.ok)
+            failures[0] = sum(1 for h in handles if not h.result.ok)
 
     _drive(cluster, body())
     total = cluster.sim.now - start

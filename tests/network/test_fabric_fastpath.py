@@ -1,0 +1,123 @@
+"""Interceptor-chain compilation and the no-interceptor fast path.
+
+The chain used to be consulted on every transfer even when nothing was
+registered.  It now compiles to ``None`` (direct dispatch), a single
+bound ``on_message``, or one combining closure — rebuilt only when the
+registration set changes, never per message.
+"""
+
+import gc
+
+import pytest
+
+from repro.network.fabric import Fabric, FaultAction
+from repro.network.profiles import RI_QDR
+
+
+@pytest.fixture
+def sim():
+    from repro.simulation import Simulator
+
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    fabric = Fabric(sim, RI_QDR)
+    fabric.add_node("a")
+    fabric.add_node("b")
+    return fabric
+
+
+class Recorder:
+    def __init__(self, action=None):
+        self.action = action
+        self.calls = 0
+
+    def on_message(self, src, dst, size, payload, tag, one_sided):
+        self.calls += 1
+        return self.action
+
+
+class TestChainCompilation:
+    def test_empty_chain_compiles_to_none(self, fabric):
+        assert fabric._intercept is None
+        recorder = Recorder()
+        fabric.add_interceptor(recorder)
+        fabric.remove_interceptor(recorder)
+        assert fabric._intercept is None
+
+    def test_single_interceptor_is_its_bound_hook(self, fabric):
+        recorder = Recorder()
+        fabric.add_interceptor(recorder)
+        assert fabric._intercept == recorder.on_message
+
+    def test_chain_returns_first_non_none_action(self, sim, fabric):
+        first = Recorder(action=None)
+        second = Recorder(action=FaultAction(delay=0.5))
+        third = Recorder(action=FaultAction(delay=9.9))
+        for obj in (first, second, third):
+            fabric.add_interceptor(obj)
+        action = fabric._intercept(
+            "a", "b", size=64, payload=None, tag="", one_sided=False
+        )
+        assert action.delay == 0.5
+        assert (first.calls, second.calls, third.calls) == (1, 1, 0)
+
+    def test_duplicate_registration_is_ignored(self, fabric):
+        recorder = Recorder()
+        fabric.add_interceptor(recorder)
+        fabric.add_interceptor(recorder)
+        assert fabric._interceptors == [recorder]
+
+    def test_interceptors_see_every_send(self, sim, fabric):
+        recorder = Recorder()
+        fabric.add_interceptor(recorder)
+        sim.run(fabric.send("a", "b", 1024))
+        assert recorder.calls == 1
+
+
+class TestNoInterceptorFastPath:
+    """Micro-bench: N sends with an empty chain must not touch the
+    interceptor machinery — no consultation, no recompilation, and no
+    per-message FaultAction/wrapper allocation."""
+
+    NUM_SENDS = 200
+
+    def _blast(self, sim, fabric):
+        def body():
+            for _ in range(self.NUM_SENDS):
+                yield fabric.send("a", "b", 4096)
+
+        sim.run(sim.process(body()))
+
+    def test_no_per_message_wrapper_allocation(self, sim, fabric):
+        assert fabric._intercept is None
+        gc.collect()
+        live_actions = sum(
+            1 for obj in gc.get_objects() if isinstance(obj, FaultAction)
+        )
+        self._blast(sim, fabric)
+        gc.collect()
+        assert (
+            sum(1 for obj in gc.get_objects() if isinstance(obj, FaultAction))
+            == live_actions
+        )
+
+    def test_chain_never_recompiled_during_sends(self, sim, fabric, monkeypatch):
+        def boom(self):
+            raise AssertionError(
+                "interceptor chain recompiled on the send path"
+            )
+
+        monkeypatch.setattr(Fabric, "_compile_intercept", boom)
+        self._blast(sim, fabric)
+
+    def test_empty_chain_costs_no_interceptor_calls(self, sim, fabric):
+        # A registered-then-removed interceptor must leave no residue:
+        # dispatch goes direct and the recorder never fires again.
+        recorder = Recorder()
+        fabric.add_interceptor(recorder)
+        fabric.remove_interceptor(recorder)
+        self._blast(sim, fabric)
+        assert recorder.calls == 0

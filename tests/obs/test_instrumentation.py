@@ -175,7 +175,7 @@ class TestMetricsUnderLoad:
             return handles
 
         handles = drive(cluster, body())
-        assert all(h.ok for h in handles)
+        assert all(h.result.ok for h in handles)
         occupancy = cluster.metrics.histogram("arpe.window_occupancy")
         buffer_wait = cluster.metrics.histogram("arpe.buffer_wait")
         assert occupancy.count == 64

@@ -105,7 +105,7 @@ class TestGuardWiring:
 
     def test_queue_depth_hint_piggybacks_on_responses(self):
         cluster = _cluster()
-        cluster.enable_admission_control()
+        cluster.config.with_admission_control()
         client = cluster.add_client(policy=GUARDED)
         seen = []
         brownout = client.guard.brownout

@@ -35,7 +35,7 @@ class TestNonBlockingAPI:
                 client.iset("k%d" % i, Payload.sized(100)) for i in range(10)
             ]
             yield client.wait(handles)
-            return [h.ok for h in handles]
+            return [h.result.ok for h in handles]
 
         assert drive(cluster, body()) == [True] * 10
 
@@ -46,7 +46,7 @@ class TestNonBlockingAPI:
             yield client.wait([client.iset("k", Payload.from_bytes(b"data"))])
             handle = client.iget("k")
             yield client.wait([handle])
-            return handle.value.data
+            return handle.result.value.data
 
         assert drive(cluster, body()) == b"data"
 
@@ -72,7 +72,7 @@ class TestNonBlockingAPI:
         def body():
             handle = client.iget("ghost")
             yield client.wait([handle])
-            return handle.ok, handle.error
+            return handle.result.ok, handle.result.error_text
 
         ok, error = drive(cluster, body())
         assert not ok and error == "NOT_FOUND"
@@ -208,7 +208,7 @@ class TestWindowing:
 
         def body():
             yield client.wait([handle])
-            return handle.ok, handle.error
+            return handle.result.ok, handle.result.error_text
 
         ok, error = drive(cluster, body())
         assert not ok and "blew up" in error

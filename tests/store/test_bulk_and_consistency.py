@@ -83,7 +83,7 @@ class TestBulkGet:
             yield client.wait([client.iset("a", Payload.sized(5))])
             handles = client.imget(["a", "b"])
             yield client.wait(handles)
-            return [(h.key, h.ok) for h in handles]
+            return [(h.key, h.result.ok) for h in handles]
 
         assert drive(cluster, body()) == [("a", True), ("b", False)]
 
@@ -134,7 +134,7 @@ class TestConsistencySemantics:
         def body():
             handle = client.iset("key", Payload.from_bytes(data))
             yield client.wait([handle])
-            assert handle.ok
+            assert handle.result.ok
             cluster.fail_servers(cluster.ring.placement("key", 5)[:2])
             value = yield from client.get("key")
             assert value.data == data

@@ -131,7 +131,7 @@ class TestTimeoutsAndRetries:
                 request_timeout=0.001, op_deadline=0.004, max_retries=8
             )
         )
-        cluster.fabric.interceptor = _Blackhole()
+        cluster.fabric.add_interceptor(_Blackhole())
         box = _run(cluster, client.get("nope"))
         assert "error" in box
         assert box["error"].code is ErrorCode.TIMEOUT
@@ -142,7 +142,7 @@ class TestTimeoutsAndRetries:
         client = cluster.add_client(
             policy=RetryPolicy(request_timeout=0.001, max_retries=3)
         )
-        cluster.fabric.interceptor = _Blackhole()
+        cluster.fabric.add_interceptor(_Blackhole())
         box = _run(cluster, client.get("nope"))
         assert "error" in box
         assert cluster.metrics.counter("client.retries").value == 3
@@ -187,7 +187,7 @@ class TestResponseIntegrity:
         assert _run(
             cluster, client.set("k", Payload.from_bytes(data))
         )["value"]
-        cluster.fabric.interceptor = _CorruptFirstResponse()
+        cluster.fabric.add_interceptor(_CorruptFirstResponse())
         value = _run(cluster, client.get("k"))["value"]
         assert value.data == data  # bytes survived the flip
         assert cluster.metrics.counter("client.corrupt_responses").value == 1

@@ -45,7 +45,7 @@ class TestAcrossSchemes:
         assert set_handle.result.ok
         assert isinstance(get_handle.result, OpResult)
         assert get_handle.result.ok
-        assert get_handle.value.data == b"x" * 4096
+        assert get_handle.result.value.data == b"x" * 4096
 
     def test_miss_is_typed_not_found(self, scheme):
         cluster = make_cluster(scheme)
@@ -59,7 +59,6 @@ class TestAcrossSchemes:
         handle = drive(cluster, body())
         assert not handle.result.ok
         assert handle.result.error is ErrorCode.NOT_FOUND
-        assert handle.error_code is ErrorCode.NOT_FOUND
 
     def test_imget_bulk(self, scheme):
         cluster = make_cluster(scheme)
@@ -76,7 +75,7 @@ class TestAcrossSchemes:
         handles = drive(cluster, body())
         assert len(handles) == 7
         assert [h.key for h in handles] == keys + ["ghost"]
-        assert all(h.ok for h in handles[:-1])
+        assert all(h.result.ok for h in handles[:-1])
         assert handles[-1].result.error is ErrorCode.NOT_FOUND
 
     def test_wait_any_returns_a_completed_handle(self, scheme):
@@ -113,12 +112,11 @@ class TestHandleContract:
         client = cluster.add_client()
         handle = client.iset("k", Payload.sized(KIB))
         assert handle.result is None
-        assert not handle.ok
-        assert handle.error == ""
-        assert handle.error_code is ErrorCode.NONE
-        assert handle.value is None
+        assert not handle.completed
 
-    def test_deprecated_accessors_delegate_to_result(self):
+    def test_legacy_tuple_style_accessors_are_gone(self):
+        # PR-1's delegating shims (handle.ok/.error/.error_code/.value)
+        # were removed: the typed result is the only completion API.
         cluster = make_cluster("no-rep")
         client = cluster.add_client()
 
@@ -131,10 +129,12 @@ class TestHandleContract:
             return got, miss
 
         got, miss = drive(cluster, body())
-        assert got.ok == got.result.ok is True
-        assert got.value is got.result.value
-        assert miss.error == miss.result.error_text == "NOT_FOUND"
-        assert miss.error_code is miss.result.error
+        for legacy in ("ok", "error", "error_code", "value"):
+            assert not hasattr(got, legacy)
+        assert got.result.ok is True
+        assert got.result.value.data == b"abc"
+        assert miss.result.error_text == "NOT_FOUND"
+        assert miss.result.error is ErrorCode.NOT_FOUND
 
     def test_test_and_wait_mixed_usage(self):
         cluster = make_cluster("era-ce-cd")

@@ -40,12 +40,11 @@ class TestOpResult:
         assert result.value is payload
         assert result.error is ErrorCode.NONE
         assert result.error_text == ""
-        assert not result.failed
+        assert not hasattr(result, "failed")
 
     def test_failure_from_code(self):
         result = OpResult.failure(ErrorCode.NOT_FOUND)
         assert not result.ok and not bool(result)
-        assert result.failed
         assert result.error is ErrorCode.NOT_FOUND
         assert result.error_text == "NOT_FOUND"
 

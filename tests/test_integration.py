@@ -103,7 +103,7 @@ class TestMixedWorkloadLifecycle:
                 for i in range(50)
             ]
             yield client.wait(handles)
-            stored = sum(1 for h in handles if h.ok)
+            stored = sum(1 for h in handles if h.result.ok)
             # with one dead server all writes still reach >= k chunks
             assert stored == 50
             misses = 0
