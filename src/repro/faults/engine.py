@@ -221,9 +221,11 @@ class ChaosEngine:
                 return wire
             data = bytearray(value.data)
             data[pos % len(data)] ^= 1 << bit
-            return dataclasses.replace(
-                wire, value=Payload.from_bytes(bytes(data))
-            )
+            fresh = Payload.from_bytes(bytes(data))
+            replace = getattr(wire, "replace", None)
+            if replace is not None:  # slotted wire records (Request/Response)
+                return replace(value=fresh)
+            return dataclasses.replace(wire, value=fresh)
 
         return mutate
 

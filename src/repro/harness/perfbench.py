@@ -9,7 +9,10 @@ this module measures the *harness itself* in wall-clock terms:
 - **simulated events/sec** of the bare discrete-event engine (a pure
   timeout workload, the dominant event shape in every experiment);
 - **end-to-end ops/sec** of the Figure 8 microbench harness (clients,
-  ARPE, fabric, servers — everything but real payload bytes).
+  ARPE, fabric, servers — everything but real payload bytes);
+- **1,000-server scale** (``scale1k``): cluster build seconds, placement
+  lookups/sec over a ~1M-key space, and a quick elasticity soak at that
+  size, with peak RSS attached as context.
 
 Every metric is *higher is better*, so trajectory comparison is a single
 ratio.  ``run_suite`` returns a report dict; ``compare`` computes
@@ -21,11 +24,15 @@ from __future__ import annotations
 
 import json
 import platform
+import random
 import sys
 import time
 from typing import Callable, Dict, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-Python fallback tree: bench still runs
+    np = None
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -43,8 +50,11 @@ CODEC_GEOMETRIES = (
 
 
 def _test_bytes(size: int, seed: int = 7) -> bytes:
-    rng = np.random.RandomState(seed)
-    return rng.randint(0, 256, size, dtype=np.uint8).tobytes()
+    if np is not None:
+        rng = np.random.RandomState(seed)
+        return rng.randint(0, 256, size, dtype=np.uint8).tobytes()
+    rng = random.Random(seed)
+    return rng.getrandbits(8 * size).to_bytes(size, "little")
 
 
 def _measure(fn: Callable[[], object], min_time: float) -> float:
@@ -67,7 +77,10 @@ def _measure(fn: Callable[[], object], min_time: float) -> float:
 
 def bench_codecs(quick: bool = False) -> Dict[str, float]:
     """Encode and decode throughput (MB/s of user data) per codec."""
-    from repro.ec.registry import make_codec
+    try:
+        from repro.ec.registry import make_codec
+    except ImportError:  # codec kernels need numpy; skip without it
+        return {}
 
     min_time = 0.1 if quick else 0.4
     size = MIB
@@ -229,6 +242,77 @@ def bench_scale(quick: bool = False) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# Order-of-magnitude scale (1,000 servers)
+# ---------------------------------------------------------------------------
+
+
+def bench_scale1k(quick: bool = False) -> Dict[str, float]:
+    """A 1,000-server cluster as a bench dimension.
+
+    Three measurements (absent on trees predating ``repro.membership``):
+    wall seconds to build the cluster, placement lookups per second over
+    a 1M-key space against the 100k-point ring, and a quick elasticity
+    soak (join + decommission under load) at that size, with peak RSS
+    attached as context.  Deliberately identical in quick and full mode
+    (a few seconds either way), so CI's quick gate compares like with
+    like against the committed full-mode baseline.
+    """
+    del quick
+    try:
+        from repro.core.cluster import build_cluster
+        from repro.harness.scale import ScaleConfig, peak_rss_mib, run_scale
+    except ImportError:
+        return {}
+
+    num_servers = 1000
+    num_keys = 1_000_000
+
+    t0 = time.perf_counter()
+    cluster = build_cluster(
+        profile="ri-qdr", scheme="era-ce-cd", servers=num_servers
+    )
+    build_seconds = time.perf_counter() - t0
+
+    ring = cluster.ring
+    keys = ["scale1k:%d" % i for i in range(num_keys)]
+    t0 = time.perf_counter()
+    warm = getattr(ring, "warm", None)
+    if warm is not None:
+        warm(keys)
+    primary = ring.primary
+    for key in keys:
+        primary(key)
+    keys_elapsed = time.perf_counter() - t0
+    del keys, cluster
+
+    config = ScaleConfig(
+        seed=0,
+        servers=num_servers,
+        key_space=24,
+        baseline=0.25,
+        cooldown=0.1,
+    )
+    t0 = time.perf_counter()
+    report = run_scale(config)
+    soak_elapsed = time.perf_counter() - t0
+    ops = report["ops"]
+
+    metrics = {
+        "scale1k_keys_per_sec": num_keys / keys_elapsed,
+        "scale1k_ops_per_sec": (
+            (ops["set_attempts"] + ops["get_attempts"]) / soak_elapsed
+        ),
+        "scale1k_build_seconds_info": build_seconds,
+        "scale1k_soak_wall_seconds_info": soak_elapsed,
+        "scale1k_soak_ok_info": 1.0 if report["ok"] else 0.0,
+    }
+    rss = peak_rss_mib()
+    if rss is not None:
+        metrics["scale1k_peak_rss_mib_info"] = rss
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 
@@ -241,6 +325,7 @@ def run_suite(quick: bool = False) -> Dict[str, object]:
     metrics.update(bench_fig8(quick))
     metrics.update(bench_batch_ops(quick))
     metrics.update(bench_scale(quick))
+    metrics.update(bench_scale1k(quick))
     return {
         "meta": {
             "mode": "quick" if quick else "full",

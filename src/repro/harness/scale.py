@@ -34,6 +34,8 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import sys
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -126,6 +128,19 @@ def _p99(samples: List[float]) -> Optional[float]:
     return Summary.of(samples).p99
 
 
+def peak_rss_mib() -> Optional[float]:
+    """Peak resident set size of this process in MiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
 def run_scale(config: ScaleConfig) -> dict:
     """Execute one seeded scale experiment; returns the JSON-able report."""
     from repro.core.cluster import build_cluster
@@ -133,6 +148,7 @@ def run_scale(config: ScaleConfig) -> dict:
     from repro.resilience.recovery import RepairManager
 
     profile = profile_by_name(config.fault_profile)
+    build_t0 = time.perf_counter()
     cluster = build_cluster(
         profile=config.net_profile,
         scheme=config.scheme,
@@ -140,6 +156,7 @@ def run_scale(config: ScaleConfig) -> dict:
         k=config.k,
         m=config.m,
     )
+    build_seconds = time.perf_counter() - build_t0
     cluster.config.harden(HARDENED_POLICY)
     for server in cluster.servers.values():
         server.peer_timeout = HARDENED_POLICY.request_timeout
@@ -463,6 +480,12 @@ def run_scale(config: ScaleConfig) -> dict:
         "faults_injected": faults_injected,
         "fault_log_entries": len(fault_log),
         "virtual_time": sim.now,
+        # Wall-clock resource footprint — deliberately outside the digest
+        # (it varies run to run; the digest must not).
+        "resources": {
+            "cluster_build_seconds": round(build_seconds, 6),
+            "peak_rss_mib": peak_rss_mib(),
+        },
         "digest": digest,
     }
 

@@ -291,6 +291,10 @@ class RingView:
     def next_alive(self, key: str, dead: Sequence[str]) -> Optional[str]:
         return self.table.current.ring.next_alive(key, dead)
 
+    def warm(self, keys) -> None:
+        """Batch-prime the current ring's placement cache."""
+        self.table.current.ring.warm(keys)
+
     # -- epoch-awareness ---------------------------------------------------
     @property
     def epoch(self) -> int:

@@ -198,6 +198,13 @@ class MigrationPlanner:
         adapter = self.adapter
         moves: List[ChunkMove] = []
         ordered = sorted(set(keys))
+        # batch-resolve every key on both rings up front (one vectorized
+        # searchsorted per ring when numpy is present) so the per-key
+        # diff below runs against warm placement caches
+        for ring in (old_epoch.ring, new_epoch.ring):
+            warm = getattr(ring, "warm", None)
+            if warm is not None:
+                warm(ordered)
         for key in ordered:
             current = adapter.locations(old_epoch.ring, key)
             target = adapter.targets(new_epoch.ring, key)

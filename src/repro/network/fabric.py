@@ -31,7 +31,6 @@ connection (RC) queue pair transitioning to the error state.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.network.profiles import ClusterProfile
@@ -95,19 +94,51 @@ class FaultAction:
         self.mutate = mutate
 
 
-@dataclass
 class Message:
-    """A delivered unit of communication."""
+    """A delivered unit of communication (slotted: one per send)."""
 
-    src: str
-    dst: str
-    size: int
-    payload: Any = None
-    tag: str = ""
-    one_sided: bool = False
-    seq: int = 0
-    sent_at: float = 0.0
-    delivered_at: float = 0.0
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "payload",
+        "tag",
+        "one_sided",
+        "seq",
+        "sent_at",
+        "delivered_at",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        payload: Any = None,
+        tag: str = "",
+        one_sided: bool = False,
+        seq: int = 0,
+        sent_at: float = 0.0,
+        delivered_at: float = 0.0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.payload = payload
+        self.tag = tag
+        self.one_sided = one_sided
+        self.seq = seq
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def __repr__(self) -> str:
+        return "Message(src=%r, dst=%r, size=%r, tag=%r, seq=%r)" % (
+            self.src,
+            self.dst,
+            self.size,
+            self.tag,
+            self.seq,
+        )
 
 
 class Link:

@@ -24,8 +24,13 @@ import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.common.payload import Payload
-from repro.ec.base import ErasureCodec
-from repro.ec.registry import make_codec
+
+try:
+    from repro.ec.base import ErasureCodec
+    from repro.ec.registry import make_codec
+except ImportError:  # numpy absent: erasure schemes cannot be built
+    ErasureCodec = None  # type: ignore[assignment,misc]
+    make_codec = None  # type: ignore[assignment]
 from repro.resilience.base import T_CHECK, ErrorCode, OpResult, ResilienceScheme
 from repro.store import protocol
 from repro.store.arpe import OpMetrics
@@ -54,7 +59,14 @@ class ErasureScheme(ResilienceScheme):
         k: int = 3,
         m: int = 2,
     ):
-        self.codec = codec or make_codec(codec_name, k, m)
+        if codec is None:
+            if make_codec is None:
+                raise ImportError(
+                    "erasure schemes need the numpy-backed codec kernels; "
+                    "install the 'fast' extra (pip install repro[fast])"
+                )
+            codec = make_codec(codec_name, k, m)
+        self.codec = codec
         self.k = self.codec.k
         self.m = self.codec.m
         self.n = self.codec.n
@@ -132,10 +144,12 @@ class ErasureScheme(ResilienceScheme):
     def chunk_servers(self, ring, key: str) -> List[str]:
         """Where each chunk lives now: default placement + relocations."""
         servers = self.placement(ring, key)
-        for index in range(self.n):
-            moved = self.relocations.get((key, index))
-            if moved is not None:
-                servers[index] = moved
+        if self.relocations:
+            relocations = self.relocations
+            for index in range(self.n):
+                moved = relocations.get((key, index))
+                if moved is not None:
+                    servers[index] = moved
         return servers
 
     def record_relocation(self, key: str, index: int, server: str) -> None:

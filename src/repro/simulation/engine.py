@@ -24,7 +24,20 @@ Typical usage::
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Heap keys fold priority and sequence as ``(priority << 52) + seq``;
+#: any key below this belongs to priority 0 (interrupts).
+_PRIORITY1 = 1 << 52
+
+#: Bound on the recycled Timeout/Event free lists.
+_POOL_MAX = 1024
+
+# Object recycling needs proof that the engine holds the only reference
+# (CPython refcounts); on runtimes without getrefcount the pools simply
+# stay empty and every event is freshly allocated.
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class SimulationError(Exception):
@@ -272,14 +285,25 @@ class Process(Event):
 
         self._target = next_target
         if next_target._state == PROCESSED:
-            # Already fired: resume at the current instant.
-            immediate = Event(self.sim)
-            immediate._ok = next_target._ok
-            immediate._value = next_target._value
-            immediate._defused = True
-            immediate._state = TRIGGERED
+            # Already fired: resume at the current instant (via a pooled
+            # event when one is free — these immediates are pure engine
+            # plumbing and never escape the run loop).
+            sim = self.sim
+            pool = sim._event_pool
+            if pool:
+                immediate = pool.pop()
+                immediate._ok = next_target._ok
+                immediate._value = next_target._value
+                immediate._defused = True
+                immediate._state = TRIGGERED
+            else:
+                immediate = Event(sim)
+                immediate._ok = next_target._ok
+                immediate._value = next_target._value
+                immediate._defused = True
+                immediate._state = TRIGGERED
             immediate.callbacks.append(self._resume)
-            self.sim._schedule(immediate, 0.0)
+            sim._schedule(immediate, 0.0)
         else:
             next_target.callbacks.append(self._resume)
 
@@ -349,6 +373,18 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._event_count = 0
+        #: Coalescing memo: the most recently pushed priority-1 heap
+        #: entry and its fire time.  Consecutive schedules for the same
+        #: instant (same-deadline timeouts from sibling processes,
+        #: same-instant resume cascades) append onto that entry's
+        #: payload instead of pushing — the dominant same-time patterns
+        #: are exactly runs of back-to-back schedules, so one memo slot
+        #: captures them without a per-event dict.
+        self._memo_when = -1.0
+        self._memo_entry: Optional[list] = None
+        # Free lists of recycled engine-owned objects (see run()).
+        self._timeout_pool: List["Timeout"] = []
+        self._event_pool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -368,10 +404,30 @@ class Simulator:
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event._ok = True
+            event._state = PENDING
+            event._defused = False
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now with ``value``."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError("negative timeout delay: %r" % (delay,))
+            timer = pool.pop()
+            timer._value = value
+            timer._ok = True
+            timer._state = TRIGGERED
+            timer._defused = False
+            timer.delay = delay
+            self._schedule(timer, delay)
+            return timer
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -388,24 +444,60 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = 1) -> None:
-        # Heap entries are (time, key, event) where key folds priority and
-        # the monotonically increasing sequence number into one int —
-        # cheaper tuple construction/comparison than a 4-tuple on the
-        # hottest allocation in the engine.  Priority 0 (interrupts)
-        # sorts before the default 1 at equal times; the 2^52 sequence
-        # space keeps ordering exact far beyond any realistic run.
+        # Heap entries are MUTABLE lists [time, key, payload] where key
+        # folds priority and the monotonically increasing sequence
+        # number into one int.  A priority-1 schedule whose fire time
+        # matches the memo (the last pushed priority-1 entry) appends
+        # onto that entry's payload — growing it from a single event to
+        # a bucket list — instead of pushing a new entry.  Buckets built
+        # this way are append-closed the moment the memo moves on, and
+        # every event in a later-created bucket at the same time has a
+        # larger sequence number than everything in an earlier one, so
+        # draining entries in heap order replays exact schedule order.
+        # Priority 0 sorts before priority 1 at equal times; the 2^52
+        # sequence space keeps ordering exact far beyond any realistic
+        # run.
         if delay < 0:
             raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
-        self._seq = seq = self._seq + 1
-        heapq.heappush(
-            self._heap, (self._now + delay, (priority << 52) + seq, event)
-        )
+        when = self._now + delay
+        if priority == 1:
+            if when == self._memo_when:
+                entry = self._memo_entry
+                payload = entry[2]
+                if payload.__class__ is list:
+                    payload.append(event)
+                else:
+                    entry[2] = [payload, event]
+                return
+            self._seq = seq = self._seq + 1
+            entry = [when, _PRIORITY1 + seq, event]
+            heapq.heappush(self._heap, entry)
+            self._memo_when = when
+            self._memo_entry = entry
+        else:
+            self._seq = seq = self._seq + 1
+            heapq.heappush(
+                self._heap, [when, (priority << 52) + seq, event]
+            )
 
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event from the heap."""
-        when, _key, event = heapq.heappop(self._heap)
-        self._now = when
+        entry = heapq.heappop(self._heap)
+        self._now = entry[0]
+        if entry is self._memo_entry:
+            # Popped the memoized entry: close it to further appends.
+            self._memo_when = -1.0
+            self._memo_entry = None
+        event = entry[2]
+        if event.__class__ is list:
+            # A coalesced bucket: fire its head, put the rest back under
+            # the same key so their position among same-time entries is
+            # preserved.
+            bucket = event
+            event = bucket.pop(0)
+            if bucket:
+                heapq.heappush(self._heap, entry)
         event._state = PROCESSED
         self._event_count += 1
         callbacks = event.callbacks
@@ -447,12 +539,117 @@ class Simulator:
         # whole-harness throughput.
         heap = self._heap
         heappop = heapq.heappop
+        heappush = heapq.heappush
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        recycle = _getrefcount is not None
         while heap:
             if heap[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            when, _key, event = heappop(heap)
+            entry = heappop(heap)
+            when = entry[0]
             self._now = when
+            if entry is self._memo_entry:
+                # Popped the memoized entry: close it to appends.  Later
+                # same-instant schedules push fresh entries (larger
+                # sequence numbers), which drain after this one.
+                self._memo_when = -1.0
+                self._memo_entry = None
+            event = entry[2]
+            if event.__class__ is list:
+                bucket = event
+                if len(bucket) > 1:
+                    # Drain a coalesced bucket.  It is append-closed (the
+                    # memo was just invalidated), so same-instant arrivals
+                    # during the drain land in fresh heap entries that pop
+                    # afterwards, preserving schedule order.
+                    i = 0
+                    try:
+                        while i < len(bucket):
+                            # Same-instant interrupts (priority 0)
+                            # outrank every remaining bucket entry,
+                            # exactly as their heap keys would have
+                            # under per-event scheduling.
+                            while (
+                                heap
+                                and heap[0][0] == when
+                                and heap[0][1] < _PRIORITY1
+                            ):
+                                preempt = heappop(heap)[2]
+                                preempt._state = PROCESSED
+                                self._event_count += 1
+                                callbacks = preempt.callbacks
+                                if callbacks:
+                                    preempt.callbacks = []
+                                    for callback in callbacks:
+                                        callback(preempt)
+                                if not preempt._ok and not preempt._defused:
+                                    raise preempt._value
+                                if (
+                                    stop_event is not None
+                                    and stop_event._state == PROCESSED
+                                ):
+                                    if not stop_event._ok:
+                                        stop_event._defused = True
+                                        raise stop_event._value
+                                    return stop_event._value
+                            event = bucket[i]
+                            bucket[i] = None  # drop the bucket's ref
+                            i += 1
+                            event._state = PROCESSED
+                            self._event_count += 1
+                            callbacks = event.callbacks
+                            if callbacks:
+                                event.callbacks = []
+                                for callback in callbacks:
+                                    callback(event)
+                            if not event._ok and not event._defused:
+                                raise event._value
+                            if (
+                                stop_event is not None
+                                and stop_event._state == PROCESSED
+                            ):
+                                if not stop_event._ok:
+                                    stop_event._defused = True
+                                    raise stop_event._value
+                                return stop_event._value
+                            # Recycle engine-only objects: a refcount of
+                            # exactly 2 (the local + getrefcount's
+                            # argument) proves nothing else holds the
+                            # event, so its identity can never be
+                            # observed again.
+                            if recycle:
+                                kind = type(event)
+                                if kind is Timeout:
+                                    if (
+                                        len(timeout_pool) < _POOL_MAX
+                                        and not event.callbacks
+                                        and _getrefcount(event) == 2
+                                    ):
+                                        event._value = None
+                                        timeout_pool.append(event)
+                                elif kind is Event:
+                                    if (
+                                        len(event_pool) < _POOL_MAX
+                                        and not event.callbacks
+                                        and _getrefcount(event) == 2
+                                    ):
+                                        event._value = None
+                                        event_pool.append(event)
+                    finally:
+                        if i < len(bucket):
+                            # Early exit (stop event or propagating
+                            # failure) with entries still unfired: shrink
+                            # the bucket in place and re-push this entry
+                            # under its original key, so a later run()
+                            # resumes exactly where this one stopped.
+                            del bucket[:i]
+                            heappush(heap, entry)
+                    continue
+                # Singleton bucket (possible after step() fired part of
+                # one): fall through to the shared fire body below.
+                event = bucket[0]
             event._state = PROCESSED
             self._event_count += 1
             callbacks = event.callbacks
@@ -467,6 +664,24 @@ class Simulator:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
+            if recycle:
+                kind = type(event)
+                if kind is Timeout:
+                    if (
+                        len(timeout_pool) < _POOL_MAX
+                        and not event.callbacks
+                        and _getrefcount(event) == 2
+                    ):
+                        event._value = None
+                        timeout_pool.append(event)
+                elif kind is Event:
+                    if (
+                        len(event_pool) < _POOL_MAX
+                        and not event.callbacks
+                        and _getrefcount(event) == 2
+                    ):
+                        event._value = None
+                        event_pool.append(event)
 
         if stop_event is not None and stop_event._state != PROCESSED:
             raise SimulationError(

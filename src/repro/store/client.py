@@ -218,12 +218,14 @@ class KVClient:
                 and response.value.checksum() != expected
             ):
                 self._corrupt_responses.inc()
+                # the original response is discarded, so the rewrap can
+                # take ownership of its meta instead of copying it
                 response = Response(
                     req_id=response.req_id,
                     ok=False,
                     server=response.server,
                     error=protocol.ERR_CORRUPT,
-                    meta=dict(response.meta),
+                    meta=response.meta,
                 )
         if self.guard is not None:
             self.guard.observe_response(response.server, response)
@@ -258,16 +260,19 @@ class KVClient:
             req_id=next(self._req_seq),
             reply_to=self.name,
             value=value,
-            meta=dict(meta or {}),
+            # metaless requests share the EMPTY_META sentinel; callers
+            # that do pass meta get a private copy (they own their dict
+            # and may reuse it across sends)
+            meta=dict(meta) if meta else None,
         )
         if self._stamp_epoch:
             # epoch-stamped placement: servers count requests routed by a
             # stale topology view (membership migration lag)
             epoch = getattr(self.ring, "epoch", None)
             if epoch is not None:
-                req.meta.setdefault("epoch", epoch)
+                protocol.meta_setdefault(req, "epoch", epoch)
         if self.default_lane is not None:
-            req.meta.setdefault("lane", self.default_lane)
+            protocol.meta_setdefault(req, "lane", self.default_lane)
         if timeout is None:
             timeout = self._timeout
             if timeout is None and self.guard is None:

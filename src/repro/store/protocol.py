@@ -8,7 +8,6 @@ waiting on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.payload import Payload
@@ -21,17 +20,62 @@ RESPONSE_HEADER = 48
 TAG_REQUEST = "req"
 TAG_RESPONSE = "resp"
 
+#: Shared sentinel for "no metadata".  Most requests and responses carry
+#: no meta at all; giving each one its own empty dict was a measurable
+#: slice of per-op allocation at scale.  Treat it as immutable — writers
+#: must go through :func:`meta_setdefault` (or replace ``.meta`` with a
+#: private dict) so a stray write can never leak to every other record.
+EMPTY_META: Dict[str, Any] = {}
 
-@dataclass
+
+def meta_setdefault(record, key: str, value) -> None:
+    """``record.meta.setdefault(key, value)`` with copy-on-write.
+
+    When ``record.meta`` is the shared :data:`EMPTY_META` sentinel it is
+    swapped for a private single-entry dict instead of being mutated.
+    """
+    meta = record.meta
+    if meta is EMPTY_META:
+        record.meta = {key: value}
+    else:
+        meta.setdefault(key, value)
+
+
 class Request:
     """A client -> server (or server -> server) operation."""
 
-    op: str
-    key: str
-    req_id: int
-    reply_to: str
-    value: Optional[Payload] = None
-    meta: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("op", "key", "req_id", "reply_to", "value", "meta")
+
+    def __init__(
+        self,
+        op: str,
+        key: str,
+        req_id: int,
+        reply_to: str,
+        value: Optional[Payload] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        self.op = op
+        self.key = key
+        self.req_id = req_id
+        self.reply_to = reply_to
+        self.value = value
+        self.meta = EMPTY_META if meta is None else meta
+
+    def replace(self, **changes) -> "Request":
+        """A shallow copy with ``changes`` applied (dataclasses.replace
+        for a slotted record)."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(changes)
+        return Request(**fields)
+
+    def __repr__(self) -> str:
+        return "Request(op=%r, key=%r, req_id=%r, reply_to=%r)" % (
+            self.op,
+            self.key,
+            self.req_id,
+            self.reply_to,
+        )
 
     def wire_size(self) -> int:
         size = REQUEST_HEADER + len(self.key)
@@ -40,16 +84,40 @@ class Request:
         return size
 
 
-@dataclass
 class Response:
     """The server's answer; ``ok=False`` carries an error code."""
 
-    req_id: int
-    ok: bool
-    server: str
-    value: Optional[Payload] = None
-    error: str = ""
-    meta: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("req_id", "ok", "server", "value", "error", "meta")
+
+    def __init__(
+        self,
+        req_id: int,
+        ok: bool,
+        server: str,
+        value: Optional[Payload] = None,
+        error: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        self.req_id = req_id
+        self.ok = ok
+        self.server = server
+        self.value = value
+        self.error = error
+        self.meta = EMPTY_META if meta is None else meta
+
+    def replace(self, **changes) -> "Response":
+        """A shallow copy with ``changes`` applied."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(changes)
+        return Response(**fields)
+
+    def __repr__(self) -> str:
+        return "Response(req_id=%r, ok=%r, server=%r, error=%r)" % (
+            self.req_id,
+            self.ok,
+            self.server,
+            self.error,
+        )
 
     def wire_size(self) -> int:
         size = RESPONSE_HEADER

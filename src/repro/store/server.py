@@ -73,15 +73,14 @@ class MemcachedServer:
         self.name = name
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics or MetricsRegistry()
-        self._queue_depth = self.metrics.histogram(
-            "server.%s.queue_depth" % name
-        )
+        self.memory_limit = memory_limit
+        # Flyweight state: the slab cache (~40 slab classes) and the
+        # queue-depth histogram materialize on first touch, so the
+        # thousands of servers in a scale soak that never store a byte or
+        # queue a request cost almost nothing to build or keep around.
+        self._cache: Optional[SlabCache] = None
+        self._queue_depth_hist = None
         self.endpoint = fabric.add_node(name)
-        self.cache = SlabCache(
-            memory_limit,
-            metrics=self.metrics,
-            metric_prefix="slab.%s" % name,
-        )
         #: verify stored checksums on every Get (detects bit rot; a
         #: corrupt item is reported so the resilience layer can recover
         #: it from replicas or parity chunks)
@@ -124,6 +123,28 @@ class MemcachedServer:
         self._service_name = "%s.req" % name
         self.endpoint.on_message = self._on_message
 
+    @property
+    def cache(self) -> SlabCache:
+        """The slab cache, materialized on first use."""
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = SlabCache(
+                self.memory_limit,
+                metrics=self.metrics,
+                metric_prefix="slab.%s" % self.name,
+            )
+        return cache
+
+    @property
+    def _queue_depth(self):
+        """The queue-depth histogram, materialized on first contention."""
+        hist = self._queue_depth_hist
+        if hist is None:
+            hist = self._queue_depth_hist = self.metrics.histogram(
+                "server.%s.queue_depth" % self.name
+            )
+        return hist
+
     def apply_plan(self, plan: ServerPlan) -> None:
         """Adopt a compiled :class:`ServerPlan` (cluster feature recompile).
 
@@ -151,7 +172,8 @@ class MemcachedServer:
         """Crash the node: unreachable, and DRAM contents are gone."""
         self.alive = False
         self.endpoint.fail()
-        self.cache.wipe()
+        if self._cache is not None:  # nothing stored -> nothing to lose
+            self._cache.wipe()
 
     def recover(self) -> None:
         """Bring the node back empty (cold restart)."""
@@ -287,7 +309,9 @@ class MemcachedServer:
             req_id=next(self._req_seq),
             reply_to=self.name,
             value=value,
-            meta=dict(meta or {}),
+            # peer callers hand over per-request dicts; metaless requests
+            # share the EMPTY_META sentinel instead of allocating one each
+            meta=meta,
         )
         self.peer_requests_sent += 1
         return protocol.issue_request(
@@ -315,12 +339,14 @@ class MemcachedServer:
                     and payload.value.checksum() != expected
                 ):
                     self.metrics.counter("server.corrupt_responses").inc()
+                    # the corrupt original is discarded; its meta can be
+                    # handed to the rewrap without a copy
                     payload = Response(
                         req_id=payload.req_id,
                         ok=False,
                         server=payload.server,
                         error=protocol.ERR_CORRUPT,
-                        meta=dict(payload.meta),
+                        meta=payload.meta,
                     )
             self.pending.complete(payload)
         elif isinstance(payload, Request):
@@ -419,8 +445,12 @@ class MemcachedServer:
 
         if admission is not None:
             # Piggyback the backlog so clients' brownout controllers see
-            # server pressure without a separate health channel.
-            response.meta["qd"] = admission.backlog
+            # server pressure without a separate health channel.  The
+            # response meta may be the shared sentinel or alias a stored
+            # item's meta (the Get path), so stamping always copies.
+            meta = dict(response.meta)
+            meta["qd"] = admission.backlog
+            response.meta = meta
 
         send_event = self.fabric.send(
             self.name,
@@ -519,7 +549,9 @@ class MemcachedServer:
         if value is None:
             value = Payload.sized(0)
         cpu_cost = base_cpu + value.size * COPY_CPU_PER_BYTE / self.cpu_speed
-        meta = dict(request.meta)
+        # the request's meta is stored as-is; only the CRC-stamping path
+        # below needs a private copy to write into
+        meta = request.meta
         if self._stamp_crc and value.has_data:
             # end-to-end integrity: checksum computed at ingest
             cpu_cost += value.size * CHECKSUM_CPU_PER_BYTE / self.cpu_speed
@@ -540,6 +572,7 @@ class MemcachedServer:
                     server=self.name,
                     error=protocol.ERR_CORRUPT,
                 )
+            meta = dict(meta)
             meta["crc"] = actual
         yield from self.cpu(cpu_cost)
         if self._check_stale and self.is_stale_write(request.key, meta):
@@ -600,12 +633,14 @@ class MemcachedServer:
             base_cpu + item.value_len * COPY_CPU_PER_BYTE / self.cpu_speed,
             request,
         )
+        # the stored meta is aliased into the response (read-only by
+        # contract; the one writer, admission's qd stamp, copies first)
         return Response(
             req_id=request.req_id,
             ok=True,
             server=self.name,
             value=Payload(item.value_len, item.data),
-            meta=dict(item.meta),
+            meta=item.meta,
         )
 
     def _op_delete(self, request: Request, base_cpu: float = 0.0) -> Generator:

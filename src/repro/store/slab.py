@@ -15,10 +15,10 @@ returns real data; accounting itself is byte-accurate regardless.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.store.protocol import EMPTY_META
 
 #: Per-item metadata overhead (memcached's item header + CAS).
 ITEM_HEADER = 56
@@ -32,13 +32,32 @@ DEFAULT_MIN_CHUNK = 96
 DEFAULT_GROWTH = 1.25
 
 
-@dataclass
 class StoredItem:
-    key: str
-    value_len: int
-    data: Optional[bytes]
-    meta: dict = field(default_factory=dict)
-    class_id: int = 0
+    """One cache entry — slotted, and metaless items share EMPTY_META,
+    because a million-key cluster holds a million of these."""
+
+    __slots__ = ("key", "value_len", "data", "meta", "class_id")
+
+    def __init__(
+        self,
+        key: str,
+        value_len: int,
+        data: Optional[bytes],
+        meta: Optional[dict] = None,
+        class_id: int = 0,
+    ):
+        self.key = key
+        self.value_len = value_len
+        self.data = data
+        self.meta = EMPTY_META if meta is None else meta
+        self.class_id = class_id
+
+    def __repr__(self) -> str:
+        return "StoredItem(key=%r, value_len=%r, class_id=%r)" % (
+            self.key,
+            self.value_len,
+            self.class_id,
+        )
 
 
 class SlabClass:
@@ -177,11 +196,13 @@ class SlabCache:
             self._failed_stores_counter.inc()
             return False
 
+        # non-empty metas are copied (the caller's dict may alias a live
+        # request); empty ones collapse onto the shared sentinel
         item = StoredItem(
             key=key,
             value_len=value_len,
             data=data,
-            meta=dict(meta or {}),
+            meta=dict(meta) if meta else None,
             class_id=slab_class.class_id,
         )
         slab_class.free_slots -= 1

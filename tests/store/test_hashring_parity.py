@@ -1,0 +1,172 @@
+"""Parity properties for the vectorized ring and its pure-Python twin.
+
+The numpy-backed ring is an optimization, never a semantic change: for
+any membership history (joins, leaves, replacements, in any order) both
+implementations must produce byte-identical placement decisions.  The
+pure half of every test also runs on no-numpy trees, where it exercises
+the fallback path on its own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.store.hashring import _HAS_NUMPY, HashRing
+
+needs_numpy = pytest.mark.skipif(not _HAS_NUMPY, reason="numpy not installed")
+
+
+def _sample_keys(rng: random.Random, count: int):
+    return ["key:%d:%d" % (rng.randrange(1_000_000), i) for i in range(count)]
+
+
+def _random_walk(rng: random.Random, steps: int):
+    """A randomized join/leave/replace history applied to twin rings."""
+    servers = ["server-%d" % i for i in range(8)]
+    vec = HashRing(servers, vectorized=True)
+    pure = HashRing(servers, vectorized=False)
+    fresh_name = 100
+    for _ in range(steps):
+        op = rng.choice(("join", "leave", "replace"))
+        if op == "join" or (op == "replace" and len(vec.servers) < 2):
+            name = "server-%d" % fresh_name
+            fresh_name += 1
+            vec, pure = vec.with_server(name), pure.with_server(name)
+        elif op == "leave" and len(vec.servers) > 2:
+            victim = rng.choice(vec.servers)
+            vec, pure = vec.without_server(victim), pure.without_server(victim)
+        elif op == "replace":
+            victim = rng.choice(vec.servers)
+            name = "server-%d" % fresh_name
+            fresh_name += 1
+            vec = vec.without_server(victim).with_server(name)
+            pure = pure.without_server(victim).with_server(name)
+        yield vec, pure
+
+
+@needs_numpy
+class TestVectorizedParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_membership_walk_preserves_placement(self, seed):
+        rng = random.Random(seed)
+        keys = _sample_keys(rng, 200)
+        for vec, pure in _random_walk(rng, steps=10):
+            assert vec.servers == pure.servers
+            count = min(5, len(vec.servers))
+            for key in keys:
+                assert vec.primary(key) == pure.primary(key)
+                assert vec.placement(key, count) == pure.placement(key, count)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_rebuild_matches_fresh_ring(self, seed):
+        # with_server/without_server splice the point arrays in place;
+        # the result must be indistinguishable from building from
+        # scratch (same membership, same points, same owners).
+        rng = random.Random(1000 + seed)
+        keys = _sample_keys(rng, 200)
+        for vec, _pure in _random_walk(rng, steps=6):
+            fresh = HashRing(list(vec.servers), vectorized=True)
+            for key in keys:
+                assert vec.primary(key) == fresh.primary(key)
+
+    def test_chunk_servers_parity(self):
+        from repro.resilience.registry import make_scheme
+
+        scheme = make_scheme("era-ce-cd", k=3, m=2)
+        rng = random.Random(7)
+        servers = ["server-%d" % i for i in range(12)]
+        vec = HashRing(servers, vectorized=True)
+        pure = HashRing(servers, vectorized=False)
+        for key in _sample_keys(rng, 300):
+            assert scheme.chunk_servers(vec, key) == scheme.chunk_servers(
+                pure, key
+            )
+
+    def test_warm_matches_per_key_lookup(self):
+        rng = random.Random(11)
+        servers = ["server-%d" % i for i in range(20)]
+        keys = _sample_keys(rng, 500)
+        warmed = HashRing(servers, vectorized=True)
+        warmed.warm(keys)
+        cold = HashRing(servers, vectorized=True)
+        for key in keys:
+            assert warmed.primary(key) == cold.primary(key)
+
+
+class TestConsistentHashingDisruption:
+    """Placement stability under churn — holds for either backend."""
+
+    def test_removal_only_remaps_the_victims_keys(self):
+        rng = random.Random(3)
+        servers = ["server-%d" % i for i in range(10)]
+        ring = HashRing(servers)
+        keys = _sample_keys(rng, 2000)
+        before = {key: ring.primary(key) for key in keys}
+        victim = "server-4"
+        shrunk = ring.without_server(victim)
+        moved = 0
+        for key in keys:
+            if before[key] == victim:
+                moved += 1
+            else:
+                assert shrunk.primary(key) == before[key]
+        # ~1/N of the keys lived on the victim; allow generous slack.
+        assert 0 < moved < len(keys) * 4 / len(servers)
+
+    def test_join_steals_about_one_share(self):
+        rng = random.Random(4)
+        servers = ["server-%d" % i for i in range(10)]
+        ring = HashRing(servers)
+        keys = _sample_keys(rng, 2000)
+        before = {key: ring.primary(key) for key in keys}
+        grown = ring.with_server("server-new")
+        stolen = 0
+        for key in keys:
+            after = grown.primary(key)
+            if after != before[key]:
+                # a key only ever moves TO the joiner, never sideways
+                assert after == "server-new"
+                stolen += 1
+        assert 0 < stolen < len(keys) * 4 / (len(servers) + 1)
+
+
+class TestLocationTableInvalidation:
+    """The per-ring placement cache dies with its epoch."""
+
+    def test_epoch_change_yields_fresh_placement(self):
+        from repro.membership.epoch import MembershipTable, RingView
+
+        rng = random.Random(5)
+        servers = ["server-%d" % i for i in range(6)]
+        keys = _sample_keys(rng, 300)
+        table = MembershipTable(servers)
+        view = RingView(table)
+        view.warm(keys)
+        old = {key: view.primary(key) for key in keys}
+
+        table.join("server-new")
+        table.seal()
+        view.warm(keys)
+        expected = HashRing(servers + ["server-new"])
+        for key in keys:
+            assert view.primary(key) == expected.primary(key)
+
+        # the old epoch's ring object (and its cache) answers unchanged
+        old_ring = table.epochs[0].ring
+        for key in keys:
+            assert old_ring.primary(key) == old[key]
+
+    def test_cache_does_not_leak_across_derived_rings(self):
+        rng = random.Random(6)
+        servers = ["server-%d" % i for i in range(6)]
+        keys = _sample_keys(rng, 300)
+        ring = HashRing(servers)
+        ring.warm(keys)
+        derived = ring.without_server("server-0").with_server("server-9")
+        fresh = HashRing(
+            [s for s in servers if s != "server-0"] + ["server-9"]
+        )
+        for key in keys:
+            assert derived.primary(key) == fresh.primary(key)
