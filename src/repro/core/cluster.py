@@ -23,7 +23,7 @@ import itertools
 import warnings
 from typing import Dict, List, Optional, Union
 
-from repro.core.features import ChaosConfig, Features
+from repro.core.features import ChaosConfig, Features, MembershipConfig
 from repro.ec.cost_model import CodingCostModel
 from repro.membership.epoch import MembershipTable, RingView
 from repro.network.fabric import Fabric
@@ -95,6 +95,8 @@ class KVCluster:
         self.config._observers.append(self._apply_config)
         self._chaos = None
         self._chaos_config: Optional[ChaosConfig] = None
+        self._detector = None
+        self._membership_config: Optional[MembershipConfig] = None
         self._apply_config()
 
     # -- plan compilation ----------------------------------------------------
@@ -140,6 +142,14 @@ class KVCluster:
                     max_degraded=chaos_cfg.max_degraded,
                 )
             self._chaos_config = chaos_cfg
+        membership_cfg = config.membership
+        if membership_cfg is not self._membership_config:
+            if self._detector is not None:
+                self._detector.uninstall()
+                self._detector = None
+            if membership_cfg is not None:
+                self._detector = self._build_detector(membership_cfg)
+            self._membership_config = membership_cfg
 
     @staticmethod
     def _client_sends_cancels(client: KVClient) -> bool:
@@ -152,6 +162,42 @@ class KVCluster:
             or policy.request_timeout is not None
             or policy.overload is not None
         )
+
+    def _build_detector(self, cfg: MembershipConfig):
+        if cfg.detector == "swim":
+            from repro.membership.gossip import SwimDetector
+
+            return SwimDetector(
+                self,
+                period=cfg.period,
+                timeout=cfg.timeout,
+                indirect_probes=cfg.indirect_probes,
+                suspicion_periods=cfg.suspicion_periods,
+                sync_every=cfg.sync_every,
+                piggyback_limit=cfg.piggyback_limit,
+                retransmit_factor=cfg.retransmit_factor,
+                seed=cfg.seed,
+            )
+        from repro.membership.detector import HeartbeatDetector
+
+        return HeartbeatDetector(
+            self.sim,
+            self.fabric,
+            self.membership,
+            interval=cfg.period,
+            timeout=cfg.timeout if cfg.timeout is not None else 0.02,
+            miss_limit=cfg.miss_limit,
+            metrics=self.metrics,
+        )
+
+    @property
+    def detector(self):
+        """The configured failure detector (``None`` without one).
+
+        Declared via ``cluster.config.with_membership(...)``; start its
+        probe loops with ``cluster.detector.start(horizon)``.
+        """
+        return self._detector
 
     @property
     def chaos(self):
@@ -228,6 +274,10 @@ class KVCluster:
                 )
             )
         )
+        attach = getattr(self._detector, "attach", None)
+        if attach is not None:
+            # SWIM: the joiner runs its own protocol loop from birth
+            attach(server)
         return server
 
     # -- overload protection -------------------------------------------------

@@ -47,9 +47,39 @@ __all__ = [
     "ClientPlan",
     "ClusterConfig",
     "Features",
+    "MembershipConfig",
     "ServerPlan",
     "compile_client_plan",
 ]
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detector declaration compiled by the owning cluster.
+
+    ``detector`` picks the implementation: ``"swim"`` (decentralized
+    gossip, O(1) per-node load — see :mod:`repro.membership.gossip`) or
+    ``"heartbeat"`` (the legacy centralized prober).  ``period`` is the
+    SWIM protocol period / heartbeat interval; ``timeout`` the per-probe
+    deadline (``None`` derives it: ``period / 4`` for SWIM, ``0.02`` for
+    heartbeat).  The remaining knobs are SWIM-only: ``indirect_probes``
+    proxies per miss, ``suspicion_periods`` protocol periods before a
+    suspect is declared dead, anti-entropy sync every ``sync_every``
+    periods, ``piggyback_limit`` rumors per message, each retransmitted
+    ``retransmit_factor * log2(n)`` times.  ``miss_limit`` is
+    heartbeat-only.
+    """
+
+    detector: str = "swim"
+    period: float = 0.05
+    timeout: Optional[float] = None
+    indirect_probes: int = 3
+    suspicion_periods: float = 2.0
+    sync_every: int = 10
+    piggyback_limit: int = 8
+    retransmit_factor: float = 3.0
+    miss_limit: int = 3
+    seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,11 +149,13 @@ class Features:
         integrity: bool = True,
         write_versioning: Optional[bool] = None,
         epoch_stamping: Optional[bool] = None,
+        membership: Optional[MembershipConfig] = None,
     ):
         self.hardening = hardening
         self.overload = overload
         self.admission = admission
         self.chaos = chaos
+        self.membership = membership
         self.integrity = integrity
         self.write_versioning = write_versioning
         self.epoch_stamping = epoch_stamping
@@ -182,6 +214,44 @@ class Features:
         )
         return self._touch()
 
+    def with_membership(
+        self,
+        detector: str = "swim",
+        period: float = 0.05,
+        timeout: Optional[float] = None,
+        indirect_probes: int = 3,
+        suspicion_periods: float = 2.0,
+        sync_every: int = 10,
+        piggyback_limit: int = 8,
+        retransmit_factor: float = 3.0,
+        miss_limit: int = 3,
+        seed: int = 0,
+    ) -> "Features":
+        """Declare a failure detector (``"swim"`` or ``"heartbeat"``).
+
+        The cluster constructs it on recompile and exposes it as
+        ``cluster.detector``; call ``cluster.detector.start(horizon)`` to
+        launch the probe loops.  The default fast path (no membership
+        config) pays nothing.
+        """
+        if detector not in ("swim", "heartbeat"):
+            raise ValueError(
+                "unknown detector %r (choices: swim, heartbeat)" % detector
+            )
+        self.membership = MembershipConfig(
+            detector=detector,
+            period=period,
+            timeout=timeout,
+            indirect_probes=indirect_probes,
+            suspicion_periods=suspicion_periods,
+            sync_every=sync_every,
+            piggyback_limit=piggyback_limit,
+            retransmit_factor=retransmit_factor,
+            miss_limit=miss_limit,
+            seed=seed,
+        )
+        return self._touch()
+
     def with_integrity(self, enabled: bool = True) -> "Features":
         """Toggle end-to-end CRC stamping and verification."""
         self.integrity = enabled
@@ -199,9 +269,15 @@ class Features:
 
     def disable(self, *names: str) -> "Features":
         """Turn the named features off (``"hardening"``, ``"overload"``,
-        ``"admission"``, ``"chaos"``)."""
+        ``"admission"``, ``"chaos"``, ``"membership"``)."""
         for name in names:
-            if name not in ("hardening", "overload", "admission", "chaos"):
+            if name not in (
+                "hardening",
+                "overload",
+                "admission",
+                "chaos",
+                "membership",
+            ):
                 raise ValueError("unknown feature %r" % name)
             setattr(self, name, None)
         return self._touch()

@@ -71,6 +71,12 @@ class ChaosEngine:
         )
         #: servers currently isolated from all traffic
         self.partitioned: Set[str] = set()
+        #: directed ``(src, dst)`` pairs whose messages are blocked —
+        #: partial/asymmetric partitions (``src`` can't reach ``dst``;
+        #: the reverse direction may still flow)
+        self.partition_links: Set[Tuple[str, str]] = set()
+        #: victims of scheduled partial-partition episodes (budgeted)
+        self.partial_victims: Set[str] = set()
         #: servers that crashed and whose data was not rebuilt yet; they
         #: stay budget-degraded even after restarting with empty memory
         self.unrepaired: Set[str] = set()
@@ -93,6 +99,7 @@ class ChaosEngine:
         self._restarts = metrics.counter("faults.restarts")
         self._repairs = metrics.counter("faults.repairs")
         self._partitions = metrics.counter("faults.partitions")
+        self._partial_partitions = metrics.counter("faults.partial_partitions")
         self._heals = metrics.counter("faults.heals")
         self._slow_episodes = metrics.counter("faults.slow_episodes")
         self._bitrot = metrics.counter("faults.bitrot")
@@ -121,7 +128,9 @@ class ChaosEngine:
         been retired (scaled in) no longer holds data, so it stops
         consuming budget the moment it leaves the cluster.
         """
-        return (self.partitioned | self.unrepaired) & set(self.cluster.servers)
+        return (
+            self.partitioned | self.partial_victims | self.unrepaired
+        ) & set(self.cluster.servers)
 
     @property
     def fault_log(self) -> List[Tuple[float, str, str]]:
@@ -162,7 +171,11 @@ class ChaosEngine:
         """Fabric hook: decide this transfer's fate.  All draws happen
         here, at send time, so replay order is the simulator's event
         order — deterministic for a given seed."""
-        if src in self.partitioned or dst in self.partitioned:
+        if (
+            src in self.partitioned
+            or dst in self.partitioned
+            or (src, dst) in self.partition_links
+        ):
             self._blocked.inc()
             return FaultAction(block=True)
 
@@ -238,6 +251,11 @@ class ChaosEngine:
         if profile.partition_rate > 0:
             self.sim.process(
                 self._partition_loop(horizon), name="chaos-partition"
+            )
+        if profile.partial_partition_rate > 0:
+            self.sim.process(
+                self._partial_partition_loop(horizon),
+                name="chaos-partial-partition",
             )
         if profile.slow_rate > 0:
             self.sim.process(self._slow_loop(horizon), name="chaos-slow")
@@ -318,6 +336,83 @@ class ChaosEngine:
             self.partitioned.discard(name)
             self._heals.inc()
             self._note("heal", name)
+
+    # -- partial (asymmetric) partitions -------------------------------------
+    def partition_link(self, src: str, dst: str) -> None:
+        """Block the directed link ``src -> dst`` (the reverse still flows).
+
+        Manual hook for tests and harnesses; scheduled episodes come from
+        the profile's ``partial_partition_rate``.  Manual links do not
+        count against the degradation budget — the caller owns the blast
+        radius.
+        """
+        self.partition_links.add((src, dst))
+        self._note("partition_link", "%s->%s" % (src, dst))
+
+    def heal_link(self, src: str, dst: str) -> None:
+        """Unblock a directed link previously cut by :meth:`partition_link`."""
+        if (src, dst) in self.partition_links:
+            self.partition_links.discard((src, dst))
+            self._note("heal_link", "%s->%s" % (src, dst))
+
+    def _partial_partition_loop(self, horizon: float):
+        """One victim loses a random subset of its links, one-way.
+
+        Direction is drawn per episode: *inbound* (peers can't reach the
+        victim — its own probes still leave) or *outbound* (the victim
+        can't reach those peers — it looks deaf to its own probes while
+        everyone else sees it fine).  Both are rescueable by indirect
+        probing; neither is modelable with the node-level set.
+        """
+        profile = self.profile
+        rng = self.sched_rng
+        while True:
+            yield self.sim.timeout(
+                rng.expovariate(profile.partial_partition_rate)
+            )
+            if self.sim.now >= horizon:
+                return
+            target = self._pick_degradable()
+            duration = rng.expovariate(
+                1.0 / profile.partial_partition_duration
+            )
+            inbound = rng.random() < 0.5
+            if target is None:
+                continue  # budget exhausted; draws stay (determinism)
+            peers = sorted(
+                name
+                for name, server in self.cluster.servers.items()
+                if name != target and server.alive
+            )
+            if not peers:
+                continue
+            count = max(1, int(len(peers) * profile.partial_fanout))
+            cut = rng.sample(peers, min(count, len(peers)))
+            links = {
+                (peer, target) if inbound else (target, peer)
+                for peer in cut
+            }
+            self.partial_victims.add(target)
+            self.partition_links |= links
+            self._partial_partitions.inc()
+            self._note(
+                "partial_partition",
+                "%s %s x%d" % (
+                    target, "inbound" if inbound else "outbound", len(links)
+                ),
+            )
+            self.sim.process(
+                self._heal_links_later(target, links, duration),
+                name="chaos-heal-links-%s" % target,
+            )
+
+    def _heal_links_later(self, name: str, links, duration: float):
+        yield self.sim.timeout(duration)
+        if name in self.partial_victims:
+            self.partial_victims.discard(name)
+            self.partition_links -= links
+            self._heals.inc()
+            self._note("partial_heal", name)
 
     def _slow_loop(self, horizon: float):
         profile = self.profile
@@ -449,6 +544,13 @@ class ChaosEngine:
             self._heals.inc()
             self._note("heal", name)
         self.partitioned.clear()
+        for name in sorted(self.partial_victims):
+            self._heals.inc()
+            self._note("partial_heal", name)
+        self.partial_victims.clear()
+        if self.partition_links:
+            self._note("heal_links", "%d" % len(self.partition_links))
+            self.partition_links.clear()
         for name in sorted(self.slowed):
             self.cluster.servers[name].cpu_throttle = 1.0
             self._note("slow_end", name)

@@ -16,6 +16,10 @@ The named profiles bundle the paper-relevant failure classes:
     latency spikes.  No node ever dies.
 ``crash``
     Fail-stop only: crash/restart schedules plus partitions + heals.
+``partial_partition``
+    Asymmetric link failures: a victim loses a random subset of its
+    links in one direction (pairwise directed blocks), the failure mode
+    SWIM's indirect probes exist to survive.
 ``gray``
     Gray failures: slow nodes (CPU throttling), latency spikes, bit rot
     in stored memory — the faults that don't trip failure detectors.
@@ -64,6 +68,13 @@ class FaultProfile:
     partition_rate: float = 0.0
     #: mean duration until the partition heals
     partition_duration: float = 0.15
+    #: partial (asymmetric) partitions per second: one victim loses a
+    #: random subset of its links, in one direction only
+    partial_partition_rate: float = 0.0
+    #: mean duration until the partial partition heals
+    partial_partition_duration: float = 0.15
+    #: fraction of the victim's peer links cut during an episode
+    partial_fanout: float = 0.5
     slow_rate: float = 0.0
     slow_duration: float = 0.2
     #: CPU-time multiplier applied to a gray node during its episode
@@ -140,6 +151,20 @@ PROFILES: Dict[str, FaultProfile] = {
             description="elasticity background noise: jitter + slow crashes",
             crash_rate=0.3,
             crash_downtime=0.2,
+            jitter_rate=0.02,
+            jitter=100e-6,
+        ),
+        FaultProfile(
+            name="partial_partition",
+            description=(
+                "asymmetric link failures: one node loses a random "
+                "subset of its links in one direction — the gray zone "
+                "full-isolation models miss, and exactly what indirect "
+                "probes exist to survive"
+            ),
+            partial_partition_rate=1.0,
+            partial_partition_duration=0.15,
+            partial_fanout=0.5,
             jitter_rate=0.02,
             jitter=100e-6,
         ),

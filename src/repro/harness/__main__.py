@@ -33,6 +33,18 @@ or the foreground-p99 bound is violated::
     python -m repro.harness scale --bandwidth 50 --report scale.json
     python -m repro.harness scale --quick --servers 1000 --keys 500000
 
+``gossip`` runs the SWIM membership churn soak: a thousand-node cluster
+through a clean-room window (zero false positives, O(1) per-node
+message load vs a small control cluster), staggered crashes (median
+time-to-detect gate), an asymmetric partial partition (indirect probes
+must rescue the victim), a flap storm (refutations must win), and a
+join whose sealed epoch must reach every node's view by gossip alone.
+It exits non-zero on any gate violation::
+
+    python -m repro.harness gossip --quick --seeds 0,1 --check-determinism
+    python -m repro.harness gossip --servers 1000 --report gossip.json
+    python -m repro.harness gossip --period 0.02 --crashes 8
+
 ``overload`` runs the open-loop ramp soak: warm load, a flood far past
 server CPU capacity, then warm load again.  With protection on (the
 default) it exits non-zero unless post-ramp goodput recovers to >= 80%
@@ -189,7 +201,7 @@ def _run_chaos(args) -> int:
     config = SoakConfig(
         duration=args.duration,
         scheme=args.scheme,
-        servers=args.servers,
+        servers=args.servers if args.servers is not None else 6,
         k=args.k,
         m=args.m,
         fault_profile=fault_profile,
@@ -293,7 +305,7 @@ def _run_scale(args) -> int:
     )
     config = ScaleConfig(
         scheme=args.scheme,
-        servers=args.servers,
+        servers=args.servers if args.servers is not None else 6,
         k=args.k,
         m=args.m,
         fault_profile=args.fault_profile or "scale",
@@ -419,6 +431,145 @@ def _run_scale(args) -> int:
     return 0 if ok else 1
 
 
+def _run_gossip(args) -> int:
+    import json
+
+    from repro.harness.gossip import GossipConfig, run_gossip_suite
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = GossipConfig(
+        scheme=args.scheme,
+        servers=args.servers if args.servers is not None else 1000,
+        k=args.k,
+        m=args.m,
+        period=args.period,
+        crashes=args.crashes,
+    )
+    if args.quick:
+        config = dataclasses.replace(
+            config,
+            clean_periods=12,
+            crashes=min(config.crashes, 3),
+            settle_periods=10.0,
+            epoch_periods=15.0,
+            control_servers=100,
+        )
+    print(
+        "Gossip soak: scheme=%s servers=%d period=%.0fms crashes=%d "
+        "seeds=%s"
+        % (
+            config.scheme,
+            config.servers,
+            config.period * 1e3,
+            config.crashes,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_gossip_suite(seeds, config)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_gossip_suite(seeds, config)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        phases = report["phases"]
+        load = report["load"]
+        crash = phases["crash"]
+        print(
+            "seed %-6d %s  ttd median %s periods (confirm %s), "
+            "load %.2f msg/node/period (ratio %s vs %s servers)"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                crash["median_ttd_periods"],
+                crash["confirm_periods"][-1] if crash["confirm_periods"] else "-",
+                load["msgs_per_node_per_period"],
+                load["ratio"],
+                load["control_servers"],
+            )
+        )
+        print(
+            "  clean room: %d periods, %d false suspects, %d false deaths"
+            % (
+                phases["clean"]["periods"],
+                phases["clean"]["false_suspects"],
+                phases["clean"]["false_dead"],
+            )
+        )
+        print(
+            "  partition: %d links cut one-way, %d indirect probes "
+            "(%d rescues), %d transient verdicts; flap: %d cycles, "
+            "%d transient verdicts, flapper %s"
+            % (
+                phases["partition"]["links_cut"],
+                phases["partition"]["indirect_probes"],
+                phases["partition"]["indirect_rescues"],
+                phases["partition"]["victim_dead_verdicts"],
+                phases["flap"]["cycles"],
+                phases["flap"]["transient_dead_verdicts"],
+                "alive" if phases["flap"]["flapper_alive"] else "DEAD",
+            )
+        )
+        if "join" in phases:
+            print(
+                "  join: epoch %d reached %d/%d views, dead-set "
+                "agreement %s"
+                % (
+                    phases["join"]["sealed_epoch"],
+                    phases["join"]["views"]
+                    - len(phases["join"]["lagging_views"]),
+                    phases["join"]["views"],
+                    phases["join"]["dead_set_agreement"],
+                )
+            )
+        for failure in report["failures"]:
+            print("  gate FAILED: %s" % failure)
+        resources = report.get("resources") or {}
+        if resources:
+            rss = resources.get("peak_rss_mib")
+            print(
+                "  resources: built %.3fs, soak %.3fs wall, peak RSS %s"
+                % (
+                    resources.get("cluster_build_seconds", float("nan")),
+                    resources.get("soak_wall_seconds", float("nan")),
+                    "%.1f MiB" % rss if rss is not None else "unknown",
+                )
+            )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Gossip membership gates %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
 def _run_overload(args) -> int:
     import json
 
@@ -431,7 +582,7 @@ def _run_overload(args) -> int:
     )
     config = OverloadConfig(
         scheme=args.scheme,
-        servers=args.servers,
+        servers=args.servers if args.servers is not None else 6,
         k=args.k,
         m=args.m,
         fault_profile=args.fault_profile or "flashcrowd",
@@ -620,7 +771,10 @@ def main(argv=None) -> int:
         help="chaos: resilience scheme under test (default era-ce-cd)",
     )
     chaos_group.add_argument(
-        "--servers", type=int, default=6, help="chaos: cluster size"
+        "--servers",
+        type=int,
+        default=None,
+        help="cluster size (default 6; gossip defaults to 1000)",
     )
     chaos_group.add_argument(
         "--k", type=int, default=3, help="chaos: data chunks per stripe"
@@ -679,6 +833,23 @@ def main(argv=None) -> int:
         metavar="N",
         help="scale: number of workload clients (default 2)",
     )
+    gossip_group = parser.add_argument_group("gossip options")
+    gossip_group.add_argument(
+        "--period",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="gossip: SWIM protocol period in virtual seconds "
+        "(default 0.05)",
+    )
+    gossip_group.add_argument(
+        "--crashes",
+        type=int,
+        default=5,
+        metavar="N",
+        help="gossip: staggered fail-stop victims in the crash phase "
+        "(default 5; --quick caps at 3)",
+    )
     overload_group = parser.add_argument_group("overload options")
     overload_group.add_argument(
         "--no-protection",
@@ -708,6 +879,10 @@ def main(argv=None) -> int:
             "overload open-loop ramp soak (admission control, breakers, "
             "brownout; goodput-recovery gate)"
         )
+        print(
+            "gossip  SWIM membership churn soak (time-to-detect, O(1) "
+            "load, epoch spread; determinism gate)"
+        )
         return 0
 
     if args.figure.lower() == "bench":
@@ -721,6 +896,9 @@ def main(argv=None) -> int:
 
     if args.figure.lower() == "overload":
         return _run_overload(args)
+
+    if args.figure.lower() == "gossip":
+        return _run_gossip(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

@@ -1,0 +1,530 @@
+"""The gossip membership soak: SWIM failure detection under churn.
+
+One seeded run drives a thousand-node cluster through the failure
+classes a decentralized detector must survive, with every gate measured
+on the virtual clock:
+
+**Clean room** — no faults at all for a stretch of protocol periods.
+Gate: zero suspicions, zero DEAD declarations (no false positives), and
+the per-node message load is O(1) per protocol period — measured, and
+compared against a small control cluster run with the same knobs (the
+load ratio must stay near 1.0 regardless of N; this is SWIM's headline
+property over all-to-all heartbeating).
+
+**Crash detection** — a handful of servers fail-stop, staggered.  Gate:
+every crash's time-to-detect — the table's ALIVE->SUSPECT transition,
+SWIM's own detection metric with expected value e/(e-1) protocol
+periods — has a median within ``max_ttd_periods`` periods, and every
+victim is *confirmed* DEAD (suspicion window expiry) inside the phase
+budget.  The victims then restart; their incarnation-number refutations
+must win and the membership table must converge back to all-ALIVE.
+
+**Asymmetric partition** — one victim loses a random half of its
+*inbound* links (peers' probes never arrive; its own traffic flows).
+Node-level partition sets cannot express this; it is exactly what
+indirect probes exist to survive.  Gate: indirect probing engaged and
+rescued the victim at least once, and the victim is ALIVE in the table
+once the links heal.  A DEAD verdict can still slip through when a
+prober happens to sample only cut peers as proxies (probability
+``(fanout)^k`` per failed probe — SWIM's residual false-positive rate);
+such verdicts are reported and must be refuted, not prevented.
+
+**Flap storm** — a server cycles down/up with downtimes shorter than
+the suspicion window.  At thousand-node scale a refutation needs
+O(log n) periods to reach every suspicion timer, so a transient DEAD
+verdict can race it (the reason memberlist scales its suspicion window
+with log n); the soak therefore reports transient verdicts and gates on
+*convergence*: incarnation-bumped refutations must win — the flapper
+ends ALIVE in the table and no view retains it as dead.  The strict
+zero-DEAD flap property is asserted at small N in the unit tests, where
+the rumor round trip fits inside the window deterministically.
+
+**Join + epoch spread** — a fresh server joins through the normal
+migration flow and the sealed epoch must reach every live node's local
+view through piggybacked gossip alone.  Gate: unanimous epoch agreement
+and unanimous (empty) dead-set agreement across all views.
+
+Determinism: the whole run derives from one seed (per-node SWIM rngs are
+seeded from it by name); the report's SHA-256 digest covers the
+detection log, per-phase message counts, TTDs and the final views —
+identical seeds must produce identical digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.harness.scale import peak_rss_mib
+
+
+@dataclass
+class GossipConfig:
+    """One gossip soak's shape.  Times derive from the protocol period."""
+
+    seed: int = 0
+    net_profile: str = "ri-qdr"
+    scheme: str = "era-ce-cd"
+    servers: int = 1000
+    k: int = 3
+    m: int = 2
+
+    # -- SWIM knobs --------------------------------------------------------
+    period: float = 0.05
+    #: suspicion window in protocol periods; 1.5 keeps median TTD well
+    #: inside the 3-period gate while the clean room stays false-free
+    suspicion_periods: float = 1.5
+    indirect_probes: int = 3
+    sync_every: int = 10
+    piggyback_limit: int = 8
+
+    # -- phase lengths (protocol periods) ----------------------------------
+    clean_periods: int = 20
+    #: staggered fail-stop victims
+    crashes: int = 5
+    #: wait budget for every crash to land in the detection log
+    detect_periods: float = 12.0
+    #: settle time after the victims restart (refutations must spread)
+    settle_periods: float = 15.0
+    partition_periods: float = 10.0
+    #: fraction of the partition victim's inbound links cut
+    partition_fanout: float = 0.5
+    #: down/up cycles of the flapping node
+    flaps: int = 3
+    #: downtime per flap, in periods — must stay under the suspicion window
+    flap_down_periods: float = 1.0
+    flap_up_periods: float = 3.0
+    #: servers joined in the final phase (0 skips the phase)
+    join: int = 1
+    epoch_periods: float = 20.0
+
+    # -- gates -------------------------------------------------------------
+    max_ttd_periods: float = 3.0
+    #: small-N control cluster for the O(1) load comparison (0 skips it)
+    control_servers: int = 125
+    #: big-N load may exceed control-N load by at most this factor
+    load_ratio_bound: float = 1.35
+    #: absolute ceiling, messages per node per protocol period
+    load_absolute_bound: float = 3.0
+
+
+def _measure_clean_load(config: GossipConfig, servers: int) -> float:
+    """Messages per node per protocol period on an idle cluster."""
+    from repro.core.cluster import build_cluster
+
+    cluster = build_cluster(
+        profile=config.net_profile,
+        scheme=config.scheme,
+        servers=servers,
+        k=config.k,
+        m=config.m,
+    )
+    cluster.config.with_membership(
+        detector="swim",
+        period=config.period,
+        suspicion_periods=config.suspicion_periods,
+        indirect_probes=config.indirect_probes,
+        sync_every=config.sync_every,
+        piggyback_limit=config.piggyback_limit,
+        seed=config.seed,
+    )
+    detector = cluster.detector
+    span = config.clean_periods * config.period
+    detector.start(horizon=span)
+    cluster.run(cluster.sim.timeout(span))
+    detector.stop()
+    cluster.run()
+    return detector.messages_sent() / float(servers * config.clean_periods)
+
+
+def run_gossip(config: GossipConfig) -> dict:
+    """Execute one seeded gossip soak; returns the JSON-able report."""
+    from repro.core.cluster import build_cluster
+    from repro.faults.engine import ChaosEngine
+    from repro.faults.profiles import PROFILES
+
+    period = config.period
+    build_t0 = time.perf_counter()
+    cluster = build_cluster(
+        profile=config.net_profile,
+        scheme=config.scheme,
+        servers=config.servers,
+        k=config.k,
+        m=config.m,
+    )
+    build_seconds = time.perf_counter() - build_t0
+    sim = cluster.sim
+    table = cluster.membership
+
+    cluster.config.with_membership(
+        detector="swim",
+        period=period,
+        suspicion_periods=config.suspicion_periods,
+        indirect_probes=config.indirect_probes,
+        sync_every=config.sync_every,
+        piggyback_limit=config.piggyback_limit,
+        seed=config.seed,
+    )
+    detector = cluster.detector
+    # Manual link cuts only — the "none" profile schedules nothing.
+    chaos = ChaosEngine(cluster, PROFILES["none"], seed=config.seed)
+
+    rng = random.Random(config.seed)
+    phases: Dict[str, dict] = {}
+    failures: List[str] = []
+
+    def _counter(name: str) -> int:
+        return cluster.metrics.snapshot().get(name, 0)
+
+    def _phase_gate(name: str, ok: bool, detail: str) -> None:
+        if not ok:
+            failures.append("%s: %s" % (name, detail))
+
+    # Generous horizon: the driver ends the run, not the detector.
+    total_periods = (
+        config.clean_periods
+        + config.crashes  # stagger
+        + config.detect_periods
+        + config.settle_periods
+        + config.partition_periods
+        + config.flaps * (config.flap_down_periods + config.flap_up_periods)
+        + config.epoch_periods
+        + 20.0
+    )
+    detector.start(horizon=total_periods * period)
+
+    marks = {"events": []}  # [(virtual time, label)]
+
+    def _mark(label: str) -> None:
+        marks["events"].append([sim.now, label])
+
+    def _driver():
+        # ---- phase A: clean room ----------------------------------------
+        _mark("clean_start")
+        msgs0 = detector.messages_sent()
+        yield sim.timeout(config.clean_periods * period)
+        msgs1 = detector.messages_sent()
+        load = (msgs1 - msgs0) / float(config.servers * config.clean_periods)
+        false_dead = len(detector.detection_log)
+        false_suspects = _counter("membership.detector_suspects")
+        phases["clean"] = {
+            "periods": config.clean_periods,
+            "msgs_per_node_per_period": round(load, 4),
+            "false_dead": false_dead,
+            "false_suspects": false_suspects,
+        }
+        _phase_gate(
+            "clean",
+            false_dead == 0 and false_suspects == 0,
+            "false positives in a fault-free window (%d dead, %d suspect)"
+            % (false_dead, false_suspects),
+        )
+        _mark("clean_end")
+
+        # ---- phase B: staggered crashes, detect, recover ----------------
+        victims = rng.sample(sorted(cluster.servers), config.crashes)
+        fail_times: Dict[str, float] = {}
+        for victim in victims:
+            cluster.servers[victim].fail()
+            fail_times[victim] = sim.now
+            _mark("crash:%s" % victim)
+            yield sim.timeout(period)
+        deadline = sim.now + config.detect_periods * period
+        while sim.now < deadline:
+            confirmed = {member for _, member, _ in detector.detection_log}
+            if all(v in confirmed for v in victims):
+                break
+            yield sim.timeout(period / 2.0)
+        confirmed = {member for _, member, _ in detector.detection_log}
+
+        def _first_suspicion(victim):
+            for t, member, _ in detector.suspicion_log:
+                if member == victim and t >= fail_times[victim]:
+                    return t
+            return None
+
+        suspected_at = {
+            v: t for v in victims for t in [_first_suspicion(v)] if t is not None
+        }
+        ttds = sorted(
+            (suspected_at[v] - fail_times[v]) / period for v in suspected_at
+        )
+        confirm_lags = sorted(
+            (t - fail_times[m]) / period
+            for t, m, _ in detector.detection_log
+            if m in fail_times
+        )
+        median_ttd = ttds[len(ttds) // 2] if ttds else None
+        phases["crash"] = {
+            "victims": victims,
+            "suspected": len(ttds),
+            "confirmed_dead": len(confirmed & set(victims)),
+            "ttd_periods": [round(t, 3) for t in ttds],
+            "median_ttd_periods": (
+                round(median_ttd, 3) if median_ttd is not None else None
+            ),
+            "confirm_periods": [round(t, 3) for t in confirm_lags],
+        }
+        _phase_gate(
+            "crash",
+            len(ttds) == len(victims),
+            "only %d/%d crashes suspected" % (len(ttds), len(victims)),
+        )
+        _phase_gate(
+            "crash",
+            confirmed >= set(victims),
+            "only %d/%d crashes confirmed DEAD in %.0f periods"
+            % (
+                len(confirmed & set(victims)),
+                len(victims),
+                config.detect_periods,
+            ),
+        )
+        _phase_gate(
+            "crash",
+            median_ttd is not None and median_ttd <= config.max_ttd_periods,
+            "median TTD %s periods exceeds %.1f"
+            % (median_ttd, config.max_ttd_periods),
+        )
+        for victim in victims:
+            cluster.servers[victim].recover()
+            _mark("recover:%s" % victim)
+        yield sim.timeout(config.settle_periods * period)
+        still_down = sorted(
+            name
+            for name in cluster.servers
+            if table.state_of(name) != "alive"
+        )
+        phases["recover"] = {"not_realive": still_down}
+        _phase_gate(
+            "recover",
+            not still_down,
+            "refutations did not re-alive %s" % still_down,
+        )
+        _mark("recover_settled")
+
+        # ---- phase C: asymmetric partial partition ----------------------
+        deaths_before = len(detector.detection_log)
+        indirect_before = _counter("membership.swim_indirect")
+        rescues_before = _counter("membership.swim_rescues")
+        target = rng.choice(sorted(cluster.servers))
+        peers = sorted(n for n in cluster.servers if n != target)
+        cut = rng.sample(peers, max(1, int(len(peers) * config.partition_fanout)))
+        for peer in cut:
+            chaos.partition_link(peer, target)  # inbound: probes never arrive
+        _mark("partition:%s" % target)
+        yield sim.timeout(config.partition_periods * period)
+        for peer in cut:
+            chaos.heal_link(peer, target)
+        _mark("partition_healed")
+        # Let straggler suspicions refute before judging the outcome.
+        yield sim.timeout(5 * period)
+        new_entries = detector.detection_log[deaths_before:]
+        victim_deaths = sum(1 for _, m, _ in new_entries if m == target)
+        indirect_used = _counter("membership.swim_indirect") - indirect_before
+        rescues = _counter("membership.swim_rescues") - rescues_before
+        phases["partition"] = {
+            "victim": target,
+            "links_cut": len(cut),
+            "victim_alive": table.state_of(target) == "alive",
+            "victim_dead_verdicts": victim_deaths,
+            # late suspicion-timer expiries from earlier phases can land
+            # in this window; reported, but only the victim is gated
+            "unrelated_dead_verdicts": len(new_entries) - victim_deaths,
+            "indirect_probes": indirect_used,
+            "indirect_rescues": rescues,
+        }
+        _phase_gate(
+            "partition",
+            table.state_of(target) == "alive",
+            "victim stuck %s after heal" % table.state_of(target),
+        )
+        _phase_gate(
+            "partition",
+            indirect_used > 0 and rescues > 0,
+            "indirect probing never rescued the victim "
+            "(%d attempts, %d rescues)" % (indirect_used, rescues),
+        )
+
+        # ---- phase D: flap storm ----------------------------------------
+        deaths_before = len(detector.detection_log)
+        flapper = rng.choice(sorted(cluster.servers))
+        for _ in range(config.flaps):
+            cluster.servers[flapper].fail()
+            yield sim.timeout(config.flap_down_periods * period)
+            cluster.servers[flapper].recover()
+            yield sim.timeout(config.flap_up_periods * period)
+        yield sim.timeout(config.settle_periods * period)
+        flap_deaths = len(detector.detection_log) - deaths_before
+        not_alive = sorted(
+            name
+            for name in cluster.servers
+            if table.state_of(name) != "alive"
+        )
+        phases["flap"] = {
+            "flapper": flapper,
+            "cycles": config.flaps,
+            "transient_dead_verdicts": flap_deaths,
+            "refutes": _counter("membership.swim_refutes"),
+            "flapper_alive": table.state_of(flapper) == "alive",
+        }
+        _phase_gate(
+            "flap",
+            not not_alive,
+            "flap residue: %s not re-alived" % not_alive,
+        )
+        _mark("flap_settled")
+
+        # ---- phase E: join + epoch spread -------------------------------
+        if config.join > 0:
+            joiners = ["joiner-%d" % i for i in range(config.join)]
+            yield from cluster.scale_out(joiners)
+            _mark("joined:%s" % ",".join(joiners))
+            yield sim.timeout(config.epoch_periods * period)
+            views = detector.view_epochs()
+            sealed = table.current.number
+            lagging = sorted(
+                name for name, epoch in views.items() if epoch != sealed
+            )
+            dead_sets = set(detector.view_dead_sets().values())
+            phases["join"] = {
+                "joiners": joiners,
+                "sealed_epoch": sealed,
+                "views": len(views),
+                "lagging_views": lagging,
+                "dead_set_agreement": sorted(
+                    [list(s) for s in dead_sets]
+                ),
+            }
+            _phase_gate(
+                "join",
+                not lagging,
+                "%d/%d views missed epoch %d"
+                % (len(lagging), len(views), sealed),
+            )
+            _phase_gate(
+                "join",
+                dead_sets == {()},
+                "conflicting dead sets %r" % sorted(dead_sets),
+            )
+            _mark("epoch_spread")
+
+    run_t0 = time.perf_counter()
+    sim.process(_driver(), name="gossip-driver")
+    cluster.run()
+    detector.stop()
+    cluster.run()
+    run_seconds = time.perf_counter() - run_t0
+
+    # -- small-N control: the O(1)-load comparison -------------------------
+    load_big = phases["clean"]["msgs_per_node_per_period"]
+    load_control = None
+    load_ratio = None
+    if config.control_servers > 0:
+        load_control = round(
+            _measure_clean_load(config, config.control_servers), 4
+        )
+        load_ratio = (
+            round(load_big / load_control, 4) if load_control else None
+        )
+        _phase_gate(
+            "load",
+            load_ratio is not None and load_ratio <= config.load_ratio_bound,
+            "per-node load grew %sx from %d to %d servers (bound %.2fx)"
+            % (
+                load_ratio,
+                config.control_servers,
+                config.servers,
+                config.load_ratio_bound,
+            ),
+        )
+    _phase_gate(
+        "load",
+        load_big <= config.load_absolute_bound,
+        "%.2f msgs/node/period exceeds %.1f"
+        % (load_big, config.load_absolute_bound),
+    )
+
+    snapshot = cluster.metrics.snapshot()
+    membership_metrics = {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name.startswith("membership.")
+    }
+
+    digest_input = {
+        "config": {
+            "seed": config.seed,
+            "scheme": config.scheme,
+            "servers": config.servers,
+            "period": config.period,
+            "suspicion_periods": config.suspicion_periods,
+            "indirect_probes": config.indirect_probes,
+            "sync_every": config.sync_every,
+            "crashes": config.crashes,
+            "flaps": config.flaps,
+            "join": config.join,
+        },
+        "phases": phases,
+        "detection_log": [
+            [t, member, by] for t, member, by in detector.detection_log
+        ],
+        "suspicion_log": [
+            [t, member, by] for t, member, by in detector.suspicion_log
+        ],
+        "marks": marks["events"],
+        "membership_metrics": membership_metrics,
+        "messages_sent": detector.messages_sent(),
+        "failures": failures,
+    }
+    digest = hashlib.sha256(
+        json.dumps(digest_input, sort_keys=True).encode()
+    ).hexdigest()
+
+    return {
+        "config": digest_input["config"],
+        "ok": not failures,
+        "failures": failures,
+        "phases": phases,
+        "load": {
+            "msgs_per_node_per_period": load_big,
+            "control_servers": config.control_servers or None,
+            "control_msgs_per_node_per_period": load_control,
+            "ratio": load_ratio,
+            "ratio_bound": config.load_ratio_bound,
+            "absolute_bound": config.load_absolute_bound,
+        },
+        "detection_log_entries": len(detector.detection_log),
+        "messages_sent": digest_input["messages_sent"],
+        "membership_metrics": membership_metrics,
+        "virtual_time": sim.now,
+        # Wall-clock resource footprint — deliberately outside the digest
+        # (it varies run to run; the digest must not).
+        "resources": {
+            "cluster_build_seconds": round(build_seconds, 6),
+            "soak_wall_seconds": round(run_seconds, 6),
+            "peak_rss_mib": peak_rss_mib(),
+        },
+        "digest": digest,
+    }
+
+
+def run_gossip_suite(
+    seeds: List[int], config: Optional[GossipConfig] = None
+) -> dict:
+    """Run the gossip soak across seeds; aggregate verdict + reports."""
+    import dataclasses
+
+    base = config or GossipConfig()
+    reports = []
+    for seed in seeds:
+        reports.append(run_gossip(dataclasses.replace(base, seed=seed)))
+    return {
+        "ok": all(r["ok"] for r in reports),
+        "seeds": list(seeds),
+        "reports": reports,
+    }

@@ -14,6 +14,7 @@ Entry points: ``cluster.scale_out`` / ``scale_in`` / ``replace_node``
 """
 
 from repro.membership.detector import HeartbeatDetector
+from repro.membership.gossip import SwimDetector, SwimNode
 from repro.membership.epoch import (
     ALIVE,
     DEAD,
@@ -46,6 +47,8 @@ __all__ = [
     "RingEpoch",
     "RingView",
     "HeartbeatDetector",
+    "SwimDetector",
+    "SwimNode",
     "ChunkMove",
     "MigrationPlan",
     "MigrationPlanner",

@@ -64,6 +64,7 @@ class HeartbeatDetector:
         self.endpoint.on_message = self._on_message
         self.pending = PendingTable(sim)
         self._req_seq = itertools.count(1)
+        self._stopped = False
         self._suspects = None
         self._deaths = None
         if metrics is not None:
@@ -90,9 +91,21 @@ class HeartbeatDetector:
         """Run the detector until ``horizon`` (forever if ``None``)."""
         return self.sim.process(self._run(horizon), name=self.name)
 
+    def stop(self) -> None:
+        """Stop the probe loop at its next wakeup."""
+        self._stopped = True
+
+    def uninstall(self) -> None:
+        """Stop and release the fabric endpoint (config teardown path)."""
+        self.stop()
+        if self.fabric.endpoints.get(self.name) is self.endpoint:
+            self.fabric.remove_node(self.name)
+
     def _run(self, horizon: Optional[float]) -> Generator:
         while horizon is None or self.sim.now < horizon:
             yield self.sim.timeout(self.interval)
+            if self._stopped:
+                return
             members = [
                 m
                 for m in self.table.current.members

@@ -102,18 +102,34 @@ class MembershipManager:
         timeout: float = 0.02,
         miss_limit: int = 3,
     ) -> HeartbeatDetector:
-        """Attach and start the heartbeat detector (idempotent)."""
+        """Deprecated shim: declare the detector on the cluster config.
+
+        Direct wiring routes through ``cluster.config.with_membership(
+        detector="heartbeat", ...)`` now (same pattern as the
+        ``Fabric.interceptor`` shim), so the declared feature set always
+        reflects that a detector is live.
+        """
+        import warnings
+
+        warnings.warn(
+            "MembershipManager.start_detector() is deprecated; use "
+            "cluster.config.with_membership(detector='heartbeat') and "
+            "cluster.detector.start(horizon)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self.detector is None:
-            self.detector = HeartbeatDetector(
-                self.cluster.sim,
-                self.cluster.fabric,
-                self.table,
-                interval=interval,
-                timeout=timeout,
-                miss_limit=miss_limit,
-                on_dead=self._on_node_dead,
-                metrics=self.cluster.metrics,
-            )
+            detector = self.cluster.detector
+            if not isinstance(detector, HeartbeatDetector):
+                self.cluster.config.with_membership(
+                    detector="heartbeat",
+                    period=interval,
+                    timeout=timeout,
+                    miss_limit=miss_limit,
+                )
+                detector = self.cluster.detector
+            detector.on_dead = self._on_node_dead
+            self.detector = detector
         self.detector.start(horizon)
         return self.detector
 

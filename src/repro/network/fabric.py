@@ -358,6 +358,15 @@ class Fabric:
         self.endpoints[name] = endpoint
         return endpoint
 
+    def remove_node(self, name: str) -> Optional[Endpoint]:
+        """Detach an endpoint, freeing its name for reuse.
+
+        Used when a config recompile tears a detector down and builds a
+        replacement under the same node name.  Host-shared links are left
+        in place (other endpoints on the host may still be using them).
+        """
+        return self.endpoints.pop(name, None)
+
     def endpoint(self, name: str) -> Endpoint:
         """Look up an endpoint by node name."""
         return self.endpoints[name]

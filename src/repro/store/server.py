@@ -197,6 +197,10 @@ class MemcachedServer:
             raise ValueError("handler for op %r already registered" % op)
         self.handlers[op] = handler
 
+    def unregister_handler(self, op: str) -> None:
+        """Detach a previously registered op handler (no-op when absent)."""
+        self.handlers.pop(op, None)
+
     # -- overload protection --------------------------------------------------
     def enable_admission(
         self,
@@ -297,11 +301,14 @@ class MemcachedServer:
         key: str,
         value: Optional[Payload] = None,
         meta: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> Event:
         """Issue a non-blocking request to a peer server.
 
         Returns an event that fires with the :class:`Response`, or fails
-        with ``NodeUnreachableError`` if the peer is down.
+        with ``NodeUnreachableError`` if the peer is down.  ``timeout``
+        overrides this server's :attr:`peer_timeout` for one request —
+        the SWIM prober arms much tighter deadlines than data transfers.
         """
         request = Request(
             op=op,
@@ -315,7 +322,11 @@ class MemcachedServer:
         )
         self.peer_requests_sent += 1
         return protocol.issue_request(
-            self.fabric, self.pending, request, dst, timeout=self.peer_timeout
+            self.fabric,
+            self.pending,
+            request,
+            dst,
+            timeout=timeout if timeout is not None else self.peer_timeout,
         )
 
     # -- dispatch ---------------------------------------------------------

@@ -9,7 +9,15 @@ class TestCLI:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for figure in ("fig4", "fig8", "fig13", "chaos", "scale", "overload"):
+        for figure in (
+            "fig4",
+            "fig8",
+            "fig13",
+            "chaos",
+            "scale",
+            "overload",
+            "gossip",
+        ):
             assert figure in out
 
     def test_no_args_lists(self, capsys):
@@ -21,6 +29,12 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "rs_van" in out
         assert "encode_us" in out
+
+    def test_run_gossip_small(self, capsys):
+        """The SWIM churn soak end to end, shrunk to CI-test size."""
+        assert main(["gossip", "--servers", "32", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Gossip membership gates HELD" in out
 
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):

@@ -1,19 +1,26 @@
 """Heartbeat detector: suspicion ladder, death promotion, healing."""
 
+import pytest
+
 from repro.core.cluster import build_cluster
-from repro.membership import ALIVE, DEAD, SUSPECT
+from repro.membership import ALIVE, DEAD, SUSPECT, HeartbeatDetector
 
 
 def _cluster():
     return build_cluster(scheme="era-ce-cd", servers=5, k=3, m=2)
 
 
-def _start_detector(cluster, horizon, **kwargs):
-    manager = cluster.manager
-    kwargs.setdefault("interval", 0.01)
-    kwargs.setdefault("timeout", 0.004)
-    kwargs.setdefault("miss_limit", 2)
-    return manager.start_detector(horizon=horizon, **kwargs)
+def _start_detector(cluster, horizon, interval=0.01, timeout=0.004,
+                    miss_limit=2):
+    cluster.config.with_membership(
+        detector="heartbeat",
+        period=interval,
+        timeout=timeout,
+        miss_limit=miss_limit,
+    )
+    detector = cluster.detector
+    detector.start(horizon)
+    return detector
 
 
 class TestDetection:
@@ -42,7 +49,6 @@ class TestDetection:
         snapshot = cluster.metrics.snapshot()
         assert snapshot["membership.detector_suspects"] == 1
         assert snapshot["membership.detector_deaths"] == 1
-        assert snapshot["membership.deaths_observed"] == 1
 
     def test_pong_resets_the_ladder(self):
         cluster = _cluster()
@@ -69,3 +75,24 @@ class TestDetection:
         snapshot = cluster.metrics.snapshot()
         assert snapshot["membership.detector_deaths"] == 0
         assert cluster.membership.state_of("server-3") == DEAD
+
+
+class TestDeprecatedShim:
+    def test_start_detector_warns_and_routes_through_config(self):
+        """The legacy entry point still works but declares the detector
+        on the cluster config (same pattern as ``Fabric.interceptor``)
+        and wires the manager's death observer."""
+        cluster = _cluster()
+        cluster.servers["server-2"].fail()
+        manager = cluster.manager
+        with pytest.warns(DeprecationWarning):
+            detector = manager.start_detector(
+                horizon=0.5, interval=0.01, timeout=0.004, miss_limit=2
+            )
+        assert isinstance(detector, HeartbeatDetector)
+        assert cluster.config.membership is not None
+        assert cluster.detector is detector
+        cluster.run()
+        snapshot = cluster.metrics.snapshot()
+        assert snapshot["membership.detector_deaths"] == 1
+        assert snapshot["membership.deaths_observed"] == 1

@@ -1,0 +1,232 @@
+"""SWIM gossip detector: probes, suspicion, refutation, epoch spread."""
+
+from repro.core.cluster import build_cluster
+from repro.faults.engine import ChaosEngine
+from repro.faults.profiles import PROFILES
+from repro.membership import ALIVE, DEAD, SUSPECT, SwimDetector
+
+
+def _cluster(servers=8):
+    return build_cluster(scheme="era-ce-cd", servers=servers, k=3, m=2)
+
+
+def _swim(cluster, horizon, seed=0, suspicion_periods=2.0, **kwargs):
+    cluster.config.with_membership(
+        detector="swim",
+        period=0.01,
+        suspicion_periods=suspicion_periods,
+        sync_every=5,
+        seed=seed,
+        **kwargs
+    )
+    detector = cluster.detector
+    detector.start(horizon)
+    return detector
+
+
+class TestCleanRoom:
+    def test_healthy_cluster_stays_alive(self):
+        cluster = _cluster()
+        detector = _swim(cluster, horizon=0.3)
+        cluster.run()
+        table = cluster.membership
+        assert all(table.state_of(m) == ALIVE for m in table.current.members)
+        snapshot = cluster.metrics.snapshot()
+        assert snapshot.get("membership.detector_suspects", 0) == 0
+        assert snapshot.get("membership.detector_deaths", 0) == 0
+        assert detector.detection_log == []
+        assert detector.messages_sent() > 0
+
+    def test_per_node_load_is_constant(self):
+        """O(1) messages per node per period — SWIM's headline property."""
+        loads = []
+        for servers in (6, 18):
+            cluster = _cluster(servers=servers)
+            detector = _swim(cluster, horizon=0.2)
+            cluster.run()
+            loads.append(detector.messages_sent() / float(servers * 20))
+        small, large = loads
+        assert large <= small * 1.5 + 0.2
+
+    def test_config_detach_unregisters_handlers(self):
+        cluster = _cluster()
+        cluster.config.with_membership(detector="swim", period=0.01)
+        server = cluster.servers["server-0"]
+        assert "swim_ping" in server.handlers
+        assert isinstance(cluster.detector, SwimDetector)
+        cluster.config.disable("membership")
+        assert cluster.detector is None
+        assert "swim_ping" not in server.handlers
+
+
+class TestDetection:
+    def test_crashed_node_suspected_then_dead(self):
+        cluster = _cluster()
+        deaths = []
+        cluster.servers["server-3"].fail()
+        detector = _swim(cluster, horizon=0.5)
+        detector.on_dead = deaths.append
+        cluster.run()
+        table = cluster.membership
+        assert table.state_of("server-3") == DEAD
+        assert deaths == ["server-3"]
+        assert [m for _, m, _ in detector.detection_log] == ["server-3"]
+        assert [m for _, m, _ in detector.suspicion_log] == ["server-3"]
+        # the suspicion (first detection) precedes the DEAD verdict by
+        # the suspicion window
+        suspected_at = detector.suspicion_log[0][0]
+        dead_at = detector.detection_log[0][0]
+        assert dead_at >= suspected_at + detector.suspicion_time
+
+    def test_all_views_converge_on_the_death(self):
+        cluster = _cluster()
+        cluster.servers["server-5"].fail()
+        detector = _swim(cluster, horizon=0.5)
+        cluster.run()
+        views = detector.view_dead_sets()
+        assert "server-5" not in views  # dead nodes hold no live view
+        assert set(views.values()) == {("server-5",)}
+
+    def test_recovered_node_refutes_and_revives(self):
+        cluster = _cluster()
+        cluster.servers["server-2"].fail()
+        detector = _swim(cluster, horizon=1.0)
+        sim = cluster.sim
+        cluster.run(sim.timeout(0.2))
+        assert cluster.membership.state_of("server-2") == DEAD
+        cluster.servers["server-2"].recover()
+        cluster.run()
+        table = cluster.membership
+        assert table.state_of("server-2") == ALIVE
+        snapshot = cluster.metrics.snapshot()
+        assert snapshot["membership.swim_refutes"] >= 1
+        # incarnation bumped past the one the death rumor carried
+        assert detector.nodes["server-2"].incarnation >= 1
+
+
+class TestFlapping:
+    def test_flapping_node_refutes_without_dying(self):
+        """ALIVE -> SUSPECT -> refute -> ALIVE, never DEAD.
+
+        Downtimes stay under the suspicion window, and the window is
+        generous enough at 8 nodes for the incarnation-bumped refutation
+        to reach every suspicion timer in time.
+        """
+        cluster = _cluster()
+        detector = _swim(cluster, horizon=2.0, suspicion_periods=8.0)
+        sim = cluster.sim
+        flapper = cluster.servers["server-5"]
+
+        def _flap():
+            yield sim.timeout(0.05)
+            for _ in range(3):
+                flapper.fail()
+                yield sim.timeout(0.02)  # 2 periods down, window is 8
+                flapper.recover()
+                yield sim.timeout(0.1)
+
+        sim.process(_flap(), name="flapper")
+        cluster.run()
+        assert detector.detection_log == []
+        assert cluster.membership.state_of("server-5") == ALIVE
+        snapshot = cluster.metrics.snapshot()
+        # the flaps were noticed (suspected) and refuted, not ignored
+        assert snapshot["membership.detector_suspects"] >= 1
+        assert snapshot["membership.swim_refutes"] >= 1
+        assert any(m == "server-5" for _, m, _ in detector.suspicion_log)
+
+
+class TestAsymmetricPartition:
+    def test_partitioned_node_rescued_by_indirect_probes(self):
+        """Peers that cannot reach the victim directly vouch through
+        proxies whose links are intact — no DEAD verdict ever lands."""
+        cluster = _cluster()
+        chaos = ChaosEngine(cluster, PROFILES["none"], seed=0)
+        victim = "server-4"
+        cut = ["server-0", "server-1", "server-2"]
+        for peer in cut:
+            chaos.partition_link(peer, victim)  # one-way: inbound only
+        detector = _swim(cluster, horizon=0.4, suspicion_periods=8.0)
+        cluster.run()
+        assert cluster.membership.state_of(victim) == ALIVE
+        assert detector.detection_log == []
+        snapshot = cluster.metrics.snapshot()
+        assert snapshot["membership.swim_indirect"] >= 1
+        assert snapshot["membership.swim_rescues"] >= 1
+
+    def test_fully_isolated_node_still_dies(self):
+        """Indirect probes only rescue *reachable* nodes: cutting every
+        inbound link is indistinguishable from a crash (to everyone
+        else) and must be detected."""
+        cluster = _cluster()
+        chaos = ChaosEngine(cluster, PROFILES["none"], seed=0)
+        victim = "server-4"
+        for peer in cluster.servers:
+            if peer != victim:
+                chaos.partition_link(peer, victim)
+        _swim(cluster, horizon=0.5)
+        cluster.run()
+        assert cluster.membership.state_of(victim) == DEAD
+
+
+class TestEpochSpread:
+    def test_join_reaches_every_view(self):
+        cluster = _cluster(servers=6)
+        detector = _swim(cluster, horizon=1.5)
+        sim = cluster.sim
+
+        def _join():
+            yield sim.timeout(0.05)
+            yield from cluster.scale_out(["joiner-0"])
+
+        sim.process(_join(), name="joiner")
+        cluster.run()
+        sealed = cluster.membership.current.number
+        assert sealed >= 1
+        views = detector.view_epochs()
+        assert "joiner-0" in views
+        assert set(views.values()) == {sealed}
+        assert set(detector.view_dead_sets().values()) == {()}
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        cluster = _cluster()
+        cluster.servers["server-3"].fail()
+        detector = _swim(cluster, horizon=0.6, seed=seed)
+        sim = cluster.sim
+
+        def _recover():
+            yield sim.timeout(0.25)
+            cluster.servers["server-3"].recover()
+
+        sim.process(_recover(), name="recover")
+        cluster.run()
+        return (
+            detector.messages_sent(),
+            tuple(detector.detection_log),
+            tuple(detector.suspicion_log),
+            tuple(sorted(detector.view_epochs().items())),
+        )
+
+    def test_same_seed_same_trace(self):
+        assert self._run_once(7) == self._run_once(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._run_once(7) != self._run_once(8)
+
+
+class TestHeartbeatViaConfig:
+    def test_heartbeat_detector_compiles_from_config(self):
+        from repro.membership import HeartbeatDetector
+
+        cluster = _cluster(servers=5)
+        cluster.servers["server-2"].fail()
+        cluster.config.with_membership(
+            detector="heartbeat", period=0.01, timeout=0.004, miss_limit=2
+        )
+        detector = cluster.detector
+        assert isinstance(detector, HeartbeatDetector)
+        detector.start(horizon=0.5)
+        cluster.run()
+        assert cluster.membership.state_of("server-2") == DEAD
