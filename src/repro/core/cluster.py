@@ -23,7 +23,12 @@ import itertools
 import warnings
 from typing import Dict, List, Optional, Union
 
-from repro.core.features import ChaosConfig, Features, MembershipConfig
+from repro.core.features import (
+    ChaosConfig,
+    Features,
+    MembershipConfig,
+    StripesConfig,
+)
 from repro.ec.cost_model import CodingCostModel
 from repro.membership.epoch import MembershipTable, RingView
 from repro.network.fabric import Fabric
@@ -97,6 +102,10 @@ class KVCluster:
         self._chaos_config: Optional[ChaosConfig] = None
         self._detector = None
         self._membership_config: Optional[MembershipConfig] = None
+        #: the scheme underneath the stripe-packing wrapper (None when
+        #: the stripes feature is off)
+        self._base_scheme: Optional[ResilienceScheme] = None
+        self._stripes_config: Optional[StripesConfig] = None
         self._apply_config()
 
     # -- plan compilation ----------------------------------------------------
@@ -150,6 +159,33 @@ class KVCluster:
             if membership_cfg is not None:
                 self._detector = self._build_detector(membership_cfg)
             self._membership_config = membership_cfg
+        stripes_cfg = config.stripes
+        if stripes_cfg is not self._stripes_config:
+            if self._base_scheme is not None:
+                # unwrap: the striped scheme detaches its server ops
+                self.scheme.uninstall()
+                self.scheme = self._base_scheme
+                self._base_scheme = None
+                for client in self.clients:
+                    client.scheme = self.scheme
+            if stripes_cfg is not None:
+                from repro.stripes.scheme import StripedScheme
+
+                striped = StripedScheme(
+                    threshold=stripes_cfg.threshold,
+                    stripe_capacity=stripes_cfg.stripe_capacity,
+                    seal_timeout=stripes_cfg.seal_timeout,
+                    compact_utilization=stripes_cfg.compact_utilization,
+                    codec_name=stripes_cfg.codec,
+                    k=stripes_cfg.k,
+                    m=stripes_cfg.m,
+                )
+                self._base_scheme = self.scheme
+                striped.install(self)
+                self.scheme = striped
+                for client in self.clients:
+                    client.scheme = striped
+            self._stripes_config = stripes_cfg
 
     @staticmethod
     def _client_sends_cancels(client: KVClient) -> bool:
@@ -460,6 +496,18 @@ class KVCluster:
         """Fraction of aggregated cluster memory committed (Figure 10)."""
         return self.total_memory_used / self.total_memory_limit
 
+    def memory_overhead_ratio(self) -> float:
+        """Storage amplification: bytes stored per logical byte acked.
+
+        Replication sits near its factor, per-object RS near (K+M)/K plus
+        per-chunk headers (ruinous for tiny values), stripe packing near
+        (K+M)/K plus journal residue.  0.0 until a client acks a Set.
+        """
+        acked = self.metrics.counter("client.acked_bytes").value
+        ratio = self.total_stored_bytes / acked if acked else 0.0
+        self.metrics.gauge("cluster.memory_overhead_ratio").set(ratio)
+        return ratio
+
     # -- telemetry ------------------------------------------------------------
     def server_stats(self) -> List[dict]:
         """Per-server operational counters (one dict per server)."""
@@ -507,6 +555,7 @@ class KVCluster:
             "evictions": self.total_evictions,
             "failed_stores": self.total_failed_stores,
             "lost_bytes": self.total_lost_bytes,
+            "memory_overhead_ratio": self.memory_overhead_ratio(),
             "load_imbalance": self._load_imbalance(per_server),
         }
 

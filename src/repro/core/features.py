@@ -49,6 +49,7 @@ __all__ = [
     "Features",
     "MembershipConfig",
     "ServerPlan",
+    "StripesConfig",
     "compile_client_plan",
 ]
 
@@ -95,6 +96,29 @@ class ChaosConfig:
     profile: object = "all"
     seed: int = 0
     max_degraded: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StripesConfig:
+    """Small-object stripe-packing declaration (see :mod:`repro.stripes`).
+
+    When set, the cluster wraps its resilience scheme in a
+    :class:`~repro.stripes.scheme.StripedScheme`: Sets at or below
+    ``threshold`` bytes are packed into ``stripe_capacity``-byte stripes
+    coded once at seal time (on-full, or after ``seal_timeout`` virtual
+    seconds); sealed stripes whose live fraction drops below
+    ``compact_utilization`` are rewritten by the background GC.
+    ``codec``/``k``/``m`` shape the per-stripe erasure code (and the
+    per-object path large values still take).
+    """
+
+    threshold: int = 4 * 1024
+    stripe_capacity: int = 64 * 1024
+    seal_timeout: float = 0.005
+    compact_utilization: float = 0.5
+    codec: str = "rs_van"
+    k: int = 3
+    m: int = 2
 
 
 class Features:
@@ -150,12 +174,14 @@ class Features:
         write_versioning: Optional[bool] = None,
         epoch_stamping: Optional[bool] = None,
         membership: Optional[MembershipConfig] = None,
+        stripes: Optional[StripesConfig] = None,
     ):
         self.hardening = hardening
         self.overload = overload
         self.admission = admission
         self.chaos = chaos
         self.membership = membership
+        self.stripes = stripes
         self.integrity = integrity
         self.write_versioning = write_versioning
         self.epoch_stamping = epoch_stamping
@@ -252,6 +278,44 @@ class Features:
         )
         return self._touch()
 
+    def with_small_object_stripes(
+        self,
+        threshold: int = 4 * 1024,
+        stripe_capacity: int = 64 * 1024,
+        seal_timeout: float = 0.005,
+        compact_utilization: float = 0.5,
+        codec: str = "rs_van",
+        k: int = 3,
+        m: int = 2,
+    ) -> "Features":
+        """Pack small Sets into erasure-coded stripes (MemEC-style).
+
+        The cluster wraps its scheme in a :class:`~repro.stripes.scheme.
+        StripedScheme` on recompile; ``disable("stripes")`` unwraps it.
+        The default fast path (no stripes config) pays nothing.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if stripe_capacity < threshold:
+            raise ValueError(
+                "stripe_capacity must hold at least one threshold-sized "
+                "object"
+            )
+        if not 0.0 <= compact_utilization <= 1.0:
+            raise ValueError("compact_utilization must be in [0, 1]")
+        if seal_timeout <= 0:
+            raise ValueError("seal_timeout must be > 0")
+        self.stripes = StripesConfig(
+            threshold=threshold,
+            stripe_capacity=stripe_capacity,
+            seal_timeout=seal_timeout,
+            compact_utilization=compact_utilization,
+            codec=codec,
+            k=k,
+            m=m,
+        )
+        return self._touch()
+
     def with_integrity(self, enabled: bool = True) -> "Features":
         """Toggle end-to-end CRC stamping and verification."""
         self.integrity = enabled
@@ -269,7 +333,7 @@ class Features:
 
     def disable(self, *names: str) -> "Features":
         """Turn the named features off (``"hardening"``, ``"overload"``,
-        ``"admission"``, ``"chaos"``, ``"membership"``)."""
+        ``"admission"``, ``"chaos"``, ``"membership"``, ``"stripes"``)."""
         for name in names:
             if name not in (
                 "hardening",
@@ -277,6 +341,7 @@ class Features:
                 "admission",
                 "chaos",
                 "membership",
+                "stripes",
             ):
                 raise ValueError("unknown feature %r" % name)
             setattr(self, name, None)

@@ -45,6 +45,18 @@ It exits non-zero on any gate violation::
     python -m repro.harness gossip --servers 1000 --report gossip.json
     python -m repro.harness gossip --period 0.02 --crashes 8
 
+``stripes`` runs the small-object stripe-packing soak: the same
+ETC-shaped sub-threshold population through stripes, per-object
+era-ce-cd and sync-rep at equal durability (memory-overhead and goodput
+comparison; stripes must at least halve per-object coding's overhead),
+then a Set/Get/Delete chaos run on the stripe path with the compactor
+live (tombstone and compaction durability; deterministic digest).  It
+exits non-zero on any gate violation::
+
+    python -m repro.harness stripes --seeds 0,1 --check-determinism
+    python -m repro.harness stripes --quick --report stripes.json
+    python -m repro.harness stripes --objects 2000 --duration 2.0
+
 ``overload`` runs the open-loop ramp soak: warm load, a flood far past
 server CPU capacity, then warm load again.  With protection on (the
 default) it exits non-zero unless post-ramp goodput recovers to >= 80%
@@ -122,6 +134,7 @@ _BENCH_GATE_DEFAULTS = (
     "batch_ops_per_sec",
     "engine_events_per_sec",
     "scale1k_keys_per_sec",
+    "stripe_goodput_ops_per_sec",
 )
 
 
@@ -570,6 +583,130 @@ def _run_gossip(args) -> int:
     return 0 if ok else 1
 
 
+def _run_stripes(args) -> int:
+    import json
+
+    from repro.harness.stripes import StripesSoakConfig, run_stripes_suite
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = StripesSoakConfig(
+        servers=args.servers if args.servers is not None else 6,
+        k=args.k,
+        m=args.m,
+        fault_profile=args.fault_profile or "crash",
+        duration=args.duration,
+    )
+    if args.objects is not None:
+        config = dataclasses.replace(config, objects=args.objects)
+    if args.quick:
+        config = dataclasses.replace(
+            config,
+            objects=min(config.objects, 250),
+            duration=min(config.duration, 0.5),
+        )
+    print(
+        "Stripes soak: servers=%d k=%d m=%d objects=%d duration=%.2fs "
+        "profile=%s seeds=%s"
+        % (
+            config.servers,
+            config.k,
+            config.m,
+            config.objects,
+            config.duration,
+            config.fault_profile,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_stripes_suite(seeds, config)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_stripes_suite(seeds, config)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        gates = report["gates"]
+        ops = report["ops"]
+        comparison = report["comparison"]
+        print(
+            "seed %-6d %s  overhead %.2fx vs per-object %.2fx (%s), "
+            "sets %d/%d, deletes %d/%d, gets %d ok, faults %d"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                gates["stripes_overhead"],
+                gates["per_object_overhead"],
+                "OK" if gates["overhead_ok"] else "TOO HIGH",
+                ops["set_acks"],
+                ops["set_attempts"],
+                ops["delete_acks"],
+                ops["delete_attempts"],
+                ops["get_ok"],
+                report["fault_log_entries"],
+            )
+        )
+        for name in ("stripes", "era-ce-cd", "sync-rep"):
+            row = comparison[name]
+            print(
+                "  %-10s amplification %.2fx, goodput %.0f ops/s"
+                % (
+                    name,
+                    row["memory_overhead_ratio"],
+                    row["goodput_ops_per_sec"],
+                )
+            )
+        metrics = report["stripe_metrics"]
+        print(
+            "  stripe path: %d sealed (%d by timeout), %d compactions, "
+            "%d rehomed, %d slice reads / %d degraded, %d journal subs"
+            % (
+                metrics.get("stripes.sealed", 0),
+                metrics.get("stripes.seal_timeouts", 0),
+                metrics.get("stripes.compactions", 0),
+                metrics.get("stripes.objects_rehomed", 0),
+                metrics.get("stripes.slice_reads", 0),
+                metrics.get("stripes.degraded_reads", 0),
+                metrics.get("stripes.journal_substitutes", 0),
+            )
+        )
+        violations = report["violations"]
+        for kind in ("lost_writes", "wrong_bytes", "ghost_reads"):
+            for violation in violations[kind]:
+                print("  %s: %s" % (kind, violation))
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Stripe-packing gates %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
 def _run_overload(args) -> int:
     import json
 
@@ -850,6 +987,15 @@ def main(argv=None) -> int:
         help="gossip: staggered fail-stop victims in the crash phase "
         "(default 5; --quick caps at 3)",
     )
+    stripes_group = parser.add_argument_group("stripes options")
+    stripes_group.add_argument(
+        "--objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stripes: objects written per scheme in the comparison "
+        "phase (default 500; --quick caps at 250)",
+    )
     overload_group = parser.add_argument_group("overload options")
     overload_group.add_argument(
         "--no-protection",
@@ -883,6 +1029,10 @@ def main(argv=None) -> int:
             "gossip  SWIM membership churn soak (time-to-detect, O(1) "
             "load, epoch spread; determinism gate)"
         )
+        print(
+            "stripes small-object stripe-packing soak (memory overhead "
+            "vs per-object coding; delete/compaction durability)"
+        )
         return 0
 
     if args.figure.lower() == "bench":
@@ -899,6 +1049,9 @@ def main(argv=None) -> int:
 
     if args.figure.lower() == "gossip":
         return _run_gossip(args)
+
+    if args.figure.lower() == "stripes":
+        return _run_stripes(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

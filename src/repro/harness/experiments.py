@@ -274,6 +274,7 @@ class MemoryRow:
     num_clients: int
     memory_utilization: float
     lost_bytes: int
+    memory_overhead_ratio: float = 0.0
 
 
 def fig10_memory(
@@ -307,6 +308,7 @@ def fig10_memory(
                     num_clients=count,
                     memory_utilization=result.memory_utilization,
                     lost_bytes=result.lost_bytes,
+                    memory_overhead_ratio=result.memory_overhead_ratio,
                 )
             )
     return rows

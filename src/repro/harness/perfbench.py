@@ -202,6 +202,36 @@ def _sized_payload(size: int):
 
 
 # ---------------------------------------------------------------------------
+# Stripe packing (small-object subsystem)
+# ---------------------------------------------------------------------------
+
+
+def bench_stripes(quick: bool = False) -> Dict[str, float]:
+    """Wall-clock throughput of the stripe-packing comparison phase.
+
+    Runs the stripes soak's deterministic ETC-shaped write+read pass on
+    the stripe scheme and reports completed ops per wall second, with
+    the measured storage amplification attached as context (absent on
+    trees predating ``repro.stripes``).
+    """
+    try:
+        from repro.harness.stripes import StripesSoakConfig, _measure_scheme
+    except ImportError:
+        return {}
+
+    config = StripesSoakConfig(seed=0, objects=300 if quick else 800)
+    t0 = time.perf_counter()
+    row = _measure_scheme(config, "stripes")
+    elapsed = time.perf_counter() - t0
+    ops = row["set_acks"] + row["get_ok"]
+    return {
+        "stripe_goodput_ops_per_sec": ops / elapsed,
+        "stripe_overhead_ratio_info": row["memory_overhead_ratio"],
+        "stripe_wall_seconds_info": elapsed,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Elastic rebalancing (membership subsystem)
 # ---------------------------------------------------------------------------
 
@@ -324,6 +354,7 @@ def run_suite(quick: bool = False) -> Dict[str, object]:
     metrics.update(bench_engine(quick))
     metrics.update(bench_fig8(quick))
     metrics.update(bench_batch_ops(quick))
+    metrics.update(bench_stripes(quick))
     metrics.update(bench_scale(quick))
     metrics.update(bench_scale1k(quick))
     return {

@@ -170,6 +170,16 @@ class ErasureScheme(ResilienceScheme):
         for index in range(self.n):
             self.relocations.pop((key, index), None)
 
+    def forget_key(self, key: str) -> None:
+        """Drop all bookkeeping for a deleted logical key.
+
+        The stripe GC is the one caller with an authoritative delete: a
+        compacted-away stripe must leave the planner's key registry, or
+        every future migration would try to move its ghost.
+        """
+        self._latest_ver.pop(key, None)
+        self.clear_relocations(key)
+
     def _alive(self, fabric, server: str) -> bool:
         return fabric.endpoints[server].alive
 

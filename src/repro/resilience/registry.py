@@ -23,7 +23,7 @@ _ERASURE = {
 
 def available_schemes() -> Tuple[str, ...]:
     """Names accepted by :func:`make_scheme`."""
-    return ("no-rep", "sync-rep", "async-rep", "hybrid") + tuple(
+    return ("no-rep", "sync-rep", "async-rep", "hybrid", "stripes") + tuple(
         sorted(_ERASURE)
     )
 
@@ -52,6 +52,10 @@ def make_scheme(
             replication=AsyncReplication(replication_factor),
             erasure=EraCECD(codec_name=codec_name, k=k, m=m),
         )
+    if key == "stripes":
+        from repro.stripes.scheme import StripedScheme
+
+        return StripedScheme(codec_name=codec_name, k=k, m=m)
     if key in _ERASURE:
         return _ERASURE[key](codec_name=codec_name, k=k, m=m)
     raise KeyError(

@@ -117,6 +117,9 @@ class KVClient:
         self._corrupt_responses = self.metrics.counter(
             "client.corrupt_responses"
         )
+        #: logical payload bytes of every acknowledged Set — the
+        #: denominator of ``cluster.memory_overhead_ratio()``
+        self._acked_bytes = self.metrics.counter("client.acked_bytes")
         self.endpoint = fabric.add_node(name, host=host)
         self.pending = PendingTable(sim)
         self.engine = AsyncRequestEngine(
@@ -450,6 +453,7 @@ class KVClient:
         if self.guard is not None:
             self.guard.note_latency(metrics.latency)
         if result.ok:
+            self._acked_bytes.inc(value.size)
             return True
         if result.error is ErrorCode.OUT_OF_MEMORY:
             return False
@@ -490,6 +494,29 @@ class KVClient:
             "get %r failed: %s" % (key, result.error_text), result.error
         )
 
+    def delete(self, key: str) -> Generator:
+        """Blocking Delete; ``True`` when the key existed, ``False`` on a
+        miss.  Only schemes with an authoritative delete (the stripe
+        path) support it."""
+        scheme_delete = getattr(self.scheme, "delete", None)
+        if scheme_delete is None:
+            raise KVStoreError(
+                "scheme %r has no delete" % self.scheme.name,
+                ErrorCode.SERVER_ERROR,
+            )
+        metrics = OpMetrics(self.sim.now)
+        metrics.started_at = self.sim.now
+        result = yield from scheme_delete(self, key, metrics)
+        metrics.completed_at = self.sim.now
+        self.recorder.record("delete", metrics.latency)
+        if result.ok:
+            return True
+        if result.error is ErrorCode.NOT_FOUND:
+            return False
+        raise KVStoreError(
+            "delete %r failed: %s" % (key, result.error_text), result.error
+        )
+
     # -- non-blocking API -----------------------------------------------------
     def iset(self, key: str, value: Payload) -> RequestHandle:
         """memcached_iset: enqueue a Set, return its handle immediately."""
@@ -502,12 +529,14 @@ class KVClient:
 
         def runner(h: RequestHandle) -> Generator:
             if self._use_retries:
-                return (
-                    yield from self._run_with_retries(
-                        lambda: self.scheme.set(self, key, value, h.metrics)
-                    )
+                result = yield from self._run_with_retries(
+                    lambda: self.scheme.set(self, key, value, h.metrics)
                 )
-            return (yield from self.scheme.set(self, key, value, h.metrics))
+            else:
+                result = yield from self.scheme.set(self, key, value, h.metrics)
+            if result.ok:
+                self._acked_bytes.inc(value.size)
+            return result
 
         return self.engine.submit(handle, runner)
 
@@ -561,6 +590,10 @@ class KVClient:
                         ),
                         first=prior,
                     )
+            for key, value in items:
+                outcome = results.get(key)
+                if outcome is not None and outcome.ok:
+                    self._acked_bytes.inc(value.size)
             h.results = results
             return _batch_result(results)
 

@@ -1,0 +1,34 @@
+"""Small-object erasure coding via stripe packing (MemEC-style).
+
+See :mod:`repro.stripes.buffer` for the packing data structures,
+:mod:`repro.stripes.scheme` for the request paths, and
+:mod:`repro.stripes.compact` for the log-structured GC.
+"""
+
+from repro.stripes.buffer import (
+    ObjectLocation,
+    StripeRecord,
+    journal_key,
+    stripe_name,
+)
+from repro.stripes.compact import StripeCompactor
+from repro.stripes.scheme import (
+    DEFAULT_COMPACT_UTILIZATION,
+    DEFAULT_SEAL_TIMEOUT,
+    DEFAULT_STRIPE_CAPACITY,
+    DEFAULT_THRESHOLD,
+    StripedScheme,
+)
+
+__all__ = [
+    "DEFAULT_COMPACT_UTILIZATION",
+    "DEFAULT_SEAL_TIMEOUT",
+    "DEFAULT_STRIPE_CAPACITY",
+    "DEFAULT_THRESHOLD",
+    "ObjectLocation",
+    "StripeCompactor",
+    "StripeRecord",
+    "StripedScheme",
+    "journal_key",
+    "stripe_name",
+]

@@ -1,0 +1,188 @@
+"""Stripe packing state: the open-stripe buffer and the object index.
+
+Per-object erasure coding is ruinous for the tens-to-hundreds-of-bytes
+values that dominate real cache traffic (the ETC pool): every Set pays
+K+M request fan-outs and K+M per-chunk item headers for a handful of
+payload bytes.  The MemEC answer is *all-encoding* stripe packing — many
+small objects are appended into one fixed-size data stripe, the stripe
+is coded once when it seals, and a compact per-object index maps each
+key to ``(stripe_id, offset, length)`` so Gets can read exactly their
+slice out of the systematic chunks.
+
+This module holds the pure data-structure side of that design:
+
+- :class:`ObjectLocation` — one index entry;
+- :class:`StripeRecord` — one stripe's lifecycle state.  While *open*
+  it stages the packed bytes (and the per-key payloads that back the
+  journal-repair path); once *sealed* the staging memory is dropped and
+  only the accounting needed for reads and GC remains.
+
+The request-path logic (journal writes, sealing, slice reads, GC) lives
+in :mod:`repro.stripes.scheme` and :mod:`repro.stripes.compact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.payload import Payload
+
+#: stripe carrier keys live in the NUL namespace user keys cannot enter
+#: (same convention as the erasure chunk separator).
+_STRIPE_PREFIX = "\x00s:"
+_JOURNAL_PREFIX = "\x00j:"
+
+
+def stripe_name(stripe_id: int) -> str:
+    """The carrier key a sealed stripe's chunks are stored under."""
+    return "%s%d" % (_STRIPE_PREFIX, stripe_id)
+
+
+def journal_key(stripe_id: int, key: str) -> str:
+    """The storage key of one object's pre-seal journal copy."""
+    return "%s%d\x00%s" % (_JOURNAL_PREFIX, stripe_id, key)
+
+
+@dataclass(frozen=True)
+class ObjectLocation:
+    """Index entry: where one small object's bytes live."""
+
+    stripe_id: int
+    offset: int
+    length: int
+
+
+class StripeRecord:
+    """One stripe across its lifecycle: open -> sealing -> sealed.
+
+    While open, :attr:`values` keeps each packed object's payload — the
+    source of truth for journal re-replication after a holder crash and
+    for coordinator-side reads when every journal holder is down.  The
+    staging state is released at seal time; a sealed record keeps only
+    offsets, liveness accounting, and the chunk geometry reads need.
+    """
+
+    __slots__ = (
+        "stripe_id",
+        "capacity",
+        "objects",
+        "values",
+        "data",
+        "all_data",
+        "cursor",
+        "live_bytes",
+        "sealing",
+        "sealed",
+        "data_len",
+        "chunk_len",
+        "journal_holders",
+        "pending_journal",
+    )
+
+    def __init__(self, stripe_id: int, capacity: int):
+        self.stripe_id = stripe_id
+        self.capacity = capacity
+        #: every key ever appended -> (offset, length); overwritten keys
+        #: keep their *latest* slot (older slots become dead bytes)
+        self.objects: Dict[str, Tuple[int, int]] = {}
+        #: open-stripe staging: latest payload per key (dropped at seal)
+        self.values: Optional[Dict[str, Payload]] = {}
+        #: packed bytes, maintained only while every payload carries data
+        self.data: Optional[bytearray] = bytearray()
+        self.all_data = True
+        #: next free offset == bytes packed so far
+        self.cursor = 0
+        #: bytes still reachable through the index (GC victim criterion)
+        self.live_bytes = 0
+        self.sealing = False
+        self.sealed = False
+        #: final packed size, fixed when sealing starts
+        self.data_len = 0
+        #: per-chunk length of the sealed stripe (codec geometry)
+        self.chunk_len = 0
+        #: servers holding the pre-seal journal copies (m+1 of them)
+        self.journal_holders: List[str] = []
+        #: journal writes still in flight (seal defers cleanup past them)
+        self.pending_journal = 0
+
+    @property
+    def name(self) -> str:
+        return stripe_name(self.stripe_id)
+
+    @property
+    def utilization(self) -> float:
+        """Live fraction of the packed bytes (1.0 for an empty stripe)."""
+        total = self.data_len if self.sealing or self.sealed else self.cursor
+        return self.live_bytes / total if total else 1.0
+
+    # -- packing (open stripes only) ----------------------------------------
+    def fits(self, size: int) -> bool:
+        return self.cursor + size <= self.capacity
+
+    def append(self, key: str, value: Payload) -> ObjectLocation:
+        """Reserve the next slot for ``key`` and stage its bytes.
+
+        Synchronous (no sim yields happen inside), so concurrent client
+        processes interleaving at await points each see a consistent
+        cursor.  The caller guarantees :meth:`fits`.
+        """
+        if self.sealing or self.sealed:
+            raise RuntimeError("stripe %d is no longer open" % self.stripe_id)
+        offset = self.cursor
+        self.cursor += value.size
+        previous = self.objects.get(key)
+        if previous is not None:
+            # overwrite-before-seal: the old slot's bytes go dead
+            self.live_bytes -= previous[1]
+        self.objects[key] = (offset, value.size)
+        self.values[key] = value
+        self.live_bytes += value.size
+        if value.has_data and self.all_data:
+            self.data.extend(value.data)
+        elif self.all_data:
+            # one size-only payload degrades the whole stripe to sized
+            # mode (scale experiments never materialize bytes anyway)
+            self.all_data = False
+            self.data = None
+        return ObjectLocation(self.stripe_id, offset, value.size)
+
+    def kill(self, key: str) -> int:
+        """Tombstone ``key``'s slot; returns the bytes that went dead."""
+        slot = self.objects.get(key)
+        if slot is None:
+            return 0
+        self.live_bytes -= slot[1]
+        if self.values is not None:
+            self.values.pop(key, None)
+        return slot[1]
+
+    # -- sealing ------------------------------------------------------------
+    def begin_seal(self) -> Payload:
+        """Freeze the stripe and return the carrier payload to encode."""
+        if self.sealing or self.sealed:
+            raise RuntimeError("stripe %d already sealing" % self.stripe_id)
+        self.sealing = True
+        self.data_len = self.cursor
+        if self.all_data:
+            return Payload.from_bytes(bytes(self.data))
+        return Payload.sized(self.data_len)
+
+    def finish_seal(self, chunk_len: int) -> None:
+        """The carrier is durably stored: drop staging, keep geometry."""
+        self.sealed = True
+        self.chunk_len = chunk_len
+        self.data = None
+        self.values = None
+
+    def journal_keys(self) -> List[str]:
+        """Every journal key this stripe ever wrote (cleanup set)."""
+        return [journal_key(self.stripe_id, key) for key in self.objects]
+
+
+__all__ = [
+    "ObjectLocation",
+    "StripeRecord",
+    "journal_key",
+    "stripe_name",
+]

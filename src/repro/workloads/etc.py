@@ -6,9 +6,10 @@ The ETC pool is Memcached's general-purpose tier: a 30:1 GET-heavy mix,
 Zipfian key popularity, and a heavy-tailed value-size distribution where
 most values are small but most *bytes* belong to large values.  We model
 sizes with the paper's reported shape: a discrete head for tiny values
-plus a generalized-Pareto body clamped to [64 B, 128 KB] (the quoted
-512 B - 32 KB is the *typical* range; ETC's tail extends beyond it and
-carries a large share of the bytes).
+(down to ETC's 2 B and 11 B spikes — the small-value tail that makes
+per-object coding all overhead) plus a generalized-Pareto body clamped
+to [64 B, 128 KB] (the quoted 512 B - 32 KB is the *typical* range;
+ETC's tail extends beyond it and carries a large share of the bytes).
 
 This drives the mixed-size evaluation of the hybrid replication/erasure
 scheme (Section VIII future work): replication serves the many small
@@ -35,7 +36,7 @@ _HEAD_SIZES = (2, 11, 100, 300)  # bytes: tiny-value spikes
 _HEAD_PROBS = (0.01, 0.05, 0.20, 0.15)
 _PARETO_SCALE = 250.0
 _PARETO_SHAPE = 0.9  # heavy tail: ~0.7% of values (>16 KB) carry ~40% of bytes
-MIN_VALUE = 64
+MIN_VALUE = 64  # clamps the Pareto body only; head spikes go below it
 MAX_VALUE = 128 * 1024
 
 GET_FRACTION = 30 / 31  # ETC's ~30:1 GET:SET ratio
@@ -54,7 +55,10 @@ class EtcSizeSampler:
         for size, prob in zip(_HEAD_SIZES, _HEAD_PROBS):
             cumulative += prob
             if u < cumulative:
-                return max(MIN_VALUE, size)
+                # The head spikes ARE the distribution's small-value tail
+                # (ETC's 2 B and 11 B modes); clamping them to MIN_VALUE
+                # would erase exactly the sizes stripe packing exists for.
+                return size
         # generalized Pareto body for the remaining mass
         tail_u = self._rng.random()
         value = _PARETO_SCALE * (

@@ -219,6 +219,8 @@ class MemoryPressureResult:
     evictions: int
     failed_stores: int
     lost_bytes: int = 0
+    #: bytes stored / logical bytes acked (storage amplification)
+    memory_overhead_ratio: float = 0.0
 
 
 def run_memory_pressure(
@@ -266,4 +268,5 @@ def run_memory_pressure(
         evictions=cluster.total_evictions,
         failed_stores=cluster.total_failed_stores,
         lost_bytes=cluster.total_lost_bytes,
+        memory_overhead_ratio=cluster.memory_overhead_ratio(),
     )

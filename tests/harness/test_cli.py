@@ -17,6 +17,7 @@ class TestCLI:
             "scale",
             "overload",
             "gossip",
+            "stripes",
         ):
             assert figure in out
 
@@ -35,6 +36,15 @@ class TestCLI:
         assert main(["gossip", "--servers", "32", "--seeds", "0"]) == 0
         out = capsys.readouterr().out
         assert "Gossip membership gates HELD" in out
+
+    def test_run_stripes_small(self, capsys):
+        """The stripe-packing soak end to end, shrunk to CI-test size."""
+        assert main(
+            ["stripes", "--quick", "--objects", "120", "--duration", "0.25",
+             "--seeds", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Stripe-packing gates HELD" in out
 
     def test_unknown_figure(self):
         with pytest.raises(SystemExit):

@@ -109,6 +109,11 @@ class TestFig10:
         assert rep40.lost_bytes > 0
         assert era40.lost_bytes == 0
         assert era40.memory_utilization < 0.8
+        # storage amplification is reported for every scheme: erasure
+        # sits near 5/3, replication near its factor (or below once
+        # evictions shed stored bytes)
+        assert era8.memory_overhead_ratio > 1.0
+        assert rep8.memory_overhead_ratio > era8.memory_overhead_ratio
 
 
 class TestFig11And12:

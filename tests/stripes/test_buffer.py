@@ -1,0 +1,105 @@
+"""StripeRecord packing mechanics (pure data structure, no cluster)."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.stripes.buffer import (
+    ObjectLocation,
+    StripeRecord,
+    journal_key,
+    stripe_name,
+)
+
+
+def record(capacity=1024, sid=7):
+    return StripeRecord(sid, capacity)
+
+
+class TestNaming:
+    def test_stripe_name_is_outside_user_keyspace(self):
+        assert stripe_name(3).startswith("\x00")
+
+    def test_journal_key_embeds_stripe_and_object(self):
+        jkey = journal_key(3, "user:42")
+        assert jkey.startswith("\x00")
+        assert "user:42" in jkey
+        assert journal_key(3, "a") != journal_key(4, "a")
+
+
+class TestAppend:
+    def test_append_reserves_consecutive_offsets(self):
+        rec = record()
+        a = rec.append("a", Payload.from_bytes(b"xxxx"))
+        b = rec.append("b", Payload.from_bytes(b"yyyyyy"))
+        assert a == ObjectLocation(7, 0, 4)
+        assert b == ObjectLocation(7, 4, 6)
+        assert rec.cursor == 10
+        assert bytes(rec.data) == b"xxxxyyyyyy"
+
+    def test_fits_honors_capacity(self):
+        rec = record(capacity=10)
+        rec.append("a", Payload.sized(8))
+        assert rec.fits(2)
+        assert not rec.fits(3)
+
+    def test_overwrite_before_seal_keeps_latest_slot(self):
+        rec = record()
+        rec.append("k", Payload.from_bytes(b"old!"))
+        loc = rec.append("k", Payload.from_bytes(b"newer!"))
+        assert loc.offset == 4 and loc.length == 6
+        # the old slot's 4 bytes went dead
+        assert rec.live_bytes == 6
+        assert rec.values["k"].data == b"newer!"
+
+    def test_sized_payload_degrades_whole_stripe(self):
+        rec = record()
+        rec.append("a", Payload.from_bytes(b"data"))
+        rec.append("b", Payload.sized(100))
+        assert rec.data is None and not rec.all_data
+        # later data payloads keep working, offsets stay consistent
+        loc = rec.append("c", Payload.from_bytes(b"zz"))
+        assert loc.offset == 104
+
+
+class TestKill:
+    def test_kill_accounts_dead_bytes(self):
+        rec = record()
+        rec.append("a", Payload.sized(40))
+        rec.append("b", Payload.sized(60))
+        assert rec.kill("a") == 40
+        assert rec.live_bytes == 60
+        assert rec.utilization == pytest.approx(0.6)
+
+    def test_kill_unknown_key_is_noop(self):
+        rec = record()
+        assert rec.kill("ghost") == 0
+
+
+class TestSeal:
+    def test_begin_seal_freezes_payload(self):
+        rec = record()
+        rec.append("a", Payload.from_bytes(b"hello"))
+        payload = rec.begin_seal()
+        assert payload.data == b"hello"
+        assert rec.sealing and not rec.sealed
+        with pytest.raises(RuntimeError):
+            rec.append("b", Payload.from_bytes(b"late"))
+        with pytest.raises(RuntimeError):
+            rec.begin_seal()
+
+    def test_finish_seal_drops_staging(self):
+        rec = record()
+        rec.append("a", Payload.from_bytes(b"hello"))
+        rec.begin_seal()
+        rec.finish_seal(chunk_len=2)
+        assert rec.sealed
+        assert rec.data is None and rec.values is None
+        assert rec.chunk_len == 2
+        # journal cleanup still knows every appended key
+        assert rec.journal_keys() == [journal_key(7, "a")]
+
+    def test_sized_stripe_seals_to_sized_payload(self):
+        rec = record()
+        rec.append("a", Payload.sized(30))
+        payload = rec.begin_seal()
+        assert not payload.has_data and payload.size == 30

@@ -1,0 +1,401 @@
+"""StripedScheme request paths: packing, sealing, reads, faults."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.core.features import ClusterConfig
+from repro.resilience.erasure import chunk_key
+from repro.stripes.buffer import journal_key
+
+MIB = 1024 * 1024
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+def fresh(**kwargs):
+    kwargs.setdefault("servers", 6)
+    kwargs.setdefault("memory_per_server", 64 * MIB)
+    kwargs.setdefault("scheme", "stripes")
+    return build_cluster(**kwargs)
+
+
+def patterned(size, salt=0):
+    return bytes((i * 31 + 7 + salt) % 256 for i in range(size))
+
+
+class TestConfigWiring:
+    def test_feature_wraps_and_unwraps_scheme(self):
+        config = ClusterConfig().with_small_object_stripes()
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=6, memory_per_server=64 * MIB,
+            config=config,
+        )
+        assert cluster.scheme.name == "stripes"
+        assert cluster.scheme.inner.name == "era-ce-cd"
+        assert "st_get" in cluster.servers["server-0"].handlers
+        config.disable("stripes")
+        assert cluster.scheme.name == "era-ce-cd"
+        assert "st_get" not in cluster.servers["server-0"].handlers
+
+    def test_clients_follow_the_wrap(self):
+        cluster = build_cluster(
+            scheme="era-ce-cd", servers=6, memory_per_server=64 * MIB
+        )
+        client = cluster.add_client()
+        cluster.config.with_small_object_stripes()
+        assert client.scheme is cluster.scheme
+        assert client.scheme.name == "stripes"
+
+    def test_registry_name(self):
+        from repro.resilience.registry import available_schemes
+
+        assert "stripes" in available_schemes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig().with_small_object_stripes(threshold=0)
+        with pytest.raises(ValueError):
+            ClusterConfig().with_small_object_stripes(
+                threshold=1024, stripe_capacity=512
+            )
+
+
+class TestSmallObjectPath:
+    def test_small_set_packs_not_chunks(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("tiny", Payload.from_bytes(b"x" * 50))
+
+        drive(cluster, body())
+        scheme = cluster.scheme
+        loc = scheme.locate("tiny")
+        assert loc is not None and loc.length == 50
+        # no per-object chunks exist for the user key
+        for server in cluster.servers.values():
+            assert server.cache.peek(chunk_key("tiny", 0)) is None
+        # but tolerated+1 journal copies do
+        record = scheme.open_stripe
+        jkey = journal_key(loc.stripe_id, "tiny")
+        copies = sum(
+            1
+            for server in cluster.servers.values()
+            if server.cache.peek(jkey) is not None
+        )
+        assert copies == scheme.tolerated_failures + 1
+        assert record.journal_holders
+
+    def test_unsealed_read_roundtrip(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = patterned(80)
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(data))
+            return (yield from client.get("k"))
+
+        value = drive(cluster, body())
+        assert value.data == data
+        assert cluster.metrics.counter("stripes.journal_reads").value >= 1
+
+    def test_large_set_takes_inner_path(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = patterned(20_000)
+
+        def body():
+            yield from client.set("big", Payload.from_bytes(data))
+            return (yield from client.get("big"))
+
+        value = drive(cluster, body())
+        assert value.data == data
+        assert cluster.scheme.locate("big") is None
+        placement = cluster.ring.placement("big", 5)
+        item = cluster.servers[placement[0]].cache.peek(chunk_key("big", 0))
+        assert item is not None
+
+
+class TestSealing:
+    def test_seal_on_full_codes_the_stripe(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        scheme = cluster.scheme
+
+        def body():
+            # ~4 KiB each: 17 of them overflow the 64 KiB stripe
+            for i in range(17):
+                yield from client.set(
+                    "k%02d" % i, Payload.from_bytes(patterned(4000, salt=i))
+                )
+
+        drive(cluster, body())
+        cluster.run()  # let background seals and timers quiesce
+        sealed = [r for r in scheme.stripe_records() if r.sealed]
+        assert sealed, "a full stripe must seal"
+        record = sealed[0]
+        # the stripe carrier is chunked like any erasure object
+        servers = scheme.chunk_servers(cluster.ring, record.name)
+        for index in range(scheme.k):
+            item = cluster.servers[servers[index]].cache.peek(
+                chunk_key(record.name, index)
+            )
+            assert item is not None
+        # journal copies of sealed objects were retired
+        for key in record.objects:
+            jkey = journal_key(record.stripe_id, key)
+            for server in cluster.servers.values():
+                assert server.cache.peek(jkey) is None
+
+    def test_seal_on_timeout(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        scheme = cluster.scheme
+
+        def body():
+            yield from client.set("only", Payload.from_bytes(b"y" * 100))
+
+        drive(cluster, body())
+        assert not scheme.stripe_records()[0].sealed
+        cluster.run()  # the virtual-clock timer fires and seals
+        assert scheme.stripe_records()[0].sealed
+        assert cluster.metrics.counter("stripes.seal_timeouts").value == 1
+
+    def test_sealed_read_is_slice_fast_path(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = {
+            "k%02d" % i: patterned(500, salt=i) for i in range(8)
+        }
+
+        def load():
+            for key, payload in sorted(data.items()):
+                yield from client.set(key, Payload.from_bytes(payload))
+
+        drive(cluster, load())
+        cluster.run()
+
+        def read():
+            out = {}
+            for key in sorted(data):
+                out[key] = (yield from client.get(key))
+            return out
+
+        values = drive(cluster, read())
+        for key, payload in data.items():
+            assert values[key].data == payload
+        assert cluster.metrics.counter("stripes.slice_reads").value == 8
+        assert cluster.metrics.counter("stripes.degraded_reads").value == 0
+
+
+class TestOverwriteAndDelete:
+    def test_overwrite_before_seal_returns_latest(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(b"old-value"))
+            yield from client.set("k", Payload.from_bytes(b"new!"))
+            return (yield from client.get("k"))
+
+        assert drive(cluster, body()).data == b"new!"
+        cluster.run()
+
+        def read():
+            return (yield from client.get("k"))
+
+        assert drive(cluster, read()).data == b"new!"
+
+    def test_tombstone_visible_before_and_after_seal(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("dead", Payload.from_bytes(b"soon gone"))
+            yield from client.set("kept", Payload.from_bytes(b"stays"))
+            existed = yield from client.delete("dead")
+            pre_seal = yield from client.get("dead")
+            return existed, pre_seal
+
+        existed, pre_seal = drive(cluster, body())
+        assert existed is True
+        assert pre_seal is None
+        cluster.run()  # seal happens with the tombstone in place
+
+        def after():
+            gone = yield from client.get("dead")
+            kept = yield from client.get("kept")
+            return gone, kept
+
+        gone, kept = drive(cluster, after())
+        assert gone is None
+        assert kept.data == b"stays"
+
+    def test_delete_miss_returns_false(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            return (yield from client.delete("ghost"))
+
+        assert drive(cluster, body()) is False
+
+    def test_small_to_large_overwrite(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        big = patterned(30_000)
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(b"small"))
+            yield from client.set("k", Payload.from_bytes(big))
+            return (yield from client.get("k"))
+
+        assert drive(cluster, body()).data == big
+        assert cluster.scheme.locate("k") is None
+
+    def test_large_to_small_overwrite(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(patterned(30_000)))
+            yield from client.set("k", Payload.from_bytes(b"shrunk"))
+            return (yield from client.get("k"))
+
+        assert drive(cluster, body()).data == b"shrunk"
+        # the stale per-object chunks were dropped
+        for index in range(cluster.scheme.n):
+            for server in cluster.servers.values():
+                assert server.cache.peek(chunk_key("k", index)) is None
+
+
+class TestFaults:
+    def test_degraded_read_decodes_sealed_stripe(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = {"k%d" % i: patterned(700, salt=i) for i in range(6)}
+
+        def load():
+            for key, payload in sorted(data.items()):
+                yield from client.set(key, Payload.from_bytes(payload))
+
+        drive(cluster, load())
+        cluster.run()
+        scheme = cluster.scheme
+        record = scheme.stripe_records()[0]
+        assert record.sealed
+        # kill the server holding the first systematic chunk
+        servers = scheme.chunk_servers(cluster.ring, record.name)
+        cluster.fail_servers([servers[0]])
+
+        def read():
+            out = {}
+            for key in sorted(data):
+                out[key] = (yield from client.get(key))
+            return out
+
+        values = drive(cluster, read())
+        for key, payload in data.items():
+            assert values[key].data == payload
+        assert cluster.metrics.counter("stripes.degraded_reads").value >= 1
+
+    def test_rot_in_packed_stripe_detected_and_degraded(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = {"k%d" % i: patterned(700, salt=i) for i in range(6)}
+
+        def load():
+            for key, payload in sorted(data.items()):
+                yield from client.set(key, Payload.from_bytes(payload))
+
+        drive(cluster, load())
+        cluster.run()
+        scheme = cluster.scheme
+        record = scheme.stripe_records()[0]
+        servers = scheme.chunk_servers(cluster.ring, record.name)
+        holder = cluster.servers[servers[0]]
+        assert holder.corrupt_item(chunk_key(record.name, 0))
+
+        def read():
+            out = {}
+            for key in sorted(data):
+                out[key] = (yield from client.get(key))
+            return out
+
+        values = drive(cluster, read())
+        for key, payload in data.items():
+            assert values[key].data == payload, key
+        assert holder.corruption_detected >= 1
+        assert cluster.metrics.counter("stripes.degraded_reads").value >= 1
+
+    def test_crash_mid_seal_journals_keep_serving(self):
+        cluster = fresh()
+        client = cluster.add_client()
+        data = patterned(90)
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(data))
+
+        drive(cluster, body())
+        scheme = cluster.scheme
+        record = scheme.open_stripe
+        assert record is not None and not record.sealed
+        # crash one journal holder while the stripe is still open
+        cluster.fail_servers([record.journal_holders[0]])
+
+        def read():
+            return (yield from client.get("k"))
+
+        assert drive(cluster, read()).data == data
+
+    def test_journal_holder_crash_repair(self):
+        cluster = fresh()
+        client = cluster.add_client()
+
+        def body():
+            yield from client.set("k", Payload.from_bytes(b"precious!"))
+
+        drive(cluster, body())
+        scheme = cluster.scheme
+        record = scheme.open_stripe
+        failed = record.journal_holders[0]
+        cluster.fail_servers([failed])
+
+        def repair():
+            return (yield from scheme.repair_server(client, failed))
+
+        assert drive(cluster, repair()) == 1
+        assert failed not in record.journal_holders
+        substitute = record.journal_holders[
+            -1
+        ]  # replacement keeps list length
+        jkey = journal_key(record.stripe_id, "k")
+        copies = sum(
+            1
+            for server in cluster.servers.values()
+            if server.alive and server.cache.peek(jkey) is not None
+        )
+        assert copies == scheme.tolerated_failures + 1
+        assert substitute in record.journal_holders
+
+
+class TestMemoryOverhead:
+    def test_stripes_beat_per_object_coding_on_small_values(self):
+        ratios = {}
+        for scheme in ("era-ce-cd", "stripes"):
+            cluster = fresh(scheme=scheme)
+            client = cluster.add_client()
+
+            def load(client=client):
+                for i in range(64):
+                    yield from client.set(
+                        "k%03d" % i, Payload.sized(100)
+                    )
+
+            drive(cluster, load())
+            cluster.run()
+            ratios[scheme] = cluster.memory_overhead_ratio()
+        assert ratios["stripes"] < ratios["era-ce-cd"] / 2

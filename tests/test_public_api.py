@@ -17,11 +17,12 @@ class TestSchemeRegistry:
         assert "era-ce-cd" in names
         assert "sync-rep" in names
         assert "hybrid" in names
-        assert len(names) == 8
+        assert "stripes" in names
+        assert len(names) == 9
 
     @pytest.mark.parametrize("name", ["no-rep", "sync-rep", "async-rep",
-                                      "hybrid", "era-ce-cd", "era-se-sd",
-                                      "era-se-cd", "era-ce-sd"])
+                                      "hybrid", "stripes", "era-ce-cd",
+                                      "era-se-sd", "era-se-cd", "era-ce-sd"])
     def test_every_name_constructs(self, name):
         scheme = make_scheme(name)
         assert scheme.name in (name, "hybrid")

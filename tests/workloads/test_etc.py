@@ -17,10 +17,29 @@ GIB = 1024 ** 3
 
 class TestSizeSampler:
     def test_sizes_within_paper_range(self):
-        """The paper's motivation: online KV pairs are 512 B - 32 KB-ish."""
+        """Head spikes may dip below MIN_VALUE; the body stays clamped."""
         sampler = EtcSizeSampler(seed=1)
         sizes = sampler.sample_sizes(5_000)
-        assert all(MIN_VALUE <= s <= MAX_VALUE for s in sizes)
+        assert all(1 <= s <= MAX_VALUE for s in sizes)
+        body = [s for s in sizes if s not in (2, 11)]
+        assert all(s >= min(MIN_VALUE, 100) for s in body)
+
+    def test_small_value_tail_present(self):
+        """ETC's <100 B spikes (2 B, 11 B) survive into the sample —
+        the sizes stripe packing exists for."""
+        sampler = EtcSizeSampler(seed=4)
+        sizes = sampler.sample_sizes(10_000)
+        tiny = [s for s in sizes if s < MIN_VALUE]
+        # head probabilities: 1% at 2 B + 5% at 11 B ~= 6% of draws
+        assert 0.03 * len(sizes) < len(tiny) < 0.12 * len(sizes)
+        assert 2 in tiny and 11 in tiny
+
+    def test_small_tail_deterministic(self):
+        """Same seed -> identical sample, including the sub-64 B tail."""
+        a = EtcSizeSampler(seed=5).sample_sizes(2_000)
+        b = EtcSizeSampler(seed=5).sample_sizes(2_000)
+        assert a == b
+        assert any(s < MIN_VALUE for s in a)
 
     def test_heavy_tail(self):
         """Most values small; most BYTES in large values."""
