@@ -106,6 +106,8 @@ class KVCluster:
         #: the stripes feature is off)
         self._base_scheme: Optional[ResilienceScheme] = None
         self._stripes_config: Optional[StripesConfig] = None
+        self._scrubber = None
+        self._scrub_config = None
         self._apply_config()
 
     # -- plan compilation ----------------------------------------------------
@@ -186,6 +188,16 @@ class KVCluster:
                 for client in self.clients:
                     client.scheme = striped
             self._stripes_config = stripes_cfg
+        scrub_cfg = config.scrubbing
+        if scrub_cfg is not self._scrub_config:
+            if self._scrubber is not None:
+                self._scrubber.uninstall()
+                self._scrubber = None
+            if scrub_cfg is not None:
+                from repro.scrub import Scrubber, compile_scrub_plan
+
+                self._scrubber = Scrubber(self, compile_scrub_plan(scrub_cfg))
+            self._scrub_config = scrub_cfg
 
     @staticmethod
     def _client_sends_cancels(client: KVClient) -> bool:
@@ -239,6 +251,15 @@ class KVCluster:
     def chaos(self):
         """The attached chaos engine (``None`` unless config injects one)."""
         return self._chaos
+
+    @property
+    def scrubber(self):
+        """The configured integrity scrubber (``None`` without one).
+
+        Declared via ``cluster.config.with_scrubbing(...)``; launch its
+        scan/audit loops with ``cluster.scrubber.start(horizon)``.
+        """
+        return self._scrubber
 
     def adopt_chaos(self, engine, chaos_config: ChaosConfig) -> None:
         """Register an externally constructed chaos engine with the config.

@@ -48,6 +48,7 @@ __all__ = [
     "ClusterConfig",
     "Features",
     "MembershipConfig",
+    "ScrubConfig",
     "ServerPlan",
     "StripesConfig",
     "compile_client_plan",
@@ -121,6 +122,27 @@ class StripesConfig:
     m: int = 2
 
 
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Integrity-scrubbing declaration (see :mod:`repro.scrub`).
+
+    ``scan_period`` is the target duration of one full background pass
+    over every chunk location (virtual seconds).  ``audit_period`` adds
+    periodic sampling audits every that many seconds (``0`` disables
+    them; :meth:`Scrubber.audit_once` can still run one on demand).
+    ``epsilon``/``p_bound`` parameterize the DAS-style certificate:
+    enough samples are drawn to certify "unreadable fraction below
+    ``p_bound``" with confidence ``1 - epsilon`` (see
+    :func:`repro.scrub.audit.required_samples`).
+    """
+
+    scan_period: float = 1.0
+    audit_period: float = 0.0
+    epsilon: float = 1e-3
+    p_bound: float = 0.05
+    seed: int = 0
+
+
 class Features:
     """The feature-flag builder; compiles into request plans.
 
@@ -175,6 +197,7 @@ class Features:
         epoch_stamping: Optional[bool] = None,
         membership: Optional[MembershipConfig] = None,
         stripes: Optional[StripesConfig] = None,
+        scrubbing: Optional[ScrubConfig] = None,
     ):
         self.hardening = hardening
         self.overload = overload
@@ -182,6 +205,7 @@ class Features:
         self.chaos = chaos
         self.membership = membership
         self.stripes = stripes
+        self.scrubbing = scrubbing
         self.integrity = integrity
         self.write_versioning = write_versioning
         self.epoch_stamping = epoch_stamping
@@ -316,6 +340,38 @@ class Features:
         )
         return self._touch()
 
+    def with_scrubbing(
+        self,
+        scan_period: float = 1.0,
+        audit_period: float = 0.0,
+        epsilon: float = 1e-3,
+        p_bound: float = 0.05,
+        seed: int = 0,
+    ) -> "Features":
+        """Attach a continuous integrity scrubber (see :mod:`repro.scrub`).
+
+        The cluster constructs it on recompile and exposes it as
+        ``cluster.scrubber``; call ``cluster.scrubber.start(horizon)`` to
+        launch the scan (and, with ``audit_period > 0``, audit) loops.
+        The default fast path (no scrub config) pays nothing.
+        """
+        if scan_period <= 0:
+            raise ValueError("scan_period must be > 0")
+        if audit_period < 0:
+            raise ValueError("audit_period must be >= 0")
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < p_bound < 1.0:
+            raise ValueError("p_bound must be in (0, 1)")
+        self.scrubbing = ScrubConfig(
+            scan_period=scan_period,
+            audit_period=audit_period,
+            epsilon=epsilon,
+            p_bound=p_bound,
+            seed=seed,
+        )
+        return self._touch()
+
     def with_integrity(self, enabled: bool = True) -> "Features":
         """Toggle end-to-end CRC stamping and verification."""
         self.integrity = enabled
@@ -333,7 +389,8 @@ class Features:
 
     def disable(self, *names: str) -> "Features":
         """Turn the named features off (``"hardening"``, ``"overload"``,
-        ``"admission"``, ``"chaos"``, ``"membership"``, ``"stripes"``)."""
+        ``"admission"``, ``"chaos"``, ``"membership"``, ``"stripes"``,
+        ``"scrubbing"``)."""
         for name in names:
             if name not in (
                 "hardening",
@@ -342,6 +399,7 @@ class Features:
                 "chaos",
                 "membership",
                 "stripes",
+                "scrubbing",
             ):
                 raise ValueError("unknown feature %r" % name)
             setattr(self, name, None)

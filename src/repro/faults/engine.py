@@ -39,6 +39,7 @@ from repro.common.payload import Payload
 from repro.faults.profiles import FaultProfile
 from repro.membership.epoch import MembershipError
 from repro.network.fabric import FaultAction
+from repro.resilience.erasure import parse_chunk_key
 from repro.resilience.recovery import FailureInjector
 
 
@@ -88,6 +89,12 @@ class ChaosEngine:
         #: engine-side fault log; merge with the injector's crash log via
         #: :attr:`fault_log`
         self.log: List[Tuple[float, str, str]] = []
+        #: ground truth for every bit-rot event injected by this engine:
+        #: ``(time, server, logical_key, chunk_index)`` (``chunk_index``
+        #: is ``None`` for unchunked items such as stripe journal
+        #: copies).  Scrub soaks and sampling-audit certificates are
+        #: verified against this instead of inferred from client errors.
+        self.rot_log: List[Tuple[float, str, str, Optional[int]]] = []
 
         metrics = cluster.metrics
         self._dropped = metrics.counter("faults.dropped")
@@ -521,6 +528,8 @@ class ChaosEngine:
                 continue
             key = rng.choice(keys)
             if server.corrupt_item(key, byte_offset=rng.randrange(1 << 16)):
+                logical, index = parse_chunk_key(key)
+                self.rot_log.append((self.sim.now, name, logical, index))
                 self._bitrot.inc()
                 self._note("bitrot", "%s %s" % (name, key))
 

@@ -137,6 +137,15 @@ PROFILES: Dict[str, FaultProfile] = {
             bitrot_rate=5.0,
         ),
         FaultProfile(
+            name="rot",
+            description=(
+                "silent corruption only: bit rot in stored memory, no "
+                "node or network faults — the scrubber is the only "
+                "thing standing between rot and a client read"
+            ),
+            bitrot_rate=6.0,
+        ),
+        FaultProfile(
             name="churn",
             description="membership churn: joins/leaves plus mild crashes",
             crash_rate=0.4,

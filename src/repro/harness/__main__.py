@@ -126,15 +126,18 @@ def _rows_to_table(rows) -> str:
 
 
 #: metrics the CI regression gate watches by default: the end-to-end op
-#: path (single and batched), raw engine event throughput, and the
-#: 1,000-server placement path.  Codec MB/s stays ungated — shared
-#: runners are too noisy for kernel-level thresholds.
+#: path (single and batched), raw engine event throughput, the
+#: 1,000-server placement path, and the headline-geometry decode (the
+#: degraded-read path the scrubber leans on).  The remaining codec MB/s
+#: metrics stay ungated — shared runners are too noisy to threshold
+#: every kernel-level geometry.
 _BENCH_GATE_DEFAULTS = (
     "fig8_ops_per_sec",
     "batch_ops_per_sec",
     "engine_events_per_sec",
     "scale1k_keys_per_sec",
     "stripe_goodput_ops_per_sec",
+    "decode_mbps/rs_van_k4_m2_1mib",
 )
 
 
@@ -296,6 +299,147 @@ def _run_chaos(args) -> int:
     ok = suite["ok"] and determinism_ok
     print(
         "Durability invariant %s across %d seed(s)."
+        % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
+    )
+    if args.check_determinism:
+        print(
+            "Determinism check %s."
+            % ("passed" if determinism_ok else "FAILED")
+        )
+    return 0 if ok else 1
+
+
+def _run_scrub(args) -> int:
+    import json
+
+    from repro.harness.scrub import ScrubSoakConfig, run_scrub_suite
+
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    config = ScrubSoakConfig(
+        duration=args.duration,
+        scheme=args.scheme,
+        servers=args.servers if args.servers is not None else 6,
+        k=args.k,
+        m=args.m,
+        fault_profile=args.fault_profile or "rot",
+        scan_period=args.scan_period,
+        audit_period=args.audit_period,
+        epsilon=args.epsilon,
+        p_bound=args.p_bound,
+    )
+    print(
+        "Scrub soak: scheme=%s profile=%s servers=%d k=%d m=%d "
+        "duration=%.2fs scan=%.2fs audit=%.2fs eps=%g p=%g seeds=%s"
+        % (
+            config.scheme,
+            config.fault_profile,
+            config.servers,
+            config.k,
+            config.m,
+            config.duration,
+            config.scan_period,
+            config.audit_period,
+            config.epsilon,
+            config.p_bound,
+            seeds,
+        ),
+        file=sys.stderr,
+    )
+    suite = run_scrub_suite(seeds, config)
+    determinism_ok = True
+    if args.check_determinism:
+        rerun = run_scrub_suite(seeds, config)
+        for first, second in zip(suite["reports"], rerun["reports"]):
+            match = first["digest"] == second["digest"]
+            determinism_ok = determinism_ok and match
+            print(
+                "seed %d digest %s rerun %s -> %s"
+                % (
+                    first["config"]["seed"],
+                    first["digest"][:16],
+                    second["digest"][:16],
+                    "identical" if match else "DIVERGED",
+                ),
+                file=sys.stderr,
+            )
+        suite["deterministic"] = determinism_ok
+
+    for report in suite["reports"]:
+        ops = report["ops"]
+        scrub = report["scrub"]
+        ratio = report["p99_ratio"]
+        print(
+            "seed %-6d %s  rot %d injected, scrub found %d / repaired %d "
+            "(%d verifies, %d passes), sets %d/%d acked, gets %d ok"
+            % (
+                report["config"]["seed"],
+                "OK  " if report["ok"] else "FAIL",
+                report["rot_injected"],
+                scrub["corrupt_found"],
+                scrub["repairs_triggered"],
+                scrub["chunks_verified"],
+                scrub["passes"],
+                ops["set_acks"],
+                ops["set_attempts"],
+                ops["get_ok"],
+            )
+        )
+        for name, passed in sorted(report["gates"].items()):
+            print("  gate %-22s %s" % (name, "ok" if passed else "FAIL"))
+        for kind, entries in sorted(report["violations"].items()):
+            for violation in entries:
+                print("  %s: %s" % (kind, violation))
+        ttd = scrub["time_to_detect"]
+        tth = scrub["time_to_heal"]
+        if ttd.get("count"):
+            print(
+                "  time-to-detect: mean %.3fs  p99 %.3fs  max %.3fs "
+                "(n=%d, bound %.2fs)"
+                % (
+                    ttd["mean"],
+                    ttd["p99"],
+                    ttd["max"],
+                    ttd["count"],
+                    scrub["ttd_bound"],
+                )
+            )
+        if tth.get("count"):
+            print(
+                "  time-to-heal:   mean %.3fs  p99 %.3fs  max %.3fs (n=%d)"
+                % (tth["mean"], tth["p99"], tth["max"], tth["count"])
+            )
+        print(
+            "  audits: %d certified / %d issued (%d samples each, "
+            "eps<=%g)"
+            % (
+                scrub["audits_certified"],
+                len(scrub["audits"]),
+                scrub["audits"][0]["samples"] if scrub["audits"] else 0,
+                config.epsilon,
+            )
+        )
+        if ratio is not None:
+            print(
+                "  foreground get p99: %.1fus vs %.1fus baseline "
+                "(%.2fx, limit %.2fx)"
+                % (
+                    report["get_latency"]["p99_us"],
+                    report["baseline_get_latency"]["p99_us"],
+                    ratio,
+                    config.p99_ratio_limit,
+                )
+            )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(suite, handle, indent=2, sort_keys=True)
+        print("Wrote %s" % args.report, file=sys.stderr)
+    ok = suite["ok"] and determinism_ok
+    print(
+        "Scrub gates %s across %d seed(s)."
         % ("HELD" if suite["ok"] else "VIOLATED", len(seeds))
     )
     if args.check_determinism:
@@ -923,8 +1067,9 @@ def main(argv=None) -> int:
         "--fault-profile",
         default=None,
         help=(
-            "fault profile (none, network, crash, gray, churn, scale, "
-            "all); default: all for chaos, scale for scale"
+            "fault profile (none, network, crash, gray, rot, churn, "
+            "scale, all); default: all for chaos, scale for scale, rot "
+            "for scrub"
         ),
     )
     chaos_group.add_argument(
@@ -996,6 +1141,39 @@ def main(argv=None) -> int:
         help="stripes: objects written per scheme in the comparison "
         "phase (default 500; --quick caps at 250)",
     )
+    scrub_group = parser.add_argument_group("scrub options")
+    scrub_group.add_argument(
+        "--scan-period",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="scrub: target duration of one full background pass over "
+        "every chunk location (default 0.25)",
+    )
+    scrub_group.add_argument(
+        "--audit-period",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="scrub: virtual seconds between sampling audits "
+        "(default 0.5; 0 disables them)",
+    )
+    scrub_group.add_argument(
+        "--epsilon",
+        type=float,
+        default=1e-2,
+        metavar="EPS",
+        help="scrub: audit certificate confidence target 1-eps "
+        "(default 0.01)",
+    )
+    scrub_group.add_argument(
+        "--p-bound",
+        type=float,
+        default=0.1,
+        metavar="P",
+        help="scrub: unreadable-fraction bound the audit certifies "
+        "against (default 0.1)",
+    )
     overload_group = parser.add_argument_group("overload options")
     overload_group.add_argument(
         "--no-protection",
@@ -1033,6 +1211,11 @@ def main(argv=None) -> int:
             "stripes small-object stripe-packing soak (memory overhead "
             "vs per-object coding; delete/compaction durability)"
         )
+        print(
+            "scrub   integrity-scrubbing soak (bit rot vs background "
+            "scanner; bounded detection, sampling-audit honesty, "
+            "foreground-p99 gates)"
+        )
         return 0
 
     if args.figure.lower() == "bench":
@@ -1052,6 +1235,9 @@ def main(argv=None) -> int:
 
     if args.figure.lower() == "stripes":
         return _run_stripes(args)
+
+    if args.figure.lower() == "scrub":
+        return _run_scrub(args)
 
     figure = args.figure.lower()
     if figure not in experiments.EXPERIMENTS:

@@ -1,0 +1,22 @@
+"""Continuous integrity scrubbing and probabilistic availability audits.
+
+Configured through :meth:`repro.core.features.Features.with_scrubbing`;
+the default feature set never imports this package (pay-as-you-go).
+"""
+
+from repro.scrub.audit import (
+    AuditReport,
+    achieved_epsilon,
+    required_samples,
+)
+from repro.scrub.plan import ScrubPlan, compile_scrub_plan
+from repro.scrub.scrubber import Scrubber
+
+__all__ = [
+    "AuditReport",
+    "ScrubPlan",
+    "Scrubber",
+    "achieved_epsilon",
+    "compile_scrub_plan",
+    "required_samples",
+]

@@ -1,0 +1,87 @@
+"""The DAS-style sampling bound behind the availability certificate.
+
+Instead of exhaustively reading every chunk, the audit draws ``s``
+uniform random ``(key, chunk)`` samples and verifies each one.  The
+certificate it can then issue is the data-availability-sampling
+argument: if an adversary (here: accumulated bit rot) has made a
+fraction ``p`` of all chunk locations unreadable, the probability that
+``s`` independent uniform samples *all* verify is ``(1 - p) ** s``.
+Turning that around: when every sample verifies,
+
+    "the unreadable fraction is below ``p``, or we were unlucky with
+    probability at most ``epsilon = (1 - p) ** s``"
+
+and with the erasure code tolerating up to ``m`` lost chunks per
+stripe, an unreadable fraction below ``p`` (chosen well under ``m / n``)
+means all acked data remains recoverable.  Choosing
+
+    ``s >= ln(epsilon) / ln(1 - p)``
+
+certifies recoverability with confidence at least ``1 - epsilon``.
+A single failed sample refuses the certificate outright — no
+probability math can argue with an observed corruption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def required_samples(epsilon: float, p_bound: float) -> int:
+    """Samples needed to certify "unreadable fraction < p_bound" at
+    confidence ``1 - epsilon``: the smallest ``s`` with
+    ``(1 - p_bound) ** s <= epsilon``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < p_bound < 1.0:
+        raise ValueError("p_bound must be in (0, 1)")
+    return max(1, math.ceil(math.log(epsilon) / math.log(1.0 - p_bound)))
+
+
+def achieved_epsilon(samples: int, p_bound: float) -> float:
+    """Miss probability after ``samples`` all-pass draws: ``(1-p)**s``."""
+    if samples < 0:
+        raise ValueError("samples must be >= 0")
+    if not 0.0 < p_bound < 1.0:
+        raise ValueError("p_bound must be in (0, 1)")
+    return (1.0 - p_bound) ** samples
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one sampling audit (JSON-able via :meth:`to_dict`).
+
+    ``certified`` means: every drawn sample verified, and enough samples
+    were drawn that "all acked data recoverable" holds with probability
+    at least ``1 - epsilon_target`` (under the ``p_bound`` model above).
+    Samples that landed on dead or busy holders are ``unreachable`` —
+    they neither pass nor fail, but an audit cannot certify around them.
+    """
+
+    time: float
+    population: int
+    samples: int
+    verified: int
+    corrupt: int
+    missing: int
+    unreachable: int
+    p_bound: float
+    epsilon_target: float
+    epsilon_achieved: float
+    certified: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "population": self.population,
+            "samples": self.samples,
+            "verified": self.verified,
+            "corrupt": self.corrupt,
+            "missing": self.missing,
+            "unreachable": self.unreachable,
+            "p_bound": self.p_bound,
+            "epsilon_target": self.epsilon_target,
+            "epsilon_achieved": self.epsilon_achieved,
+            "certified": self.certified,
+        }

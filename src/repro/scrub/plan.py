@@ -1,0 +1,60 @@
+"""Compiled scrub plan: the flat resolution of a ``ScrubConfig``.
+
+Mirrors :mod:`repro.store.plan`: the :class:`~repro.core.features.
+Features` builder holds the declarative ``ScrubConfig``; this module
+compiles it once into the plain attributes the scrubber's loops touch.
+The default feature set carries no scrub config, so a cluster that
+never calls ``with_scrubbing`` constructs no scrubber, runs no scan
+process, and pays nothing — pay-as-you-go, like every other feature.
+"""
+
+from __future__ import annotations
+
+from repro.scrub.audit import required_samples
+
+
+class ScrubPlan:
+    """Flat scrub parameters resolved at configuration time."""
+
+    __slots__ = (
+        "scan_period",
+        "audit_period",
+        "epsilon",
+        "p_bound",
+        "samples_required",
+        "seed",
+    )
+
+    def __init__(
+        self,
+        scan_period: float,
+        audit_period: float,
+        epsilon: float,
+        p_bound: float,
+        samples_required: int,
+        seed: int,
+    ):
+        self.scan_period = scan_period
+        self.audit_period = audit_period
+        self.epsilon = epsilon
+        self.p_bound = p_bound
+        self.samples_required = samples_required
+        self.seed = seed
+
+    @property
+    def audits_enabled(self) -> bool:
+        return self.audit_period > 0.0
+
+
+def compile_scrub_plan(config) -> ScrubPlan:
+    """Resolve a :class:`~repro.core.features.ScrubConfig` (the sample
+    count for the configured ``epsilon``/``p_bound`` is fixed here, not
+    re-derived per audit)."""
+    return ScrubPlan(
+        scan_period=config.scan_period,
+        audit_period=config.audit_period,
+        epsilon=config.epsilon,
+        p_bound=config.p_bound,
+        samples_required=required_samples(config.epsilon, config.p_bound),
+        seed=config.seed,
+    )

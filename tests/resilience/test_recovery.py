@@ -121,6 +121,79 @@ class TestRepairManager:
         ]
         assert substitutes
 
+    def test_repair_targets_moved_chunk_and_excludes_corrupt_holder(self):
+        """Holder list moved since write + rot on a survivor.
+
+        After the write, chunk 1 is relocated to a node outside the
+        original placement (what a membership-epoch move does), and a
+        surviving chunk rots on its holder.  When the relocated node
+        then dies, repair must (a) find chunk 1 at its *current*
+        location — the original placement no longer holds it — and
+        (b) place the rebuilt chunk on a substitute that is not the
+        corrupt survivor's holder: two chunks of one stripe on a node
+        that is already feeding the decode bad bytes would fail
+        together later.
+        """
+        cluster = fresh(servers=8)
+        scheme = cluster.scheme
+        client = cluster.add_client()
+        data = bytes((i * 7) % 256 for i in range(6000))
+
+        def store():
+            yield from client.set("key", Payload.from_bytes(data))
+
+        drive(cluster, store())
+        placement = scheme.placement(cluster.ring, "key")
+        outside = [
+            name for name in sorted(cluster.servers) if name not in placement
+        ]
+        moved_to = outside[0]
+
+        # epoch moved: chunk 1 now lives outside the write-time placement
+        old_holder = cluster.servers[placement[1]]
+        skey = chunk_key("key", 1)
+        item = old_holder.cache.peek(skey)
+        assert item is not None
+        cluster.servers[moved_to].store_item(
+            skey, item.value_len, data=item.data, meta=dict(item.meta)
+        )
+        old_holder.cache.delete(skey)
+        scheme.record_relocation("key", 1, moved_to)
+
+        # a surviving chunk rots in place on its holder
+        corrupt_holder = placement[3]
+        assert cluster.servers[corrupt_holder].corrupt_item(
+            chunk_key("key", 3), byte_offset=11
+        )
+
+        cluster.fail_servers([moved_to])
+        repair = RepairManager(cluster, scheme)
+
+        def run_repair():
+            return (yield from repair.repair_server(moved_to, ["key"]))
+
+        # repair found the chunk at its current (moved) location ...
+        assert drive(cluster, run_repair()) == 1
+        current = scheme.chunk_servers(cluster.ring, "key")
+        new_holder = current[1]
+        # ... rebuilt it onto a live substitute, not back on the dead
+        # node and not onto any node already holding a chunk (the
+        # corrupt holder included)
+        assert new_holder != moved_to
+        assert new_holder != corrupt_holder
+        assert new_holder not in placement
+        assert cluster.servers[new_holder].cache.peek(skey) is not None
+
+        # the value decodes with full fault tolerance restored: the
+        # rotten chunk plus any one more failure stay within m=2
+        cluster.fail_servers([current[0]])
+
+        def read():
+            return (yield from client.get("key"))
+
+        value = drive(cluster, read())
+        assert value.data == data
+
     def test_repair_skips_unaffected_keys(self):
         cluster = fresh(servers=6)
         client = cluster.add_client()

@@ -1,0 +1,88 @@
+"""The DAS-style sampling bound: sample counts and certificates."""
+
+import math
+
+import pytest
+
+from repro.scrub.audit import AuditReport, achieved_epsilon, required_samples
+
+
+class TestRequiredSamples:
+    def test_textbook_values(self):
+        # (1 - 0.1) ** 44 ~= 0.0097 < 0.01, and 43 samples fall short
+        assert required_samples(1e-2, 0.1) == 44
+        assert 0.9**44 <= 1e-2 < 0.9**43
+
+    def test_satisfies_the_bound(self):
+        for epsilon in (0.1, 1e-2, 1e-3, 1e-6):
+            for p_bound in (0.01, 0.05, 0.1, 0.5):
+                s = required_samples(epsilon, p_bound)
+                assert (1.0 - p_bound) ** s <= epsilon
+                # and s is minimal
+                assert s == 1 or (1.0 - p_bound) ** (s - 1) > epsilon
+
+    def test_tighter_epsilon_needs_more_samples(self):
+        assert required_samples(1e-6, 0.1) > required_samples(1e-3, 0.1)
+
+    def test_looser_p_bound_needs_fewer_samples(self):
+        assert required_samples(1e-3, 0.5) < required_samples(1e-3, 0.05)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(ValueError):
+            required_samples(epsilon, 0.1)
+
+    @pytest.mark.parametrize("p_bound", [0.0, 1.0, -0.1])
+    def test_rejects_bad_p_bound(self, p_bound):
+        with pytest.raises(ValueError):
+            required_samples(1e-3, p_bound)
+
+
+class TestAchievedEpsilon:
+    def test_matches_closed_form(self):
+        assert achieved_epsilon(44, 0.1) == pytest.approx(0.9**44)
+        assert achieved_epsilon(0, 0.1) == 1.0
+
+    def test_required_samples_round_trip(self):
+        s = required_samples(1e-3, 0.05)
+        assert achieved_epsilon(s, 0.05) <= 1e-3
+        assert math.isclose(
+            achieved_epsilon(s, 0.05), (1.0 - 0.05) ** s
+        )
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            achieved_epsilon(-1, 0.1)
+
+
+class TestAuditReport:
+    def test_to_dict_round_trips_all_fields(self):
+        report = AuditReport(
+            time=1.5,
+            population=320,
+            samples=44,
+            verified=44,
+            corrupt=0,
+            missing=0,
+            unreachable=0,
+            p_bound=0.1,
+            epsilon_target=1e-2,
+            epsilon_achieved=0.9**44,
+            certified=True,
+        )
+        as_dict = report.to_dict()
+        assert as_dict["certified"] is True
+        assert as_dict["samples"] == 44
+        assert set(as_dict) == {
+            "time",
+            "population",
+            "samples",
+            "verified",
+            "corrupt",
+            "missing",
+            "unreachable",
+            "p_bound",
+            "epsilon_target",
+            "epsilon_achieved",
+            "certified",
+        }

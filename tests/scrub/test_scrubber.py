@@ -1,0 +1,318 @@
+"""Scrubber behavior: config wiring, detect/heal, stripes, determinism."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.core.cluster import build_cluster
+from repro.core.features import ClusterConfig
+from repro.resilience.erasure import chunk_key, parse_chunk_key
+from repro.stripes.buffer import journal_key
+
+MIB = 1024 * 1024
+
+
+def drive(cluster, gen):
+    return cluster.sim.run(cluster.sim.process(gen))
+
+
+def fresh(config=None, **kwargs):
+    kwargs.setdefault("servers", 6)
+    kwargs.setdefault("memory_per_server", 64 * MIB)
+    kwargs.setdefault("scheme", "era-ce-cd")
+    return build_cluster(config=config, **kwargs)
+
+
+def patterned(size, salt=0):
+    return bytes((i * 31 + 7 + salt) % 256 for i in range(size))
+
+
+def store(cluster, client, count=6, size=6000):
+    data = {}
+
+    def body():
+        for i in range(count):
+            key = "key-%d" % i
+            data[key] = patterned(size, salt=i)
+            yield from client.set(key, Payload.from_bytes(data[key]))
+
+    drive(cluster, body())
+    return data
+
+
+class TestParseChunkKey:
+    def test_round_trips_chunk_keys(self):
+        assert parse_chunk_key(chunk_key("user:42", 3)) == ("user:42", 3)
+
+    def test_plain_keys_have_no_index(self):
+        assert parse_chunk_key("plain") == ("plain", None)
+        jkey = journal_key(7, "tiny")
+        assert parse_chunk_key(jkey) == (jkey, None)
+
+
+class TestConfigWiring:
+    def test_default_config_builds_no_scrubber(self):
+        cluster = fresh()
+        assert cluster.scrubber is None
+        assert cluster.config.scrubbing is None
+
+    def test_with_scrubbing_attaches_and_disable_detaches(self):
+        cluster = fresh()
+        cluster.config.with_scrubbing(scan_period=0.5)
+        scrubber = cluster.scrubber
+        assert scrubber is not None
+        assert scrubber.plan.scan_period == 0.5
+        assert not scrubber.plan.audits_enabled
+        cluster.config.disable("scrubbing")
+        assert cluster.scrubber is None
+        assert scrubber._stopped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig().with_scrubbing(scan_period=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig().with_scrubbing(audit_period=-1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig().with_scrubbing(epsilon=1.5)
+        with pytest.raises(ValueError):
+            ClusterConfig().with_scrubbing(p_bound=0.0)
+
+    def test_plan_resolves_sample_count(self):
+        config = ClusterConfig().with_scrubbing(
+            audit_period=0.5, epsilon=1e-2, p_bound=0.1
+        )
+        cluster = fresh(config=config)
+        assert cluster.scrubber.plan.samples_required == 44
+        assert cluster.scrubber.plan.audits_enabled
+
+
+class TestScanLoop:
+    def test_targets_cover_every_chunk_location(self):
+        config = ClusterConfig().with_scrubbing()
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client, count=4)
+        targets = cluster.scrubber.targets()
+        n = cluster.scheme.k + cluster.scheme.m
+        assert len(targets) == 4 * n
+        assert {t[0] for t in targets} == {"chunk"}
+
+    def test_detects_and_heals_corrupt_chunk(self):
+        config = ClusterConfig().with_scrubbing(scan_period=0.2, seed=3)
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        data = store(cluster, client)
+        scrubber = cluster.scrubber
+
+        key = "key-2"
+        holders = cluster.scheme.chunk_servers(cluster.ring, key)
+        victim, skey = holders[1], chunk_key(key, 1)
+        assert cluster.servers[victim].corrupt_item(skey, byte_offset=5)
+
+        scrubber.start(horizon=cluster.sim.now + 1.0)
+        cluster.run()
+
+        metrics = cluster.metrics
+        assert metrics.counter("scrub.corrupt_found").value == 1
+        assert metrics.counter("scrub.repairs_triggered").value == 1
+        assert metrics.counter("scrub.chunks_verified").value > 0
+        assert metrics.counter("scrub.bytes_read").value > 0
+        assert scrubber.detections and scrubber.heals
+        assert scrubber.detections[0][1:] == (victim, skey)
+        # the rotten chunk was rebuilt in place, on its current holder
+        item = cluster.servers[victim].cache.peek(skey)
+        assert item is not None
+        assert item.meta.get("crc") is not None
+
+        def read():
+            return (yield from client.get(key))
+
+        assert drive(cluster, read()).data == data[key]
+
+    def test_reconstructs_missing_chunk(self):
+        config = ClusterConfig().with_scrubbing(scan_period=0.2)
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client)
+        scrubber = cluster.scrubber
+
+        key = "key-0"
+        holders = cluster.scheme.chunk_servers(cluster.ring, key)
+        victim, skey = holders[3], chunk_key(key, 3)
+        assert cluster.servers[victim].cache.delete(skey)
+
+        scrubber.start(horizon=cluster.sim.now + 1.0)
+        cluster.run()
+        assert cluster.metrics.counter("scrub.repairs_triggered").value == 1
+        assert cluster.servers[victim].cache.peek(skey) is not None
+
+    def test_ttd_tth_matched_against_chaos_rot_log(self):
+        config = (
+            ClusterConfig()
+            .inject_chaos(profile="none", seed=0)
+            .with_scrubbing(scan_period=0.2, seed=1)
+        )
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client)
+        scrubber = cluster.scrubber
+
+        key = "key-4"
+        holders = cluster.scheme.chunk_servers(cluster.ring, key)
+        victim, index = holders[0], 0
+        assert cluster.servers[victim].corrupt_item(
+            chunk_key(key, index), byte_offset=9
+        )
+        # ground truth, exactly as ChaosEngine._bitrot_loop records it
+        cluster.chaos.rot_log.append((cluster.sim.now, victim, key, index))
+
+        scrubber.start(horizon=cluster.sim.now + 1.0)
+        cluster.run()
+        snapshot = cluster.metrics.snapshot("scrub.")
+        assert snapshot["scrub.time_to_detect"]["count"] == 1
+        assert snapshot["scrub.time_to_heal"]["count"] == 1
+        assert 0.0 < snapshot["scrub.time_to_detect"]["max"] <= 0.4
+        assert (
+            snapshot["scrub.time_to_heal"]["max"]
+            >= snapshot["scrub.time_to_detect"]["max"]
+        )
+
+
+class TestStripeAwareness:
+    def _striped(self):
+        config = ClusterConfig().with_small_object_stripes(
+            seal_timeout=10.0
+        ).with_scrubbing(scan_period=0.2, seed=2)
+        cluster = fresh(config=config)
+        return cluster, cluster.add_client()
+
+    def test_targets_include_open_stripe_journal_copies(self):
+        cluster, client = self._striped()
+
+        def body():
+            yield from client.set("tiny", Payload.from_bytes(b"y" * 60))
+
+        drive(cluster, body())
+        targets = cluster.scrubber.targets()
+        journal = [t for t in targets if t[0] == "journal"]
+        assert len(journal) == cluster.scheme.tolerated_failures + 1
+        record = cluster.scheme.open_stripe
+        assert journal[0][2] == journal_key(record.stripe_id, "tiny")
+
+    def test_heals_corrupt_journal_copy(self):
+        cluster, client = self._striped()
+        data = patterned(80)
+
+        def body():
+            yield from client.set("tiny", Payload.from_bytes(data))
+
+        drive(cluster, body())
+        record = cluster.scheme.open_stripe
+        victim = record.journal_holders[0]
+        jkey = journal_key(record.stripe_id, "tiny")
+        assert cluster.servers[victim].corrupt_item(jkey, byte_offset=3)
+
+        cluster.scrubber.start(horizon=cluster.sim.now + 1.0)
+
+        def wait():
+            # advance past the scan but stop short of the seal timer:
+            # sealing legitimately garbage-collects every journal copy
+            yield cluster.sim.timeout(1.0)
+
+        drive(cluster, wait())
+        assert cluster.metrics.counter("scrub.corrupt_found").value == 1
+        healed = cluster.servers[victim].cache.peek(jkey)
+        assert healed is not None and healed.data == data
+
+    def test_heals_corrupt_sealed_carrier_chunk(self):
+        config = ClusterConfig().with_small_object_stripes(
+            seal_timeout=0.005
+        ).with_scrubbing(scan_period=0.2, seed=2)
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        data = patterned(700)
+
+        def body():
+            yield from client.set("small", Payload.from_bytes(data))
+
+        drive(cluster, body())
+        cluster.run()  # the seal timer fires and the stripe codes
+        sealed = [r for r in cluster.scheme.stripe_records() if r.sealed]
+        assert sealed
+        carrier = sealed[0].name
+        holders = cluster.scheme.chunk_servers(cluster.ring, carrier)
+        victim, skey = holders[0], chunk_key(carrier, 0)
+        assert cluster.servers[victim].corrupt_item(skey, byte_offset=2)
+
+        cluster.scrubber.start(horizon=cluster.sim.now + 1.0)
+        cluster.run()
+        assert cluster.metrics.counter("scrub.corrupt_found").value == 1
+        assert cluster.servers[victim].cache.peek(skey) is not None
+
+        def read():
+            return (yield from client.get("small"))
+
+        assert drive(cluster, read()).data == data
+
+
+class TestAuditing:
+    def test_clean_cluster_certifies(self):
+        config = ClusterConfig().with_scrubbing(
+            audit_period=0.5, epsilon=1e-2, p_bound=0.1, seed=4
+        )
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client)
+        scrubber = cluster.scrubber
+
+        report = drive(cluster, scrubber.audit_once())
+        assert report.certified
+        assert report.samples == 44
+        assert report.verified == 44
+        assert report.corrupt == 0
+        assert report.epsilon_achieved <= report.epsilon_target
+        assert scrubber.audits == [report]
+
+    def test_empty_population_certifies_vacuously(self):
+        config = ClusterConfig().with_scrubbing(audit_period=0.5)
+        cluster = fresh(config=config)
+        report = drive(cluster, cluster.scrubber.audit_once())
+        assert report.certified
+        assert report.samples == 0
+        assert report.population == 0
+
+    def test_on_audit_callback_fires(self):
+        config = ClusterConfig().with_scrubbing(audit_period=0.5)
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client, count=2)
+        seen = []
+        cluster.scrubber.on_audit = seen.append
+        drive(cluster, cluster.scrubber.audit_once())
+        assert len(seen) == 1 and seen[0].certified
+
+
+class TestDeterminism:
+    def _run(self):
+        config = ClusterConfig().with_scrubbing(
+            scan_period=0.2, audit_period=0.4, seed=11
+        )
+        cluster = fresh(config=config)
+        client = cluster.add_client()
+        store(cluster, client)
+        key = "key-1"
+        holders = cluster.scheme.chunk_servers(cluster.ring, key)
+        cluster.servers[holders[2]].corrupt_item(
+            chunk_key(key, 2), byte_offset=7
+        )
+        cluster.scrubber.start(horizon=cluster.sim.now + 1.0)
+        cluster.run()
+        scrubber = cluster.scrubber
+        return (
+            scrubber.seed,
+            scrubber.detections,
+            scrubber.heals,
+            [a.to_dict() for a in scrubber.audits],
+        )
+
+    def test_same_seed_same_schedule(self):
+        assert self._run() == self._run()
